@@ -1,0 +1,64 @@
+// Ablation A4: BLOCK <-> CYCLIC(b) redistribution of a 1-D array — the
+// PITFALLS use case the representation was designed for (paper section 2:
+// PITFALLS drove the PARADIGM compiler's array redistribution routines).
+// Sweeps the cyclic block size and reports plan cost, fragmentation and
+// execution time.
+#include <cstdio>
+
+#include "file_model/file.h"
+#include "layout/array_layout.h"
+#include "redist/execute.h"
+#include "redist/matching.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace pfm;
+
+  const std::int64_t n = 1 << 20;  // 1 MiB array
+  const std::int64_t procs = 4;
+  const ArrayDesc a{{n}, 1};
+  const GridDesc grid{{procs}};
+  const Dist block[1] = {Dist::block_dist()};
+  auto be = layout_all(a, block, grid);
+  const PartitioningPattern from({be.begin(), be.end()}, 0);
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(n), 1);
+  const auto src = ParallelFile(from, n).split(image);
+
+  std::printf("Ablation A4: BLOCK -> CYCLIC(b), %lld bytes over %lld processors\n",
+              static_cast<long long>(n), static_cast<long long>(procs));
+  std::printf("%10s %12s %12s %12s %12s %10s\n", "b", "plan(us)", "exec(us)",
+              "runs", "messages", "score");
+
+  for (const std::int64_t b : {1, 4, 16, 64, 256, 1024, 8192, 65536}) {
+    const Dist cyc[1] = {Dist::block_cyclic(b)};
+    auto ce = layout_all(a, cyc, grid);
+    const PartitioningPattern to({ce.begin(), ce.end()}, 0);
+
+    Timer tp;
+    const RedistPlan plan = build_plan(from, to);
+    const double plan_us = tp.elapsed_us();
+
+    std::vector<Buffer> dst;
+    Timer te;
+    const RedistStats stats = execute_redist(plan, from, to, src, dst, n);
+    const double exec_us = te.elapsed_us();
+
+    // Verify against a reference split.
+    const auto expected = ParallelFile(to, n).split(image);
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      if (!equal_bytes(dst[j], expected[j])) {
+        std::printf("MISMATCH at b=%lld\n", static_cast<long long>(b));
+        return 1;
+      }
+    }
+    const MatchingDegree m = matching_degree(plan);
+    std::printf("%10lld %12.0f %12.0f %12lld %12lld %10.3f\n",
+                static_cast<long long>(b), plan_us, exec_us,
+                static_cast<long long>(stats.copy_runs),
+                static_cast<long long>(stats.messages), m.score());
+  }
+  std::printf("\nExpected shape: small b fragments the transfer into many runs\n"
+              "(slow, low matching score); as b approaches the block size the\n"
+              "distributions converge and cost falls.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation A6: how well run-list -> FALLS compression recovers regular
+// structure (paper section 4: compact representation of regular
+// distributions is the point of FALLS), and what it costs on irregular
+// input where no structure exists.
+#include <cstdio>
+#include <vector>
+
+#include "falls/compress.h"
+#include "falls/falls.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace pfm;
+
+  std::printf("Ablation A6: run-list compression (runs -> FALLS nodes)\n");
+  std::printf("%22s %10s %10s %12s %10s\n", "pattern", "runs", "nodes",
+              "compress", "time(us)");
+
+  const auto report = [](const char* name, const std::vector<LineSegment>& runs) {
+    Timer t;
+    const FallsSet s = compress_runs_nested(runs);
+    const double us = t.elapsed_us();
+    const std::int64_t nodes = node_count(s);
+    std::printf("%22s %10zu %10lld %11.0fx %10.1f\n", name, runs.size(),
+                static_cast<long long>(nodes),
+                static_cast<double>(runs.size()) / static_cast<double>(nodes), us);
+  };
+
+  // Perfectly regular: a block-cyclic pattern as raw runs.
+  for (const std::int64_t count : {64, 1024, 16384}) {
+    std::vector<LineSegment> runs;
+    for (std::int64_t k = 0; k < count; ++k) runs.push_back({k * 16, k * 16 + 3});
+    char name[64];
+    std::snprintf(name, sizeof name, "uniform x%lld", static_cast<long long>(count));
+    report(name, runs);
+  }
+
+  // Two-level regular: groups of three runs repeating with a long period
+  // (a 2-D sub-block pattern).
+  {
+    std::vector<LineSegment> runs;
+    for (std::int64_t g = 0; g < 512; ++g)
+      for (std::int64_t k = 0; k < 3; ++k)
+        runs.push_back({g * 100 + k * 8, g * 100 + k * 8 + 3});
+    report("two-level x1536", runs);
+  }
+
+  // Mildly irregular: regular stride with jittered lengths.
+  {
+    Rng rng(5);
+    std::vector<LineSegment> runs;
+    std::int64_t cursor = 0;
+    for (std::int64_t k = 0; k < 4096; ++k) {
+      const std::int64_t len = 2 + rng.uniform(0, 2);
+      runs.push_back({cursor, cursor + len - 1});
+      cursor += len + 7;
+    }
+    report("jittered x4096", runs);
+  }
+
+  // Fully irregular: random gaps and lengths — compression cannot help and
+  // must not blow up.
+  {
+    Rng rng(6);
+    std::vector<LineSegment> runs;
+    std::int64_t cursor = 0;
+    for (std::int64_t k = 0; k < 4096; ++k) {
+      const std::int64_t len = rng.uniform(1, 12);
+      runs.push_back({cursor, cursor + len - 1});
+      cursor += len + rng.uniform(1, 20);
+    }
+    report("random x4096", runs);
+  }
+
+  std::printf("\nExpected shape: regular inputs collapse to O(1) nodes (the\n"
+              "compression factor equals the run count); irregular inputs stay\n"
+              "at ~1x but compress in linear time.\n");
+  return 0;
+}

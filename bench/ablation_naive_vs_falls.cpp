@@ -1,0 +1,64 @@
+// Ablation A1 (paper section 3): segment-wise redistribution via the FALLS
+// intersection vs the naive baseline that maps every byte through
+// MAP_S(MAP_V^-1(x)). The paper's claim: "it would be inefficient to map
+// each byte from one distribution to another".
+#include <cstdio>
+
+#include "file_model/file.h"
+#include "layout/partitions2d.h"
+#include "redist/execute.h"
+#include "redist/naive.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace pfm;
+
+  std::printf("Ablation A1: FALLS redistribution vs naive per-byte mapping\n");
+  std::printf("%6s %8s | %12s %12s %9s | %10s %10s\n", "N", "pair", "falls(us)",
+              "naive(us)", "speedup", "runs", "messages");
+
+  for (const std::int64_t n : {64, 128, 256, 512}) {
+    struct Pair {
+      Partition2D from, to;
+      const char* name;
+    };
+    const Pair pairs[] = {
+        {Partition2D::kRowBlocks, Partition2D::kColumnBlocks, "r->c"},
+        {Partition2D::kColumnBlocks, Partition2D::kSquareBlocks, "c->b"},
+        {Partition2D::kRowBlocks, Partition2D::kRowBlocks, "r->r"},
+    };
+    for (const Pair& p : pairs) {
+      auto fe = partition2d_all(p.from, n, n, 4);
+      auto te = partition2d_all(p.to, n, n, 4);
+      const PartitioningPattern from({fe.begin(), fe.end()}, 0);
+      const PartitioningPattern to({te.begin(), te.end()}, 0);
+      const std::int64_t bytes = n * n;
+      const Buffer image = make_pattern_buffer(static_cast<std::size_t>(bytes), 1);
+      const auto src = ParallelFile(from, bytes).split(image);
+
+      std::vector<Buffer> fast, slow;
+      Timer t1;
+      const RedistStats fs = redistribute(from, to, src, fast, bytes);
+      const double falls_us = t1.elapsed_us();
+      Timer t2;
+      naive_redistribute(from, to, src, slow, bytes);
+      const double naive_us = t2.elapsed_us();
+
+      bool equal = fast.size() == slow.size();
+      for (std::size_t j = 0; equal && j < fast.size(); ++j)
+        equal = equal_bytes(fast[j], slow[j]);
+      if (!equal) {
+        std::printf("MISMATCH at N=%lld %s\n", static_cast<long long>(n), p.name);
+        return 1;
+      }
+      std::printf("%6lld %8s | %12.0f %12.0f %8.1fx | %10lld %10lld\n",
+                  static_cast<long long>(n), p.name, falls_us, naive_us,
+                  naive_us / (falls_us > 0 ? falls_us : 1),
+                  static_cast<long long>(fs.copy_runs),
+                  static_cast<long long>(fs.messages));
+    }
+  }
+  std::printf("\nExpected shape: the FALLS path wins by orders of magnitude and\n"
+              "the gap widens with N (per-byte mapping cost is O(bytes)).\n");
+  return 0;
+}

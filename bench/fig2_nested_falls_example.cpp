@@ -1,0 +1,26 @@
+// Figure 2 (paper section 4): the nested FALLS (0,3,8,2,{(0,0,2,2)}) —
+// outer blocks [0,3] and [8,11], inner FALLS selecting bytes 0 and 2 of
+// each block; size 4.
+#include <cassert>
+#include <cstdio>
+
+#include "falls/falls.h"
+#include "falls/print.h"
+
+int main() {
+  using namespace pfm;
+  const Falls outer_only = make_falls(0, 3, 8, 2);
+  const Falls nested = make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)});
+
+  std::printf("Figure 2. Nested FALLS example\n");
+  std::printf("outer FALLS (0,3,8,2):\n%s", render_bytes({outer_only}, 16).c_str());
+  std::printf("inner FALLS (0,0,2,2), relative to each outer block:\n");
+  std::printf("nested %s:\n%s", to_string(nested).c_str(),
+              render_bytes({nested}, 16).c_str());
+  std::printf("size = %lld\n", static_cast<long long>(falls_size(nested)));
+
+  assert(falls_size(nested) == 4);
+  assert(falls_bytes(nested) == (std::vector<std::int64_t>{0, 2, 8, 10}));
+  std::printf("OK: denotes {0,2,8,10}, size 4, as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5 (paper section 8): the Clusterfile write path for the view and
+// subfile of figure 4 — the compute node maps the access interval onto the
+// subfile, gathers the non-contiguous view data, sends it, and the I/O node
+// scatters it into the subfile.
+#include <cassert>
+#include <cstdio>
+
+#include "clusterfile/fs.h"
+#include "falls/print.h"
+#include "util/buffer.h"
+
+int main() {
+  using namespace pfm;
+
+  // A 32-byte file over two subfiles: S (figure 4) and its complement, so
+  // the pattern tiles. The complement is everything S does not cover.
+  const FallsSet sub0{make_nested(0, 3, 8, 4, {make_falls(0, 0, 2, 2)})};
+  const FallsSet sub1{make_nested(0, 7, 8, 4, {make_falls(1, 1, 2, 2),
+                                               make_falls(4, 7, 4, 1)})};
+  ClusterConfig cfg;
+  cfg.compute_nodes = 1;
+  cfg.io_nodes = 2;
+  Clusterfile fs(cfg, PartitioningPattern({sub0, sub1}, 0));
+
+  std::printf("Figure 5. Write operation in Clusterfile\n");
+  std::printf("subfile 0 (S of figure 4): %s\n", to_string(sub0).c_str());
+  std::printf("subfile 1 (complement):    %s\n", to_string(sub1).c_str());
+
+  // The compute node sets the view V of figure 4 and writes view bytes
+  // [0, 4] (the figure's vV = 0, wV = 4).
+  auto& client = fs.client(0);
+  const FallsSet view{make_nested(0, 7, 16, 2, {make_falls(0, 1, 4, 2)})};
+  const std::int64_t vid = client.set_view(view, 32);
+  std::printf("view V: %s  (t_i = %.1f us)\n", to_string(view).c_str(),
+              client.last_view_set_us());
+
+  Buffer data(5);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(0x10 + i);
+  const auto t = client.write(vid, 0, 4, data);
+  std::printf("write view [0,4]: %lld bytes in %lld messages "
+              "(t_m=%.1f us, t_g=%.1f us, t_w=%.1f us)\n",
+              static_cast<long long>(t.bytes), static_cast<long long>(t.messages),
+              t.t_m_us, t.t_g_us, t.t_w_us);
+
+  // View bytes 0,1,2,3,4 are file bytes 0,1,4,5,16; of these, subfile 0
+  // holds file bytes {0,16} at subfile offsets {0,4} (figure 4). Check the
+  // scattered subfile contents byte by byte.
+  Buffer s0(5);
+  fs.subfile_storage(0).read(0, s0);
+  assert(s0[0] == data[0]);                  // file byte 0   <- view byte 0
+  assert(s0[4] == data[4]);                  // file byte 16  <- view byte 4
+  // Subfile 1 holds file bytes 1,4,5 (view bytes 1,2,3) at offsets 0,2,3.
+  Buffer s1(4);
+  fs.subfile_storage(1).read(0, s1);
+  assert(s1[0] == data[1]);
+  assert(s1[2] == data[2]);
+  assert(s1[3] == data[3]);
+
+  std::printf("OK: compute node gathered {view 0,4} for subfile 0 and "
+              "{view 1,2,3} for subfile 1; I/O nodes scattered them to the "
+              "projected offsets — matching figure 5.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks: the intersection primitives of paper section 7 —
+// CUT-FALLS, flat INTERSECT-FALLS, the nested INTERSECT, projections and
+// gather/scatter throughput.
+#include <benchmark/benchmark.h>
+
+#include "intersect/cut.h"
+#include "intersect/intersect.h"
+#include "intersect/intersect_falls.h"
+#include "intersect/project.h"
+#include "layout/partitions2d.h"
+#include "redist/gather_scatter.h"
+#include "util/buffer.h"
+
+namespace {
+
+using namespace pfm;
+
+void BM_CutFalls(benchmark::State& state) {
+  const Falls f = make_falls(3, 5, 6, state.range(0));
+  const std::int64_t ext = falls_extent(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut_falls(f, ext / 4, 3 * ext / 4));
+  }
+}
+BENCHMARK(BM_CutFalls)->Arg(8)->Arg(4096);
+
+void BM_IntersectFallsAligned(benchmark::State& state) {
+  // Strides share a small lcm: the cheap, common case.
+  const Falls f1 = make_falls(0, 7, 16, state.range(0));
+  const Falls f2 = make_falls(0, 3, 8, 2 * state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_falls(f1, f2));
+  }
+}
+BENCHMARK(BM_IntersectFallsAligned)->Arg(16)->Arg(1024);
+
+void BM_IntersectFallsCoprimeStrides(benchmark::State& state) {
+  // Coprime strides: the lcm period covers many segment pairs.
+  const Falls f1 = make_falls(0, 2, 7, state.range(0));
+  const Falls f2 = make_falls(0, 3, 11, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_falls(f1, f2));
+  }
+}
+BENCHMARK(BM_IntersectFallsCoprimeStrides)->Arg(16)->Arg(1024);
+
+void BM_NestedIntersectViewSubfile(benchmark::State& state) {
+  // One view/subfile intersection of the Table 1 workload (c/r, N x N).
+  const std::int64_t n = state.range(0);
+  const PatternElement sub{
+      partition2d_falls(Partition2D::kColumnBlocks, n, n, 4, 1), n * n, 0};
+  const PatternElement view{
+      partition2d_falls(Partition2D::kRowBlocks, n, n, 4, 1), n * n, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_nested(view, sub));
+  }
+}
+BENCHMARK(BM_NestedIntersectViewSubfile)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_ProjectionViewSubfile(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const PatternElement sub{
+      partition2d_falls(Partition2D::kColumnBlocks, n, n, 4, 1), n * n, 0};
+  const PatternElement view{
+      partition2d_falls(Partition2D::kRowBlocks, n, n, 4, 1), n * n, 0};
+  const Intersection x = intersect_nested(view, sub);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(project(x, view));
+  }
+}
+BENCHMARK(BM_ProjectionViewSubfile)->Arg(256)->Arg(1024);
+
+void BM_GatherFragmented(benchmark::State& state) {
+  // Gather throughput at the fragmentation the c/r workload produces
+  // (runs of n/4 bytes).
+  const std::int64_t n = state.range(0);
+  const std::int64_t run = n / 4;
+  const IndexSet idx({make_falls(0, run - 1, n, n / 4)}, n * n / 4);
+  const Buffer src = make_pattern_buffer(static_cast<std::size_t>(n * n / 4), 1);
+  Buffer dest(static_cast<std::size_t>(idx.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gather(dest, src, 0, static_cast<std::int64_t>(src.size()) - 1, idx));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * idx.size());
+}
+BENCHMARK(BM_GatherFragmented)->Arg(256)->Arg(2048);
+
+void BM_ScatterFragmented(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t run = n / 4;
+  const IndexSet idx({make_falls(0, run - 1, n, n / 4)}, n * n / 4);
+  const Buffer src = make_pattern_buffer(static_cast<std::size_t>(idx.size()), 1);
+  Buffer dest(static_cast<std::size_t>(n * n / 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scatter(dest, src, 0, static_cast<std::int64_t>(dest.size()) - 1, idx));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * idx.size());
+}
+BENCHMARK(BM_ScatterFragmented)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Microbenchmarks: the mapping functions of paper section 6. t_m in Table 1
+// is "very small" — these pin down the per-call cost of MAP, MAP^-1 and the
+// rounding variants on the evaluation's partition shapes.
+#include <benchmark/benchmark.h>
+
+#include "layout/partitions2d.h"
+#include "mapping/compose.h"
+#include "mapping/map.h"
+
+namespace {
+
+using namespace pfm;
+
+struct Fixture {
+  std::int64_t n;
+  FallsSet sub;    // column-block subfile of an n x n matrix (worst case)
+  FallsSet view;   // row-block view (contiguous)
+  Fixture() : Fixture(1024) {}
+  explicit Fixture(std::int64_t edge)
+      : n(edge),
+        sub(partition2d_falls(Partition2D::kColumnBlocks, n, n, 4, 1)),
+        view(partition2d_falls(Partition2D::kRowBlocks, n, n, 4, 1)) {}
+  ElementRef sub_ref() const { return {&sub, 0, n * n}; }
+  ElementRef view_ref() const { return {&view, 0, n * n}; }
+};
+
+void BM_MapToElement(benchmark::State& state) {
+  const Fixture f(state.range(0));
+  const ElementRef ref = f.sub_ref();
+  std::int64_t x = f.n / 4;  // a member byte of column subfile 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_to_element(ref, x));
+  }
+}
+BENCHMARK(BM_MapToElement)->Arg(256)->Arg(2048);
+
+void BM_MapToFile(benchmark::State& state) {
+  const Fixture f(state.range(0));
+  const ElementRef ref = f.sub_ref();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_to_file(ref, 12345 % (f.n * f.n / 4)));
+  }
+}
+BENCHMARK(BM_MapToFile)->Arg(256)->Arg(2048);
+
+void BM_MapRoundNext(benchmark::State& state) {
+  const Fixture f(state.range(0));
+  const ElementRef ref = f.sub_ref();
+  for (auto _ : state) {
+    // Byte 0 is in subfile 0; rounding finds the next member of subfile 1.
+    benchmark::DoNotOptimize(map_to_element(ref, 0, Round::kNext));
+  }
+}
+BENCHMARK(BM_MapRoundNext)->Arg(256)->Arg(2048);
+
+void BM_MapIntervalExtremities(benchmark::State& state) {
+  // The full t_m of one write: both extremities through
+  // MAP_S(MAP_V^-1(...)) with next/prev rounding.
+  const Fixture f(state.range(0));
+  const ElementRef v = f.view_ref();
+  const ElementRef s = f.sub_ref();
+  const std::int64_t view_bytes = f.n * f.n / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_interval(v, s, 0, view_bytes - 1));
+  }
+}
+BENCHMARK(BM_MapIntervalExtremities)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// HPF-style array redistribution (the PITFALLS use case, paper sections
+// 2-3): a 2-D array of doubles distributed (BLOCK, *) over 4 processors is
+// redistributed to (CYCLIC(2), BLOCK) on a 2x2 processor grid — the kind of
+// remapping a compiler inserts between program phases with different
+// affinity. Prints the communication schedule the plan derives and
+// verifies element-exact delivery.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "falls/pitfalls.h"
+#include "falls/print.h"
+#include "file_model/file.h"
+#include "layout/array_layout.h"
+#include "redist/execute.h"
+#include "redist/matching.h"
+
+int main() {
+  using namespace pfm;
+
+  const std::int64_t rows = 64, cols = 64;
+  const ArrayDesc array{{rows, cols}, sizeof(double)};
+  const std::int64_t bytes = array_bytes(array);
+
+  // Phase 1 layout: (BLOCK, *) over 4x1 — each processor owns 16 full rows.
+  const Dist phase1[2] = {Dist::block_dist(), Dist::none()};
+  const GridDesc grid1{{4, 1}};
+  auto e1 = layout_all(array, phase1, grid1);
+
+  // Phase 2 layout: (CYCLIC(2), BLOCK) over 2x2.
+  const Dist phase2[2] = {Dist::block_cyclic(2), Dist::block_dist()};
+  const GridDesc grid2{{2, 2}};
+  auto e2 = layout_all(array, phase2, grid2);
+
+  std::printf("64x64 doubles (%lld bytes)\n", static_cast<long long>(bytes));
+  std::printf("phase 1: (BLOCK, *) over 4x1; processor 1 owns %s...\n",
+              to_string(e1[1][0]).c_str());
+  std::printf("phase 2: (CYCLIC(2), BLOCK) over 2x2; processor 0 owns %s...\n\n",
+              to_string(e2[0][0]).c_str());
+
+  // The regular per-processor patterns fold into compact PITFALLS.
+  const PitfallsSet folded = fold(e1);
+  if (!folded.empty())
+    std::printf("phase 1 as PITFALLS: l=%lld r=%lld s=%lld n=%lld d=%lld p=%lld\n\n",
+                static_cast<long long>(folded[0].l), static_cast<long long>(folded[0].r),
+                static_cast<long long>(folded[0].s), static_cast<long long>(folded[0].n),
+                static_cast<long long>(folded[0].d), static_cast<long long>(folded[0].p));
+
+  const PartitioningPattern from({e1.begin(), e1.end()}, 0);
+  const PartitioningPattern to({e2.begin(), e2.end()}, 0);
+
+  // The communication schedule: who sends how much to whom.
+  const RedistPlan plan = build_plan(from, to);
+  std::printf("communication schedule (bytes per pattern period):\n");
+  std::printf("        ");
+  for (std::size_t j = 0; j < to.element_count(); ++j) std::printf("  ->P%zu ", j);
+  std::printf("\n");
+  for (std::size_t i = 0; i < from.element_count(); ++i) {
+    std::printf("  P%zu:  ", i);
+    for (std::size_t j = 0; j < to.element_count(); ++j) {
+      std::int64_t b = 0;
+      for (const Transfer& t : plan.transfers)
+        if (t.src_elem == i && t.dst_elem == j) b = t.bytes_per_period;
+      std::printf("%7lld", static_cast<long long>(b));
+    }
+    std::printf("\n");
+  }
+  const MatchingDegree m = matching_degree(plan);
+  std::printf("matching score %.3f, %lld runs per period\n\n", m.score(),
+              static_cast<long long>(m.runs_per_period));
+
+  // Fill the array so element (r, c) is identifiable, distribute it by
+  // phase 1, redistribute, and verify against a phase-2 reference split.
+  Buffer image(static_cast<std::size_t>(bytes));
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double v = static_cast<double>(r * 1000 + c);
+      std::memcpy(image.data() + (r * cols + c) * 8, &v, 8);
+    }
+  const auto src = ParallelFile(from, bytes).split(image);
+  std::vector<Buffer> dst;
+  const RedistStats stats = execute_redist(plan, from, to, src, dst, bytes);
+  const auto expected = ParallelFile(to, bytes).split(image);
+  for (std::size_t j = 0; j < dst.size(); ++j) {
+    if (!equal_bytes(dst[j], expected[j])) {
+      std::printf("MISMATCH at processor %zu\n", j);
+      return 1;
+    }
+  }
+  std::printf("moved %lld bytes in %lld messages; all %zu destination "
+              "processors verified element-exact.\n",
+              static_cast<long long>(stats.bytes_moved),
+              static_cast<long long>(stats.messages), dst.size());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the core concepts of the library in ~80 lines.
+//
+//  1. Describe byte subsets with (nested) FALLS.
+//  2. Partition a file into subfiles; map offsets with MAP / MAP^-1.
+//  3. Intersect two partitions and project the result — the gather/scatter
+//     index sets that make redistribution segment-wise.
+//  4. Redistribute a file between two partitions and verify the contents.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "falls/print.h"
+#include "file_model/file.h"
+#include "intersect/project.h"
+#include "layout/partitions2d.h"
+#include "redist/execute.h"
+
+int main() {
+  using namespace pfm;
+
+  // --- 1. FALLS: five strided segments, and a nested refinement. ---------
+  const Falls stripes = make_falls(3, 5, 6, 5);  // paper figure 1
+  std::printf("FALLS %s denotes %lld bytes:\n%s\n", to_string(stripes).c_str(),
+              static_cast<long long>(falls_size(stripes)),
+              render_bytes({stripes}, 32).c_str());
+
+  // --- 2. A file partitioned into three interleaved subfiles. ------------
+  const PartitioningPattern pattern(
+      {{make_falls(0, 1, 6, 1)}, {make_falls(2, 3, 6, 1)}, {make_falls(4, 5, 6, 1)}},
+      /*displacement=*/2);  // paper figure 3
+  std::printf("file byte 10 lives in subfile %zu at offset %lld\n",
+              pattern.element_of(10),
+              static_cast<long long>(pattern.map_to_element(1, 10)));
+  std::printf("subfile 1 byte 2 is file byte %lld\n\n",
+              static_cast<long long>(pattern.map_to_file(1, 2)));
+
+  // --- 3. Intersection + projections (paper figure 4). -------------------
+  const PatternElement view{{make_nested(0, 7, 16, 2, {make_falls(0, 1, 4, 2)})}, 32, 0};
+  const PatternElement sub{{make_nested(0, 3, 8, 4, {make_falls(0, 0, 2, 2)})}, 32, 0};
+  const Intersection common = intersect_nested(view, sub);
+  std::printf("view ∩ subfile (file space)  = %s\n", to_string(common.falls).c_str());
+  std::printf("gather indices (view space)  = %s\n",
+              to_string(project(common, view).falls).c_str());
+  std::printf("scatter indices (subfile)    = %s\n\n",
+              to_string(project(common, sub).falls).c_str());
+
+  // --- 4. Redistribute a 16x16 matrix from row blocks to column blocks. --
+  const std::int64_t n = 16;
+  auto rows = partition2d_all(Partition2D::kRowBlocks, n, n, 4);
+  auto cols = partition2d_all(Partition2D::kColumnBlocks, n, n, 4);
+  const PartitioningPattern from({rows.begin(), rows.end()}, 0);
+  const PartitioningPattern to({cols.begin(), cols.end()}, 0);
+
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(n * n), 42);
+  const auto src = ParallelFile(from, n * n).split(image);
+  std::vector<Buffer> dst;
+  const RedistStats stats = redistribute(from, to, src, dst, n * n);
+
+  const auto expected = ParallelFile(to, n * n).split(image);
+  bool ok = true;
+  for (std::size_t j = 0; j < dst.size(); ++j) ok = ok && equal_bytes(dst[j], expected[j]);
+  std::printf("redistributed %lld bytes in %lld messages (%lld copy runs): %s\n",
+              static_cast<long long>(stats.bytes_moved),
+              static_cast<long long>(stats.messages),
+              static_cast<long long>(stats.copy_runs), ok ? "contents verified" : "MISMATCH");
+  return ok ? 0 : 1;
+}

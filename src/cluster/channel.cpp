@@ -1,0 +1,52 @@
+#include "cluster/channel.h"
+
+namespace pfm {
+
+Channel::Channel(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool Channel::send(Message msg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(msg));
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Message> Channel::receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return msg;
+}
+
+std::optional<Message> Channel::try_receive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return msg;
+}
+
+void Channel::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool Channel::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t Channel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace pfm

@@ -1,0 +1,46 @@
+// Bounded MPSC channel: the in-memory interconnect of the simulated cluster.
+// One channel is one node's inbox; senders block when the channel is full
+// (back-pressure stands in for finite network buffers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "cluster/message.h"
+
+namespace pfm {
+
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 1024);
+
+  /// Blocks while the channel is full. Returns false if the channel was
+  /// closed (message dropped).
+  bool send(Message msg);
+
+  /// Blocks until a message arrives or the channel is closed and drained;
+  /// nullopt on closed-and-empty.
+  std::optional<Message> receive();
+
+  /// Non-blocking receive; nullopt when empty (even if open).
+  std::optional<Message> try_receive();
+
+  /// Unblocks all senders and receivers; subsequent sends are dropped.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Message> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace pfm

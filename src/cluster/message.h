@@ -1,0 +1,44 @@
+// Message types for the simulated cluster. The Clusterfile protocol (paper
+// section 8) runs between compute-node clients and I/O-node servers over
+// these messages; the payload carries serialized FALLS sets or raw data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/buffer.h"
+
+namespace pfm {
+
+enum class MsgKind : std::uint8_t {
+  kSetView,      ///< client -> server: install PROJ_S^{V∩S} for a view
+  kWrite,        ///< client -> server: write [vS, wS] of the subfile
+  kRead,         ///< client -> server: read [vS, wS] of the subfile
+  kReadReply,    ///< server -> client: data for a read
+  kAck,          ///< server -> client: write/view acknowledgment
+  kError,        ///< server -> client: request failed; meta holds the reason
+  kShutdown,     ///< stop the server loop
+};
+
+const char* to_string(MsgKind k);
+
+struct Message {
+  MsgKind kind = MsgKind::kAck;
+  int src_node = -1;
+  int dst_node = -1;
+  int subfile = 0;            ///< which subfile on the I/O node (demux key)
+  std::int64_t view_id = 0;   ///< which client view the request refers to
+  std::int64_t v = 0;         ///< interval lower limit (subfile space)
+  std::int64_t w = 0;         ///< interval upper limit (subfile space)
+  bool contiguous = false;    ///< write fast path: payload maps contiguously
+  std::string meta;           ///< serialized FALLS for kSetView
+  Buffer payload;             ///< data bytes for kWrite / kReadReply
+
+  /// Bytes this message occupies on the simulated wire (header + meta +
+  /// payload), used by the network cost model.
+  std::int64_t wire_bytes() const {
+    return 64 + static_cast<std::int64_t>(meta.size() + payload.size());
+  }
+};
+
+}  // namespace pfm

@@ -1,0 +1,83 @@
+#include "cluster/network.h"
+
+#include <stdexcept>
+
+namespace pfm {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kSetView: return "SET_VIEW";
+    case MsgKind::kWrite: return "WRITE";
+    case MsgKind::kRead: return "READ";
+    case MsgKind::kReadReply: return "READ_REPLY";
+    case MsgKind::kAck: return "ACK";
+    case MsgKind::kError: return "ERROR";
+    case MsgKind::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+Network::Network(int node_count, NetParams params) : params_(params) {
+  if (node_count < 1) throw std::invalid_argument("Network: node_count < 1");
+  inboxes_.reserve(static_cast<std::size_t>(node_count));
+  machine_of_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    inboxes_.push_back(std::make_unique<Channel>());
+    machine_of_.push_back(i);  // one machine per endpoint by default
+  }
+}
+
+void Network::set_machines(std::vector<int> machine_of) {
+  if (machine_of.size() != inboxes_.size())
+    throw std::invalid_argument("Network::set_machines: size mismatch");
+  machine_of_ = std::move(machine_of);
+}
+
+int Network::machine_of(int node) const {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("Network::machine_of: bad node");
+  return machine_of_[static_cast<std::size_t>(node)];
+}
+
+Network::~Network() { close_all(); }
+
+bool Network::send(int src, Message msg) {
+  if (msg.dst_node < 0 || msg.dst_node >= node_count())
+    throw std::out_of_range("Network::send: bad destination node");
+  msg.src_node = src;
+  const std::int64_t wire = msg.wire_bytes();
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(wire, std::memory_order_relaxed);
+  // Co-located endpoints (overlapping compute/I/O node sets) exchange data
+  // through memory: no modeled wire time.
+  const bool local = src >= 0 && src < node_count() &&
+                     machine_of_[static_cast<std::size_t>(src)] ==
+                         machine_of_[static_cast<std::size_t>(msg.dst_node)];
+  if (!local)
+    wire_ns_.fetch_add(
+        static_cast<std::int64_t>(params_.wire_time_us(wire) * 1000.0),
+        std::memory_order_relaxed);
+  return inboxes_[static_cast<std::size_t>(msg.dst_node)]->send(std::move(msg));
+}
+
+Channel& Network::inbox(int node) {
+  if (node < 0 || node >= node_count())
+    throw std::out_of_range("Network::inbox: bad node");
+  return *inboxes_[static_cast<std::size_t>(node)];
+}
+
+double Network::simulated_wire_us() const {
+  return static_cast<double>(wire_ns_.load()) / 1000.0;
+}
+
+void Network::reset_accounting() {
+  messages_.store(0);
+  bytes_.store(0);
+  wire_ns_.store(0);
+}
+
+void Network::close_all() {
+  for (auto& ch : inboxes_) ch->close();
+}
+
+}  // namespace pfm

@@ -1,0 +1,70 @@
+// The simulated interconnect: routes messages between node inboxes and
+// accounts modeled wire time (substitute for the paper's Myrinet; see
+// DESIGN.md). Delivery itself is an in-memory move — the CPU costs the
+// paper measures (intersection, mapping, gather/scatter) stay real, while
+// per-message latency and bandwidth are charged to a simulated clock that
+// benchmarks may report alongside measured time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/channel.h"
+
+namespace pfm {
+
+/// Analytic cost model of the wire: time(msg) = latency + bytes/bandwidth.
+struct NetParams {
+  double latency_us = 10.0;        ///< per-message latency (Myrinet-class)
+  double bandwidth_mbps = 100.0;   ///< MB/s payload bandwidth
+
+  double wire_time_us(std::int64_t bytes) const {
+    return latency_us + static_cast<double>(bytes) / bandwidth_mbps;
+  }
+};
+
+class Network {
+ public:
+  Network(int node_count, NetParams params = {});
+  ~Network();
+
+  int node_count() const { return static_cast<int>(inboxes_.size()); }
+  const NetParams& params() const { return params_; }
+
+  /// Assigns node endpoints to physical machines (paper section 8.1: the
+  /// compute and I/O node sets "may or may not overlap"). Messages between
+  /// endpoints on the same machine cost no modeled wire time. By default
+  /// every endpoint is its own machine. machine_of.size() must equal
+  /// node_count().
+  void set_machines(std::vector<int> machine_of);
+  int machine_of(int node) const;
+
+  /// Delivers msg to its dst_node inbox; stamps src. Returns false when the
+  /// destination inbox is closed. Accumulates modeled wire time.
+  bool send(int src, Message msg);
+
+  /// The inbox of one node (servers block on it).
+  Channel& inbox(int node);
+
+  /// Total modeled wire time across all messages so far, in microseconds.
+  double simulated_wire_us() const;
+  /// Messages and payload bytes carried (for the benchmark reports).
+  std::int64_t messages_sent() const { return messages_.load(); }
+  std::int64_t bytes_sent() const { return bytes_.load(); }
+  void reset_accounting();
+
+  /// Closes every inbox (shutdown).
+  void close_all();
+
+ private:
+  std::vector<std::unique_ptr<Channel>> inboxes_;
+  NetParams params_;
+  std::vector<int> machine_of_;
+  std::atomic<std::int64_t> messages_{0};
+  std::atomic<std::int64_t> bytes_{0};
+  std::atomic<std::int64_t> wire_ns_{0};  ///< modeled, in nanoseconds
+};
+
+}  // namespace pfm

@@ -1,0 +1,36 @@
+#include "cluster/node.h"
+
+#include "util/log.h"
+
+namespace pfm {
+
+NodeLoop::NodeLoop(Network& net, int node_id, Handler handler)
+    : net_(net), node_id_(node_id), handler_(std::move(handler)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+NodeLoop::~NodeLoop() { stop(); }
+
+void NodeLoop::run() {
+  Channel& inbox = net_.inbox(node_id_);
+  while (true) {
+    auto msg = inbox.receive();
+    if (!msg.has_value()) break;  // inbox closed
+    if (msg->kind == MsgKind::kShutdown) break;
+    PFM_DEBUG("node ", node_id_, " <- ", to_string(msg->kind), " from ",
+              msg->src_node);
+    handler_(std::move(*msg));
+  }
+}
+
+void NodeLoop::stop() {
+  if (thread_.joinable()) {
+    Message bye;
+    bye.kind = MsgKind::kShutdown;
+    bye.dst_node = node_id_;
+    net_.send(node_id_, std::move(bye));
+    thread_.join();
+  }
+}
+
+}  // namespace pfm

@@ -1,0 +1,40 @@
+// Node: a thread bound to one inbox of the simulated cluster. Servers
+// subclass/compose this to run a receive loop; the Clusterfile I/O server
+// is the one user in this repository.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+#include "cluster/network.h"
+
+namespace pfm {
+
+/// Runs `handler` for every message delivered to `node_id`'s inbox on a
+/// dedicated thread until a kShutdown message arrives or the inbox closes.
+class NodeLoop {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  NodeLoop(Network& net, int node_id, Handler handler);
+  ~NodeLoop();
+
+  NodeLoop(const NodeLoop&) = delete;
+  NodeLoop& operator=(const NodeLoop&) = delete;
+
+  int node_id() const { return node_id_; }
+
+  /// Sends a shutdown message to the loop and joins the thread; safe to call
+  /// more than once.
+  void stop();
+
+ private:
+  void run();
+
+  Network& net_;
+  int node_id_;
+  Handler handler_;
+  std::thread thread_;
+};
+
+}  // namespace pfm

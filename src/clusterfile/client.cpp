@@ -1,0 +1,242 @@
+#include "clusterfile/client.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "falls/serialize.h"
+#include "intersect/project.h"
+#include "mapping/compose.h"
+#include "util/timer.h"
+
+namespace pfm {
+
+ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
+    : net_(net), node_id_(node_id), meta_(std::move(meta)) {
+  if (!meta_.physical)
+    throw std::invalid_argument("ClusterfileClient: no physical pattern");
+  if (meta_.io_nodes.size() != meta_.physical->element_count())
+    throw std::invalid_argument("ClusterfileClient: io_nodes count mismatch");
+}
+
+std::int64_t ClusterfileClient::set_view(FallsSet falls,
+                                         std::int64_t view_pattern_size) {
+  const PartitioningPattern& phys = *meta_.physical;
+  ViewState state;
+  state.falls = std::move(falls);
+  state.pattern_size = view_pattern_size;
+  const PatternElement view_elem{state.falls, view_pattern_size,
+                                 phys.displacement()};
+
+  Timer total;
+  std::vector<Message> to_send;
+  {
+    // t_i: intersections and projections only (paper table 1).
+    Timer t;
+    for (std::size_t j = 0; j < phys.element_count(); ++j) {
+      const Intersection x = intersect_nested(view_elem, phys.pattern_element(j));
+      if (x.empty()) continue;
+      const Projection pv = project(x, view_elem);
+      const Projection ps = project(x, phys.pattern_element(j));
+      SubTarget target;
+      target.subfile = j;
+      target.io_node = meta_.io_nodes[j];
+      target.proj_v = IndexSet(pv.falls, pv.period);
+      state.targets.push_back(std::move(target));
+
+      Message msg;
+      msg.kind = MsgKind::kSetView;
+      msg.dst_node = meta_.io_nodes[j];
+      msg.subfile = static_cast<int>(j);
+      msg.view_id = static_cast<std::int64_t>(views_.size());
+      msg.meta = serialize(ps.falls);
+      msg.v = ps.period;
+      to_send.push_back(std::move(msg));
+    }
+    t_i_us_ = t.elapsed_us();
+  }
+  for (Message& msg : to_send) send_or_throw(std::move(msg));
+  await(MsgKind::kAck, to_send.size());
+  t_view_total_us_ = total.elapsed_us();
+
+  views_.push_back(std::move(state));
+  return static_cast<std::int64_t>(views_.size()) - 1;
+}
+
+const ClusterfileClient::ViewState& ClusterfileClient::view_state(
+    std::int64_t view_id) const {
+  if (view_id < 0 || view_id >= static_cast<std::int64_t>(views_.size()))
+    throw std::out_of_range("ClusterfileClient: bad view id");
+  return views_[static_cast<std::size_t>(view_id)];
+}
+
+void ClusterfileClient::send_or_throw(Message msg) {
+  const int dst = msg.dst_node;
+  if (!net_.send(node_id_, std::move(msg)))
+    throw std::runtime_error("ClusterfileClient: I/O node " +
+                             std::to_string(dst) + " is unreachable");
+}
+
+std::vector<Message> ClusterfileClient::await(MsgKind kind, std::size_t n) {
+  std::vector<Message> out;
+  Channel& inbox = net_.inbox(node_id_);
+  while (out.size() < n) {
+    auto msg = inbox.receive();
+    if (!msg.has_value())
+      throw std::runtime_error("ClusterfileClient: network closed while waiting");
+    if (msg->kind == MsgKind::kError)
+      throw std::runtime_error("ClusterfileClient: server reported: " + msg->meta);
+    if (msg->kind != kind)
+      throw std::logic_error("ClusterfileClient: unexpected message kind");
+    out.push_back(std::move(*msg));
+  }
+  return out;
+}
+
+ClusterfileClient::AccessTimings ClusterfileClient::write(
+    std::int64_t view_id, std::int64_t v, std::int64_t w,
+    std::span<const std::byte> data) {
+  if (v > w) throw std::invalid_argument("ClusterfileClient::write: v > w");
+  if (static_cast<std::int64_t>(data.size()) < w - v + 1)
+    throw std::invalid_argument("ClusterfileClient::write: short buffer");
+  const ViewState& state = view_state(view_id);
+  const PartitioningPattern& phys = *meta_.physical;
+  const ElementRef view_ref{&state.falls, phys.displacement(), state.pattern_size};
+
+  AccessTimings out;
+  struct Pending {
+    const SubTarget* target;
+    std::int64_t v_s, w_s;
+    std::int64_t bytes;
+    bool contiguous;
+  };
+  std::vector<Pending> pending;
+  {
+    // t_m: map the access interval extremities onto each subfile (lines 3-4
+    // of the paper's pseudocode).
+    Timer t;
+    for (const SubTarget& target : state.targets) {
+      const std::int64_t n = target.proj_v.count_in(v, w);
+      if (n == 0) continue;
+      const auto iv = map_interval(view_ref, phys.element_ref(target.subfile), v, w);
+      if (!iv.has_value()) continue;
+      Pending p;
+      p.target = &target;
+      p.v_s = iv->lo;
+      p.w_s = iv->hi;
+      p.bytes = n;
+      p.contiguous = target.proj_v.contiguous_in(v, w);
+      pending.push_back(p);
+    }
+    out.t_m_us = t.elapsed_us();
+  }
+
+  // Build the messages; gathering is the t_g phase (zero on the contiguous
+  // fast path, which sends the relevant slice of `data` as-is).
+  std::vector<Message> msgs;
+  msgs.reserve(pending.size());
+  for (const Pending& p : pending) {
+    Message msg;
+    msg.kind = MsgKind::kWrite;
+    msg.dst_node = p.target->io_node;
+    msg.subfile = static_cast<int>(p.target->subfile);
+    msg.view_id = view_id;
+    msg.v = p.v_s;
+    msg.w = p.w_s;
+    msg.contiguous = p.contiguous;
+    msg.payload.resize(static_cast<std::size_t>(p.bytes));
+    if (p.contiguous) {
+      // One run: locate it and slice the caller's buffer directly.
+      std::int64_t lo = -1;
+      p.target->proj_v.for_each_run_in(v, w, [&](std::int64_t a, std::int64_t) {
+        if (lo < 0) lo = a;
+      });
+      std::memcpy(msg.payload.data(), data.data() + (lo - v),
+                  static_cast<std::size_t>(p.bytes));
+    } else {
+      Timer t;
+      gather(msg.payload, data, v, w, p.target->proj_v);
+      out.t_g_us += t.elapsed_us();
+    }
+    out.bytes += p.bytes;
+    msgs.push_back(std::move(msg));
+  }
+
+  {
+    // t_w: first request sent -> last acknowledgment received.
+    Timer t;
+    for (Message& msg : msgs) send_or_throw(std::move(msg));
+    await(MsgKind::kAck, msgs.size());
+    out.t_w_us = t.elapsed_us();
+  }
+  out.messages = static_cast<std::int64_t>(msgs.size());
+  return out;
+}
+
+ClusterfileClient::AccessTimings ClusterfileClient::read(
+    std::int64_t view_id, std::int64_t v, std::int64_t w,
+    std::span<std::byte> out_buf) {
+  if (v > w) throw std::invalid_argument("ClusterfileClient::read: v > w");
+  if (static_cast<std::int64_t>(out_buf.size()) < w - v + 1)
+    throw std::invalid_argument("ClusterfileClient::read: short buffer");
+  const ViewState& state = view_state(view_id);
+  const PartitioningPattern& phys = *meta_.physical;
+  const ElementRef view_ref{&state.falls, phys.displacement(), state.pattern_size};
+
+  AccessTimings out;
+  std::vector<Message> msgs;
+  {
+    Timer t;
+    for (const SubTarget& target : state.targets) {
+      if (target.proj_v.count_in(v, w) == 0) continue;
+      const auto iv = map_interval(view_ref, phys.element_ref(target.subfile), v, w);
+      if (!iv.has_value()) continue;
+      Message msg;
+      msg.kind = MsgKind::kRead;
+      msg.dst_node = target.io_node;
+      msg.subfile = static_cast<int>(target.subfile);
+      msg.view_id = view_id;
+      msg.v = iv->lo;
+      msg.w = iv->hi;
+      msgs.push_back(std::move(msg));
+    }
+    out.t_m_us = t.elapsed_us();
+  }
+
+  std::vector<Message> replies;
+  {
+    Timer t;
+    for (Message& msg : msgs) send_or_throw(std::move(msg));
+    replies = await(MsgKind::kReadReply, msgs.size());
+    out.t_w_us = t.elapsed_us();
+  }
+
+  // Scatter every reply into the caller's buffer through PROJ_V (the t_g
+  // analog on the read path). Replies may arrive in any server order; match
+  // them to targets by subfile id.
+  for (const Message& reply : replies) {
+    const SubTarget* target = nullptr;
+    for (const SubTarget& t : state.targets)
+      if (static_cast<int>(t.subfile) == reply.subfile) target = &t;
+    if (target == nullptr)
+      throw std::logic_error("ClusterfileClient::read: reply from unknown node");
+    if (target->proj_v.contiguous_in(v, w)) {
+      // Mirror of the write fast path: one run, one copy, no scatter cost.
+      std::int64_t lo = -1;
+      target->proj_v.for_each_run_in(v, w, [&](std::int64_t a, std::int64_t) {
+        if (lo < 0) lo = a;
+      });
+      if (lo >= 0 && !reply.payload.empty())
+        std::memcpy(out_buf.data() + (lo - v), reply.payload.data(),
+                    reply.payload.size());
+    } else {
+      Timer t;
+      scatter(out_buf, reply.payload, v, w, target->proj_v);
+      out.t_g_us += t.elapsed_us();
+    }
+    out.bytes += static_cast<std::int64_t>(reply.payload.size());
+  }
+  out.messages = static_cast<std::int64_t>(msgs.size());
+  return out;
+}
+
+}  // namespace pfm

@@ -1,0 +1,91 @@
+// Clusterfile compute-node client (paper section 8.1, first pseudocode
+// fragment and figure 5).
+//
+// set_view computes, for every subfile, the intersection V∩S and its two
+// projections (the t_i phase of Table 1), keeps PROJ_V^{V∩S} locally and
+// ships PROJ_S^{V∩S} to the subfile's I/O server. write maps the access
+// interval extremities onto each subfile (t_m), gathers non-contiguous view
+// data into a wire buffer (t_g) — or sends directly on the contiguous fast
+// path — and waits for all acknowledgments (t_w).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/network.h"
+#include "file_model/pattern.h"
+#include "redist/gather_scatter.h"
+
+namespace pfm {
+
+/// What a client needs to know about an open file: the physical pattern and
+/// which cluster node serves each subfile.
+struct FileMeta {
+  std::shared_ptr<const PartitioningPattern> physical;
+  std::vector<int> io_nodes;  ///< io_nodes[i] serves subfile i
+};
+
+class ClusterfileClient {
+ public:
+  ClusterfileClient(Network& net, int node_id, FileMeta meta);
+
+  int node_id() const { return node_id_; }
+
+  /// Phase timings of one data operation, microseconds (Table 1 columns).
+  struct AccessTimings {
+    double t_m_us = 0;  ///< mapping the interval extremities onto subfiles
+    double t_g_us = 0;  ///< gather (writes) / scatter (reads) at the client
+    double t_w_us = 0;  ///< first request sent -> last acknowledgment
+    std::int64_t bytes = 0;
+    std::int64_t messages = 0;
+  };
+
+  /// Sets a view described by one element pattern. Returns the view id.
+  /// last_view_set_us() reports t_i (intersections + projections).
+  std::int64_t set_view(FallsSet falls, std::int64_t view_pattern_size);
+
+  /// t_i of the most recent set_view: pure computation time.
+  double last_view_set_us() const { return t_i_us_; }
+  /// Wall time of the most recent set_view including shipping the
+  /// projections and waiting for acknowledgments.
+  double last_view_total_us() const { return t_view_total_us_; }
+
+  /// Writes the contiguous view range [v, w] (view linear space) of `view`
+  /// from `data` (data[0] is view byte v).
+  AccessTimings write(std::int64_t view_id, std::int64_t v, std::int64_t w,
+                      std::span<const std::byte> data);
+
+  /// Reads the view range [v, w] into `out`.
+  AccessTimings read(std::int64_t view_id, std::int64_t v, std::int64_t w,
+                     std::span<std::byte> out);
+
+ private:
+  struct SubTarget {
+    std::size_t subfile = 0;
+    int io_node = -1;
+    IndexSet proj_v;  ///< PROJ_V^{V∩S} in view space
+  };
+  struct ViewState {
+    FallsSet falls;
+    std::int64_t pattern_size = 0;
+    std::vector<SubTarget> targets;
+  };
+
+  const ViewState& view_state(std::int64_t view_id) const;
+  /// Blocks until `n` messages of `kind` arrive; returns them. Throws when
+  /// the network closes or a server replies with an error.
+  std::vector<Message> await(MsgKind kind, std::size_t n);
+  /// Sends one message; throws std::runtime_error if the destination inbox
+  /// is closed (a silently dropped request would hang the reply wait).
+  void send_or_throw(Message msg);
+
+  Network& net_;
+  int node_id_;
+  FileMeta meta_;
+  std::vector<ViewState> views_;
+  double t_i_us_ = 0;
+  double t_view_total_us_ = 0;
+};
+
+}  // namespace pfm

@@ -1,0 +1,125 @@
+#include "clusterfile/fs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm {
+
+Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
+    : config_(config) {
+  if (config_.compute_nodes < 1 || config_.io_nodes < 1)
+    throw std::invalid_argument("Clusterfile: need at least one node of each kind");
+  meta_.physical =
+      std::make_shared<const PartitioningPattern>(std::move(physical));
+  const std::size_t subfiles = meta_.physical->element_count();
+
+  net_ = std::make_unique<Network>(config_.compute_nodes + config_.io_nodes,
+                                   config_.net);
+  if (config_.overlap) {
+    if (config_.io_nodes > config_.compute_nodes)
+      throw std::invalid_argument(
+          "Clusterfile: overlapping node sets need io_nodes <= compute_nodes");
+    // Compute endpoint c is machine c; I/O endpoint i shares machine i.
+    std::vector<int> machines;
+    for (int c = 0; c < config_.compute_nodes; ++c) machines.push_back(c);
+    for (int i = 0; i < config_.io_nodes; ++i) machines.push_back(i);
+    net_->set_machines(std::move(machines));
+  }
+  // Subfile i is served by I/O node (compute_nodes + i % io_nodes).
+  meta_.io_nodes.resize(subfiles);
+  for (std::size_t i = 0; i < subfiles; ++i)
+    meta_.io_nodes[i] =
+        config_.compute_nodes + static_cast<int>(i) % config_.io_nodes;
+
+  start_servers(nullptr);
+
+  clients_.reserve(static_cast<std::size_t>(config_.compute_nodes));
+  for (int c = 0; c < config_.compute_nodes; ++c)
+    clients_.push_back(std::make_unique<ClusterfileClient>(*net_, c, meta_));
+}
+
+void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
+  const std::size_t subfiles = meta_.io_nodes.size();
+  servers_.clear();
+  servers_.reserve(static_cast<std::size_t>(config_.io_nodes));
+  for (int node = 0; node < config_.io_nodes; ++node) {
+    IoServer::SubfileStorages storages;
+    for (std::size_t i = 0; i < subfiles; ++i) {
+      if (meta_.io_nodes[i] != config_.compute_nodes + node) continue;
+      auto storage = make_storage(config_.storage_dir, static_cast<int>(i));
+      if (initial != nullptr && !(*initial)[i].empty())
+        storage->write(0, (*initial)[i]);
+      storages.emplace_back(static_cast<int>(i), std::move(storage));
+    }
+    servers_.push_back(std::make_unique<IoServer>(
+        *net_, config_.compute_nodes + node, std::move(storages)));
+  }
+}
+
+Clusterfile::~Clusterfile() {
+  for (auto& s : servers_) s->stop();
+  net_->close_all();
+}
+
+ClusterfileClient& Clusterfile::client(int c) {
+  if (c < 0 || c >= config_.compute_nodes)
+    throw std::out_of_range("Clusterfile::client: bad compute node");
+  return *clients_[static_cast<std::size_t>(c)];
+}
+
+IoServer& Clusterfile::server_for(std::size_t subfile) {
+  if (subfile >= meta_.io_nodes.size())
+    throw std::out_of_range("Clusterfile::server_for: bad subfile");
+  const int node = meta_.io_nodes[subfile] - config_.compute_nodes;
+  return *servers_[static_cast<std::size_t>(node)];
+}
+
+const SubfileStorage& Clusterfile::subfile_storage(std::size_t subfile) {
+  return server_for(subfile).storage(static_cast<int>(subfile));
+}
+
+double Clusterfile::mean_server_scatter_us() const {
+  double total = 0;
+  for (const auto& s : servers_) total += s->scatter_us();
+  return servers_.empty() ? 0.0 : total / static_cast<double>(servers_.size());
+}
+
+void Clusterfile::reset_server_phases() {
+  for (auto& s : servers_) s->reset_phases();
+}
+
+RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
+                                  std::int64_t file_size) {
+  const PartitioningPattern& old = *meta_.physical;
+  if (new_physical.element_count() != old.element_count())
+    throw std::invalid_argument("Clusterfile::relayout: element count changed");
+  if (new_physical.displacement() != old.displacement())
+    throw std::invalid_argument("Clusterfile::relayout: displacement changed");
+
+  // Collect current subfile contents (unwritten tails read as zeros).
+  std::vector<Buffer> src(old.element_count());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i].resize(static_cast<std::size_t>(old.element_bytes(i, file_size)));
+    const SubfileStorage& st = subfile_storage(i);
+    const std::int64_t have =
+        std::min<std::int64_t>(st.size(), static_cast<std::int64_t>(src[i].size()));
+    if (have > 0)
+      st.read(0, std::span<std::byte>(src[i]).first(static_cast<std::size_t>(have)));
+  }
+
+  std::vector<Buffer> dst;
+  const RedistStats stats = redistribute(old, new_physical, src, dst, file_size);
+
+  // Swap in the new layout: fresh storage, restarted servers, new clients
+  // (the old pattern pointer stays alive for any stale references).
+  for (auto& s : servers_) s->stop();
+  meta_.physical =
+      std::make_shared<const PartitioningPattern>(std::move(new_physical));
+  start_servers(&dst);
+  clients_.clear();
+  for (int c = 0; c < config_.compute_nodes; ++c)
+    clients_.push_back(std::make_unique<ClusterfileClient>(*net_, c, meta_));
+  return stats;
+}
+
+}  // namespace pfm

@@ -1,0 +1,87 @@
+// Clusterfile façade: wires a simulated cluster (compute nodes + I/O nodes),
+// one I/O server per node serving the subfiles assigned there round-robin,
+// and clients on the compute nodes — the experimental setup of paper
+// section 8.2 (four compute and four I/O nodes on a Myrinet cluster, here
+// an in-process simulation; see DESIGN.md). Any subfile count works; the
+// paper's evaluation uses one subfile per I/O node.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "clusterfile/client.h"
+#include "clusterfile/io_server.h"
+#include "redist/execute.h"
+
+namespace pfm {
+
+struct ClusterConfig {
+  int compute_nodes = 4;
+  int io_nodes = 4;
+  NetParams net{};
+  /// Empty: in-memory subfiles (buffer cache); otherwise a directory for
+  /// real subfile files (disk).
+  std::filesystem::path storage_dir{};
+  /// Paper section 8.1: the compute and I/O node sets "may or may not
+  /// overlap". When true, I/O node i is co-located with compute node i
+  /// (requires io_nodes <= compute_nodes); messages between them cost no
+  /// modeled wire time.
+  bool overlap = false;
+};
+
+class Clusterfile {
+ public:
+  /// Creates the cluster and a file physically partitioned by `physical`,
+  /// one subfile per element, assigned round-robin to the I/O nodes.
+  /// Compute nodes get node ids [0, compute_nodes); I/O nodes follow.
+  Clusterfile(ClusterConfig config, PartitioningPattern physical);
+  ~Clusterfile();
+
+  Clusterfile(const Clusterfile&) = delete;
+  Clusterfile& operator=(const Clusterfile&) = delete;
+
+  int compute_nodes() const { return config_.compute_nodes; }
+  int io_nodes() const { return config_.io_nodes; }
+  const PartitioningPattern& physical() const { return *meta_.physical; }
+  std::size_t subfile_count() const { return meta_.io_nodes.size(); }
+
+  /// The client running on compute node c.
+  ClusterfileClient& client(int c);
+  /// The I/O server holding subfile i.
+  IoServer& server_for(std::size_t subfile);
+  /// Storage of subfile i (wherever it lives).
+  const SubfileStorage& subfile_storage(std::size_t subfile);
+  Network& network() { return *net_; }
+
+  /// Mean scatter time per server for the workload since the last reset
+  /// (Table 2's t_s: total scatter work one I/O node performed, averaged
+  /// over the I/O nodes — not per message, so fragmentation into many small
+  /// writes shows up as cost, as in the paper).
+  double mean_server_scatter_us() const;
+  void reset_server_phases();
+
+  /// On-the-fly physical redistribution (paper section 3: "disk
+  /// redistribution on the fly, like in Panda, in order to better suit the
+  /// layout to a certain access pattern"). Re-partitions the first
+  /// `file_size` bytes of the file from the current physical pattern to
+  /// `new_physical` (same element count), replaces the subfile storage and
+  /// restarts the I/O servers and clients.
+  ///
+  /// Must be called with no operation in flight. Views set before the
+  /// relayout are invalidated, and client references obtained earlier are
+  /// stale — re-acquire with client() and set views again.
+  RedistStats relayout(PartitioningPattern new_physical, std::int64_t file_size);
+
+ private:
+  void start_servers(const std::vector<Buffer>* initial);
+
+  ClusterConfig config_;
+  std::unique_ptr<Network> net_;
+  FileMeta meta_;
+  std::vector<std::unique_ptr<IoServer>> servers_;  ///< one per I/O node
+  std::vector<std::unique_ptr<ClusterfileClient>> clients_;
+};
+
+}  // namespace pfm

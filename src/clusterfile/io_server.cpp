@@ -1,0 +1,180 @@
+#include "clusterfile/io_server.h"
+
+#include <stdexcept>
+
+#include "falls/serialize.h"
+#include "util/log.h"
+
+namespace pfm {
+
+IoServer::IoServer(Network& net, int node_id, SubfileStorages subfiles)
+    : net_(net),
+      node_id_(node_id),
+      loop_(net, node_id, [this](Message&& m) { handle(std::move(m)); }) {
+  for (auto& [id, storage] : subfiles) {
+    if (!storage) throw std::invalid_argument("IoServer: null storage");
+    Subfile sub;
+    sub.storage = std::move(storage);
+    const bool inserted = subfiles_.emplace(id, std::move(sub)).second;
+    if (!inserted) throw std::invalid_argument("IoServer: duplicate subfile id");
+  }
+}
+
+IoServer::~IoServer() { stop(); }
+
+const SubfileStorage& IoServer::storage(int subfile_id) const {
+  const auto it = subfiles_.find(subfile_id);
+  if (it == subfiles_.end())
+    throw std::out_of_range("IoServer::storage: subfile not served here");
+  return *it->second.storage;
+}
+
+double IoServer::scatter_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scatter_.total_us();
+}
+
+double IoServer::gather_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gather_.total_us();
+}
+
+std::int64_t IoServer::writes_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+void IoServer::reset_phases() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scatter_.clear();
+  gather_.clear();
+  writes_ = 0;
+}
+
+void IoServer::handle(Message&& msg) {
+  const int requester = msg.src_node;
+  const std::int64_t view_id = msg.view_id;
+  try {
+    switch (msg.kind) {
+      case MsgKind::kSetView: handle_set_view(std::move(msg)); return;
+      case MsgKind::kWrite: handle_write(std::move(msg)); return;
+      case MsgKind::kRead: handle_read(std::move(msg)); return;
+      default:
+        PFM_WARN("IoServer ", node_id_, ": unexpected message ",
+                 to_string(msg.kind));
+    }
+  } catch (const std::exception& e) {
+    // A failed request must not kill the server, and the client must not
+    // hang waiting for a reply: report the error back.
+    PFM_ERROR("IoServer ", node_id_, ": ", e.what());
+    Message err;
+    err.kind = MsgKind::kError;
+    err.dst_node = requester;
+    err.view_id = view_id;
+    err.meta = e.what();
+    net_.send(node_id_, std::move(err));
+  }
+}
+
+IoServer::Subfile& IoServer::subfile_for(const Message& msg) {
+  const auto it = subfiles_.find(msg.subfile);
+  if (it == subfiles_.end())
+    throw std::logic_error("IoServer: request for a subfile not served here");
+  return it->second;
+}
+
+const IndexSet& IoServer::projection_for(Subfile& sub, const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sub.projections.find({msg.src_node, msg.view_id});
+  if (it == sub.projections.end())
+    throw std::logic_error("IoServer: access without a registered view");
+  return it->second;
+}
+
+void IoServer::handle_set_view(Message&& msg) {
+  Subfile& sub = subfile_for(msg);
+  // meta carries the serialized PROJ_S^{V∩S}; v carries its period.
+  IndexSet proj(parse_falls_set(msg.meta), msg.v);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sub.projections.insert_or_assign({msg.src_node, msg.view_id}, std::move(proj));
+  }
+  reply_ack(msg);
+}
+
+void IoServer::handle_write(Message&& msg) {
+  Subfile& sub = subfile_for(msg);
+  const IndexSet& proj = projection_for(sub, msg);
+  // Paper server pseudocode: the decision is based on PROJ_S — the
+  // *server-side* projection. The client's `contiguous` flag only records
+  // that PROJ_V was contiguous (no gather happened there); the payload is
+  // the common bytes in file order either way, but contiguity in view space
+  // does not imply contiguity in subfile space.
+  {
+    Timer t;
+    if (proj.contiguous_in(msg.v, msg.w)) {
+      // The single run may start after vS when the interval's first member
+      // byte is interior; write the payload there in one piece.
+      std::int64_t start = -1;
+      proj.for_each_run_in(msg.v, msg.w, [&](std::int64_t lo, std::int64_t) {
+        if (start < 0) start = lo;
+      });
+      if (start >= 0 && !msg.payload.empty()) sub.storage->write(start, msg.payload);
+    } else {
+      std::int64_t off = 0;
+      proj.for_each_run_in(msg.v, msg.w, [&](std::int64_t lo, std::int64_t hi) {
+        const std::int64_t len = hi - lo + 1;
+        if (off + len > static_cast<std::int64_t>(msg.payload.size()))
+          throw std::logic_error("IoServer: payload shorter than projection");
+        sub.storage->write(lo, std::span<const std::byte>(msg.payload).subspan(
+                                   static_cast<std::size_t>(off),
+                                   static_cast<std::size_t>(len)));
+        off += len;
+      });
+    }
+    sub.storage->flush();
+    std::lock_guard<std::mutex> lock(mu_);
+    scatter_.add_us(t.elapsed_us());
+    ++writes_;
+  }
+  reply_ack(msg);
+}
+
+void IoServer::handle_read(Message&& msg) {
+  Subfile& sub = subfile_for(msg);
+  const IndexSet& proj = projection_for(sub, msg);
+  Message reply;
+  reply.kind = MsgKind::kReadReply;
+  reply.dst_node = msg.src_node;
+  reply.subfile = msg.subfile;
+  reply.view_id = msg.view_id;
+  reply.v = msg.v;
+  reply.w = msg.w;
+  {
+    Timer t;
+    const std::int64_t n = proj.count_in(msg.v, msg.w);
+    reply.payload.resize(static_cast<std::size_t>(n));
+    std::int64_t off = 0;
+    proj.for_each_run_in(msg.v, msg.w, [&](std::int64_t lo, std::int64_t hi) {
+      const std::int64_t len = hi - lo + 1;
+      sub.storage->read(lo, std::span<std::byte>(reply.payload)
+                                .subspan(static_cast<std::size_t>(off),
+                                         static_cast<std::size_t>(len)));
+      off += len;
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    gather_.add_us(t.elapsed_us());
+  }
+  net_.send(node_id_, std::move(reply));
+}
+
+void IoServer::reply_ack(const Message& req) {
+  Message ack;
+  ack.kind = MsgKind::kAck;
+  ack.dst_node = req.src_node;
+  ack.subfile = req.subfile;
+  ack.view_id = req.view_id;
+  net_.send(node_id_, std::move(ack));
+}
+
+}  // namespace pfm

@@ -1,0 +1,75 @@
+// Clusterfile I/O server (paper section 8.1, second pseudocode fragment).
+//
+// One server runs on one I/O node and owns every subfile assigned there
+// (the paper's cluster has one subfile per node in the evaluation, but the
+// file model allows any number; requests carry the subfile id and the
+// server demultiplexes). At view-set time it receives and stores the
+// projection PROJ_S^{V∩S} for each (client, view, subfile); on a write it
+// receives the interval [vS, wS] and the data, writes contiguously when the
+// projection is contiguous in that interval, and scatters otherwise. Reads
+// are the reverse. The scatter time t_s of Table 2 is measured here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "cluster/node.h"
+#include "clusterfile/storage.h"
+#include "redist/gather_scatter.h"
+#include "util/timer.h"
+
+namespace pfm {
+
+class IoServer {
+ public:
+  using SubfileStorages =
+      std::vector<std::pair<int, std::unique_ptr<SubfileStorage>>>;
+
+  /// Serves the given subfiles on cluster node `node_id`.
+  IoServer(Network& net, int node_id, SubfileStorages subfiles);
+  ~IoServer();
+
+  int node_id() const { return node_id_; }
+  std::size_t subfile_count() const { return subfiles_.size(); }
+  const SubfileStorage& storage(int subfile_id) const;
+
+  /// Accumulated scatter/gather time at this server, in microseconds
+  /// (Table 2's t_s is the scatter part).
+  double scatter_us() const;
+  double gather_us() const;
+  std::int64_t writes_served() const;
+  void reset_phases();
+
+  void stop() { loop_.stop(); }
+
+ private:
+  struct Subfile {
+    std::unique_ptr<SubfileStorage> storage;
+    /// PROJ_S^{V∩S} per (client node, view id).
+    std::map<std::pair<int, std::int64_t>, IndexSet> projections;
+  };
+
+  void handle(Message&& msg);
+  void handle_set_view(Message&& msg);
+  void handle_write(Message&& msg);
+  void handle_read(Message&& msg);
+  void reply_ack(const Message& req);
+  Subfile& subfile_for(const Message& msg);
+  const IndexSet& projection_for(Subfile& sub, const Message& msg);
+
+  Network& net_;
+  int node_id_;
+  std::map<int, Subfile> subfiles_;
+  mutable std::mutex mu_;
+  PhaseAccumulator scatter_;
+  PhaseAccumulator gather_;
+  std::int64_t writes_ = 0;
+  NodeLoop loop_;  // must be last: starts the thread over `handle`
+};
+
+}  // namespace pfm

@@ -1,0 +1,147 @@
+#include "clusterfile/metadata.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "falls/serialize.h"
+
+namespace pfm {
+
+PartitioningPattern FileRecord::pattern() const {
+  return PartitioningPattern(subfile_falls, displacement);
+}
+
+void MetadataManager::create(FileRecord record) {
+  if (record.name.empty() || record.name.find('\n') != std::string::npos)
+    throw std::invalid_argument("MetadataManager: bad file name");
+  if (files_.count(record.name))
+    throw std::invalid_argument("MetadataManager: file exists: " + record.name);
+  if (record.size < 0)
+    throw std::invalid_argument("MetadataManager: negative size");
+  if (record.io_nodes.size() != record.subfile_falls.size())
+    throw std::invalid_argument("MetadataManager: io_nodes count mismatch");
+  record.pattern();  // validates the partitioning pattern
+  files_.emplace(record.name, std::move(record));
+}
+
+bool MetadataManager::remove(const std::string& name) {
+  return files_.erase(name) > 0;
+}
+
+bool MetadataManager::exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+const FileRecord& MetadataManager::lookup(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    throw std::out_of_range("MetadataManager: no such file: " + name);
+  return it->second;
+}
+
+void MetadataManager::update_size(const std::string& name, std::int64_t size) {
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    throw std::out_of_range("MetadataManager: no such file: " + name);
+  if (size < it->second.size)
+    throw std::invalid_argument("MetadataManager: files never shrink");
+  it->second.size = size;
+}
+
+void MetadataManager::update_layout(const std::string& name,
+                                    std::vector<FallsSet> subfile_falls) {
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    throw std::out_of_range("MetadataManager: no such file: " + name);
+  if (subfile_falls.size() != it->second.subfile_falls.size())
+    throw std::invalid_argument("MetadataManager: subfile count changed");
+  FileRecord probe = it->second;
+  probe.subfile_falls = subfile_falls;
+  probe.pattern();  // validate before committing
+  it->second.subfile_falls = std::move(subfile_falls);
+}
+
+std::vector<std::string> MetadataManager::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, rec] : files_) out.push_back(name);
+  return out;
+}
+
+// Manifest format (line oriented):
+//   pfm-manifest 1
+//   file <name>
+//   disp <displacement>
+//   size <size>
+//   subfiles <count>
+//   <io_node> <falls tuple notation>     (count lines)
+void MetadataManager::save(const std::filesystem::path& manifest) const {
+  const std::filesystem::path tmp = manifest.string() + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) throw std::runtime_error("MetadataManager: cannot write " + tmp.string());
+    os << "pfm-manifest 1\n";
+    for (const auto& [name, rec] : files_) {
+      os << "file " << name << "\n";
+      os << "disp " << rec.displacement << "\n";
+      os << "size " << rec.size << "\n";
+      os << "subfiles " << rec.subfile_falls.size() << "\n";
+      for (std::size_t i = 0; i < rec.subfile_falls.size(); ++i)
+        os << rec.io_nodes[i] << " " << serialize(rec.subfile_falls[i]) << "\n";
+    }
+    if (!os) throw std::runtime_error("MetadataManager: write failed");
+  }
+  std::filesystem::rename(tmp, manifest);
+}
+
+namespace {
+
+[[noreturn]] void bad_manifest(const std::string& what) {
+  throw std::invalid_argument("MetadataManager: malformed manifest: " + what);
+}
+
+std::string expect_keyword(std::istream& is, const std::string& keyword) {
+  std::string word, rest;
+  if (!(is >> word) || word != keyword) bad_manifest("expected " + keyword);
+  if (!(is >> rest)) bad_manifest("missing value after " + keyword);
+  return rest;
+}
+
+}  // namespace
+
+void MetadataManager::load(const std::filesystem::path& manifest) {
+  std::ifstream is(manifest);
+  if (!is)
+    throw std::runtime_error("MetadataManager: cannot read " + manifest.string());
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "pfm-manifest" || version != 1)
+    bad_manifest("bad header");
+
+  std::map<std::string, FileRecord> loaded;
+  std::string keyword;
+  while (is >> keyword) {
+    if (keyword != "file") bad_manifest("expected 'file'");
+    FileRecord rec;
+    if (!(is >> rec.name)) bad_manifest("missing file name");
+    rec.displacement = std::stoll(expect_keyword(is, "disp"));
+    rec.size = std::stoll(expect_keyword(is, "size"));
+    const std::int64_t count = std::stoll(expect_keyword(is, "subfiles"));
+    if (count < 1) bad_manifest("bad subfile count");
+    for (std::int64_t i = 0; i < count; ++i) {
+      int node = -1;
+      std::string falls_text;
+      if (!(is >> node)) bad_manifest("missing io node");
+      std::getline(is, falls_text);
+      rec.io_nodes.push_back(node);
+      rec.subfile_falls.push_back(parse_falls_set(falls_text));
+    }
+    rec.pattern();  // validate
+    if (!loaded.emplace(rec.name, std::move(rec)).second)
+      bad_manifest("duplicate file name");
+  }
+  files_ = std::move(loaded);
+}
+
+}  // namespace pfm

@@ -1,0 +1,64 @@
+// Clusterfile metadata manager (the component of Clusterfile [7] that
+// tracks, per file, the physical partitioning pattern, the displacement,
+// the file size and the subfile-to-I/O-node assignment).
+//
+// Metadata persists as a text manifest using the library's tuple notation
+// for FALLS sets, so a file system instance can be torn down and reopened
+// over the same storage directory.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "file_model/pattern.h"
+
+namespace pfm {
+
+/// Everything the file system must remember about one file.
+struct FileRecord {
+  std::string name;
+  std::int64_t displacement = 0;
+  std::int64_t size = 0;                 ///< current file length in bytes
+  std::vector<FallsSet> subfile_falls;   ///< one element per subfile
+  std::vector<int> io_nodes;             ///< io_nodes[i] serves subfile i
+
+  /// The validated partitioning pattern (constructed on demand).
+  PartitioningPattern pattern() const;
+};
+
+class MetadataManager {
+ public:
+  MetadataManager() = default;
+
+  /// Registers a file; throws if the name exists or the record is invalid.
+  void create(FileRecord record);
+
+  /// Removes a file's metadata; false when absent.
+  bool remove(const std::string& name);
+
+  bool exists(const std::string& name) const;
+  const FileRecord& lookup(const std::string& name) const;
+  /// Updates the stored size (grows only; Clusterfile files never shrink
+  /// except through remove).
+  void update_size(const std::string& name, std::int64_t size);
+  /// Replaces the physical layout (used by relayout).
+  void update_layout(const std::string& name, std::vector<FallsSet> subfile_falls);
+
+  std::vector<std::string> list() const;
+  std::size_t count() const { return files_.size(); }
+
+  /// Serializes every record to the manifest file (atomic via temp+rename).
+  void save(const std::filesystem::path& manifest) const;
+  /// Loads a manifest written by save(); replaces the in-memory state.
+  /// Throws std::invalid_argument on malformed manifests.
+  void load(const std::filesystem::path& manifest);
+
+ private:
+  std::map<std::string, FileRecord> files_;
+};
+
+}  // namespace pfm

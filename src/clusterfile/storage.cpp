@@ -1,0 +1,95 @@
+#include "clusterfile/storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pfm {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+void MemoryStorage::write(std::int64_t offset, std::span<const std::byte> data) {
+  if (offset < 0) throw std::invalid_argument("MemoryStorage::write: bad offset");
+  const std::size_t end = static_cast<std::size_t>(offset) + data.size();
+  if (end > data_.size()) data_.resize(end);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+}
+
+void MemoryStorage::read(std::int64_t offset, std::span<std::byte> out) const {
+  if (offset < 0 ||
+      static_cast<std::size_t>(offset) + out.size() > data_.size())
+    throw std::out_of_range("MemoryStorage::read: range beyond subfile");
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+std::int64_t MemoryStorage::size() const {
+  return static_cast<std::int64_t>(data_.size());
+}
+
+FileStorage::FileStorage(std::filesystem::path path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_errno("FileStorage: open " + path_.string());
+}
+
+FileStorage::~FileStorage() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileStorage::write(std::int64_t offset, std::span<const std::byte> data) {
+  if (offset < 0) throw std::invalid_argument("FileStorage::write: bad offset");
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset) + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("FileStorage: pwrite");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FileStorage::read(std::int64_t offset, std::span<std::byte> out) const {
+  if (offset < 0 || offset + static_cast<std::int64_t>(out.size()) > size())
+    throw std::out_of_range("FileStorage::read: range beyond subfile");
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset) + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("FileStorage: pread");
+    }
+    if (n == 0) throw std::out_of_range("FileStorage::read: short read");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::int64_t FileStorage::size() const {
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) throw_errno("FileStorage: lseek");
+  return static_cast<std::int64_t>(end);
+}
+
+void FileStorage::flush() {
+  if (::fdatasync(fd_) != 0) throw_errno("FileStorage: fdatasync");
+}
+
+std::unique_ptr<SubfileStorage> make_storage(const std::filesystem::path& dir,
+                                             int subfile_id) {
+  if (dir.empty()) return std::make_unique<MemoryStorage>();
+  std::filesystem::create_directories(dir);
+  return std::make_unique<FileStorage>(dir / ("subfile_" + std::to_string(subfile_id)));
+}
+
+}  // namespace pfm

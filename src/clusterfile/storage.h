@@ -1,0 +1,73 @@
+// Subfile storage backends for the Clusterfile I/O nodes (paper section 8.2
+// measures writes both to the buffer cache and to disk; we expose the same
+// distinction as an in-memory backend and a real-file backend).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/buffer.h"
+
+namespace pfm {
+
+/// Linear-addressable subfile storage. Writes beyond the current size grow
+/// the subfile (zero-filled holes).
+class SubfileStorage {
+ public:
+  virtual ~SubfileStorage() = default;
+
+  virtual void write(std::int64_t offset, std::span<const std::byte> data) = 0;
+  virtual void read(std::int64_t offset, std::span<std::byte> out) const = 0;
+  virtual std::int64_t size() const = 0;
+  /// Pushes pending data toward the medium (no-op for memory).
+  virtual void flush() = 0;
+  virtual std::string kind() const = 0;
+};
+
+/// Buffer-cache analog: the subfile lives in a std::vector.
+class MemoryStorage final : public SubfileStorage {
+ public:
+  void write(std::int64_t offset, std::span<const std::byte> data) override;
+  void read(std::int64_t offset, std::span<std::byte> out) const override;
+  std::int64_t size() const override;
+  void flush() override {}
+  std::string kind() const override { return "memory"; }
+
+  const Buffer& bytes() const { return data_; }
+
+ private:
+  Buffer data_;
+};
+
+/// Disk analog: the subfile is a real file accessed with pread/pwrite.
+class FileStorage final : public SubfileStorage {
+ public:
+  /// Creates (truncates) the backing file.
+  explicit FileStorage(std::filesystem::path path);
+  ~FileStorage() override;
+
+  FileStorage(const FileStorage&) = delete;
+  FileStorage& operator=(const FileStorage&) = delete;
+
+  void write(std::int64_t offset, std::span<const std::byte> data) override;
+  void read(std::int64_t offset, std::span<std::byte> out) const override;
+  std::int64_t size() const override;
+  void flush() override;
+  std::string kind() const override { return "file"; }
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  int fd_ = -1;
+};
+
+/// Factory covering both backends: `dir` empty -> memory; otherwise a file
+/// named subfile_<id> inside dir.
+std::unique_ptr<SubfileStorage> make_storage(const std::filesystem::path& dir,
+                                             int subfile_id);
+
+}  // namespace pfm

@@ -1,0 +1,206 @@
+#include "datatype/datatype.h"
+
+#include <stdexcept>
+
+#include "falls/compress.h"
+#include "layout/array_layout.h"
+#include "redist/gather_scatter.h"
+
+namespace pfm {
+
+Datatype::Datatype(FallsSet falls, std::int64_t extent)
+    : falls_(std::move(falls)), extent_(extent) {
+  validate_falls_set(falls_);
+  size_ = set_size(falls_);
+  if (extent_ < set_extent(falls_))
+    throw std::invalid_argument("Datatype: extent smaller than the pattern");
+  if (extent_ < 1) throw std::invalid_argument("Datatype: extent < 1");
+}
+
+Datatype Datatype::contiguous(std::int64_t size) {
+  if (size < 1) throw std::invalid_argument("Datatype::contiguous: size < 1");
+  return Datatype({make_falls(0, size - 1, size, 1)}, size);
+}
+
+namespace {
+
+/// Replicates an oldtype pattern at `count` slots `slot_stride` oldtype
+/// extents apart, starting at element offset `first` (all in oldtype
+/// extents). Returns the byte-space FALLS.
+FallsSet replicate(const Datatype& oldtype, std::int64_t first,
+                   std::int64_t count, std::int64_t slot_stride) {
+  const std::int64_t ext = oldtype.extent();
+  const FallsSet& pat = oldtype.falls();
+  const bool full = set_size(pat) == ext &&
+                    set_runs(pat) == std::vector<LineSegment>{{0, ext - 1}};
+  if (full && slot_stride == 1) {
+    // Contiguous repetitions of a dense type collapse to one segment.
+    return {make_falls(first * ext, (first + count) * ext - 1, count * ext, 1)};
+  }
+  Falls f;
+  f.l = first * ext;
+  f.r = f.l + ext - 1;
+  f.s = slot_stride * ext;
+  f.n = count;
+  if (!full) f.inner = pat;
+  return {f};
+}
+
+}  // namespace
+
+Datatype Datatype::contiguous(std::int64_t count, const Datatype& oldtype) {
+  if (count < 1) throw std::invalid_argument("Datatype::contiguous: count < 1");
+  return Datatype(replicate(oldtype, 0, count, 1), count * oldtype.extent());
+}
+
+Datatype Datatype::vector(std::int64_t count, std::int64_t blocklen,
+                          std::int64_t stride, const Datatype& oldtype) {
+  if (count < 1 || blocklen < 1)
+    throw std::invalid_argument("Datatype::vector: count/blocklen < 1");
+  if (stride < blocklen)
+    throw std::invalid_argument("Datatype::vector: stride < blocklen (overlap)");
+  FallsSet out;
+  if (blocklen == 1) {
+    out = replicate(oldtype, 0, count, stride);
+  } else {
+    // One block = blocklen contiguous oldtypes; blocks stride apart.
+    FallsSet block = replicate(oldtype, 0, blocklen, 1);
+    Falls f;
+    f.l = 0;
+    f.r = blocklen * oldtype.extent() - 1;
+    f.s = stride * oldtype.extent();
+    f.n = count;
+    // A dense block needs no inner refinement.
+    if (set_size(block) != blocklen * oldtype.extent()) f.inner = std::move(block);
+    out = {f};
+  }
+  const std::int64_t extent =
+      ((count - 1) * stride + blocklen) * oldtype.extent();
+  return Datatype(std::move(out), extent);
+}
+
+Datatype Datatype::indexed(std::span<const std::int64_t> blocklens,
+                           std::span<const std::int64_t> displs,
+                           const Datatype& oldtype) {
+  if (blocklens.size() != displs.size() || blocklens.empty())
+    throw std::invalid_argument("Datatype::indexed: bad block arrays");
+  FallsSet out;
+  std::int64_t max_end = 0;
+  for (std::size_t k = 0; k < blocklens.size(); ++k) {
+    if (blocklens[k] < 1)
+      throw std::invalid_argument("Datatype::indexed: blocklen < 1");
+    if (displs[k] < 0)
+      throw std::invalid_argument("Datatype::indexed: negative displacement");
+    FallsSet block = replicate(oldtype, displs[k], blocklens[k], 1);
+    out.insert(out.end(), block.begin(), block.end());
+    max_end = std::max(max_end, (displs[k] + blocklens[k]) * oldtype.extent());
+  }
+  validate_falls_set(out);  // enforces sorted, non-overlapping blocks
+  return Datatype(std::move(out), max_end);
+}
+
+Datatype Datatype::subarray(std::span<const std::int64_t> sizes,
+                            std::span<const std::int64_t> subsizes,
+                            std::span<const std::int64_t> starts,
+                            std::int64_t elem_size) {
+  const std::size_t rank = sizes.size();
+  if (subsizes.size() != rank || starts.size() != rank || rank == 0)
+    throw std::invalid_argument("Datatype::subarray: rank mismatch");
+  for (std::size_t d = 0; d < rank; ++d) {
+    if (subsizes[d] < 1 || starts[d] < 0 || starts[d] + subsizes[d] > sizes[d])
+      throw std::invalid_argument("Datatype::subarray: bad slice");
+  }
+  // Build via the layout machinery: a subarray is what a "processor" owning
+  // index range [starts, starts+subsizes) of every dimension holds. Express
+  // each dimension as an explicit FALLS and nest inwards.
+  ArrayDesc desc{{sizes.begin(), sizes.end()}, elem_size};
+  FallsSet current;
+  bool full = true;
+  std::int64_t suffix = elem_size;
+  for (std::size_t d = rank; d-- > 0;) {
+    const std::int64_t stride = suffix;
+    suffix *= sizes[d];
+    const bool dim_full = subsizes[d] == sizes[d];
+    if (dim_full && full) continue;
+    Falls f;
+    f.l = starts[d] * stride;
+    f.r = (starts[d] + subsizes[d]) * stride - 1;
+    f.s = f.r - f.l + 1;
+    f.n = 1;
+    if (!full) {
+      const std::int64_t k = subsizes[d];
+      if (k == 1) {
+        f.inner = current;
+      } else {
+        f.inner = {make_nested(0, stride - 1, stride, k, current)};
+      }
+    }
+    current = {f};
+    full = false;
+  }
+  if (full) current = {make_falls(0, suffix - 1, suffix, 1)};
+  return Datatype(std::move(current), array_bytes(desc));
+}
+
+Datatype Datatype::struct_type(std::span<const Datatype> fields,
+                               std::span<const std::int64_t> byte_displs) {
+  if (fields.size() != byte_displs.size() || fields.empty())
+    throw std::invalid_argument("Datatype::struct_type: bad field arrays");
+  FallsSet out;
+  std::int64_t extent = 0;
+  for (std::size_t k = 0; k < fields.size(); ++k) {
+    if (byte_displs[k] < 0)
+      throw std::invalid_argument("Datatype::struct_type: negative displacement");
+    const FallsSet shifted = shift_set(fields[k].falls(), byte_displs[k]);
+    out.insert(out.end(), shifted.begin(), shifted.end());
+    extent = std::max(extent, byte_displs[k] + fields[k].extent());
+  }
+  validate_falls_set(out);  // enforces sorted, non-overlapping fields
+  return Datatype(std::move(out), extent);
+}
+
+Datatype Datatype::nested_strided(std::int64_t block_size,
+                                  std::span<const StridedLevel> levels) {
+  if (block_size < 1)
+    throw std::invalid_argument("Datatype::nested_strided: block size < 1");
+  FallsSet falls{make_falls(0, block_size - 1, block_size, 1)};
+  std::int64_t extent = block_size;
+  for (const StridedLevel& level : levels) {
+    if (level.count < 1)
+      throw std::invalid_argument("Datatype::nested_strided: count < 1");
+    if (level.count > 1 && level.stride < extent)
+      throw std::invalid_argument(
+          "Datatype::nested_strided: stride overlaps the inner pattern");
+    const std::int64_t stride = level.count > 1 ? level.stride : extent;
+    Falls outer;
+    outer.l = 0;
+    outer.r = extent - 1;
+    outer.s = stride;
+    outer.n = level.count;
+    // A dense inner pattern needs no refinement; keep blocks flat then.
+    if (set_size(falls) != extent) outer.inner = std::move(falls);
+    falls = {std::move(outer)};
+    extent = (level.count - 1) * stride + extent;
+  }
+  return Datatype(std::move(falls), extent);
+}
+
+Datatype Datatype::from_falls(FallsSet falls, std::int64_t extent) {
+  return Datatype(std::move(falls), extent);
+}
+
+std::int64_t Datatype::pack(std::span<const std::byte> src, std::int64_t count,
+                            std::span<std::byte> dest) const {
+  if (count < 1) throw std::invalid_argument("Datatype::pack: count < 1");
+  const IndexSet idx(falls_, extent_);
+  return gather(dest, src, 0, count * extent_ - 1, idx);
+}
+
+std::int64_t Datatype::unpack(std::span<const std::byte> src, std::int64_t count,
+                              std::span<std::byte> dest) const {
+  if (count < 1) throw std::invalid_argument("Datatype::unpack: count < 1");
+  const IndexSet idx(falls_, extent_);
+  return scatter(dest, src, 0, count * extent_ - 1, idx);
+}
+
+}  // namespace pfm

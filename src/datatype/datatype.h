@@ -1,0 +1,94 @@
+// MPI-like derived datatypes on top of nested FALLS (paper sections 3-4:
+// "MPI data types can be built on top of them"; "the scatter and gather
+// procedures can also be used to implement MPI's pack and unpack").
+//
+// A Datatype describes a byte selection pattern over a buffer. Constructors
+// mirror the classic MPI type builders; every datatype lowers to a FallsSet
+// plus an extent, and pack/unpack are the gather/scatter of section 8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "falls/falls.h"
+#include "util/buffer.h"
+
+namespace pfm {
+
+class Datatype {
+ public:
+  /// `size` contiguous bytes (MPI_BYTE-style base type of length size).
+  static Datatype contiguous(std::int64_t size);
+
+  /// count repetitions of oldtype (MPI_Type_contiguous).
+  static Datatype contiguous(std::int64_t count, const Datatype& oldtype);
+
+  /// count blocks of blocklen oldtype elements, strides apart in oldtype
+  /// extents (MPI_Type_vector).
+  static Datatype vector(std::int64_t count, std::int64_t blocklen,
+                         std::int64_t stride, const Datatype& oldtype);
+
+  /// Blocks at explicit element displacements (MPI_Type_indexed). Both
+  /// vectors are in oldtype extents; displacements must be sorted and
+  /// non-overlapping.
+  static Datatype indexed(std::span<const std::int64_t> blocklens,
+                          std::span<const std::int64_t> displs,
+                          const Datatype& oldtype);
+
+  /// An n-D subarray of an n-D row-major array (MPI_Type_create_subarray):
+  /// elements [starts[d], starts[d]+subsizes[d]) of each dimension.
+  static Datatype subarray(std::span<const std::int64_t> sizes,
+                           std::span<const std::int64_t> subsizes,
+                           std::span<const std::int64_t> starts,
+                           std::int64_t elem_size);
+
+  /// Concatenation of fields at byte displacements (MPI_Type_create_struct
+  /// restricted to non-overlapping, sorted fields).
+  static Datatype struct_type(std::span<const Datatype> fields,
+                              std::span<const std::int64_t> byte_displs);
+
+  /// One level of a Galley-style nested-strided access (paper section 2:
+  /// the Galley Parallel File System offers a nested strided interface).
+  struct StridedLevel {
+    std::int64_t count = 1;   ///< repetitions of the inner pattern
+    std::int64_t stride = 0;  ///< byte distance between repetitions
+  };
+
+  /// Nested-strided pattern: `block_size` contiguous bytes repeated by each
+  /// level from innermost to outermost. Every level's stride must be at
+  /// least the extent of the pattern below it (Galley forbids overlap too).
+  static Datatype nested_strided(std::int64_t block_size,
+                                 std::span<const StridedLevel> levels);
+
+  /// Lowers an arbitrary nested FALLS selection to a datatype — the general
+  /// escape hatch the paper's "MPI data types can be built on top of
+  /// [nested FALLS]" argument rests on.
+  static Datatype from_falls(FallsSet falls, std::int64_t extent);
+
+  /// Selected bytes (the type's "size" in MPI terms).
+  std::int64_t size() const { return size_; }
+  /// Span of the selection pattern in the buffer ("extent").
+  std::int64_t extent() const { return extent_; }
+  const FallsSet& falls() const { return falls_; }
+
+  /// Packs `count` repetitions of this type from `src` (the type tiles
+  /// every `extent()` bytes) into the contiguous `dest`. Returns bytes
+  /// packed (count * size()).
+  std::int64_t pack(std::span<const std::byte> src, std::int64_t count,
+                    std::span<std::byte> dest) const;
+
+  /// Unpacks the contiguous `src` into `count` repetitions of the pattern
+  /// in `dest`. Returns bytes unpacked.
+  std::int64_t unpack(std::span<const std::byte> src, std::int64_t count,
+                      std::span<std::byte> dest) const;
+
+ private:
+  Datatype(FallsSet falls, std::int64_t extent);
+
+  FallsSet falls_;
+  std::int64_t size_ = 0;
+  std::int64_t extent_ = 0;
+};
+
+}  // namespace pfm

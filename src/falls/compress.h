@@ -1,0 +1,38 @@
+// Compression of run lists into compact FALLS sets.
+//
+// The intersection projections (paper section 7) are computed here as streams
+// of maximal runs and then re-compressed into FALLS so that the regularity of
+// array partitions is preserved: a projection of one BLOCK distribution onto
+// another compresses back to a handful of FALLS instead of thousands of line
+// segments, which is what keeps view-setting cost (t_i in Table 1) small and
+// size-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// Greedy single-level compression: groups maximal arithmetic progressions
+/// of equal-length runs into flat FALLS. Input runs must be sorted by l,
+/// disjoint and non-adjacent (i.e. maximal). O(runs).
+FallsSet compress_runs(std::span<const LineSegment> runs);
+
+/// Two-level compression: first compress_runs, then detect whether the flat
+/// FALLS list is k >= 2 repetitions of its prefix shifted by a constant
+/// period, and if so wrap the prefix into an outer FALLS. Applied repeatedly
+/// this recovers nested structure of multidimensional partitions.
+FallsSet compress_runs_nested(std::span<const LineSegment> runs);
+
+/// Re-compresses an arbitrary FALLS set by enumerating its runs. The result
+/// denotes the same byte set with a canonical (often smaller) structure.
+FallsSet recompress(const FallsSet& set);
+
+/// Number of FALLS nodes in the set (tree nodes, all levels) — a measure of
+/// representation compactness used by the compression ablation.
+std::int64_t node_count(const FallsSet& set);
+
+}  // namespace pfm

@@ -1,0 +1,189 @@
+#include "falls/falls.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfm {
+
+Falls make_falls(std::int64_t l, std::int64_t r, std::int64_t s, std::int64_t n) {
+  return Falls{l, r, s, n, {}};
+}
+
+Falls make_nested(std::int64_t l, std::int64_t r, std::int64_t s, std::int64_t n,
+                  FallsSet inner) {
+  return Falls{l, r, s, n, std::move(inner)};
+}
+
+Falls from_segment(const LineSegment& seg) {
+  return Falls{seg.l, seg.r, seg.r - seg.l + 1, 1, {}};
+}
+
+std::int64_t falls_size(const Falls& f) {
+  const std::int64_t per_block = f.leaf() ? f.block_len() : set_size(f.inner);
+  return per_block * f.n;
+}
+
+std::int64_t set_size(const FallsSet& set) {
+  std::int64_t total = 0;
+  for (const Falls& f : set) total += falls_size(f);
+  return total;
+}
+
+std::int64_t falls_extent(const Falls& f) {
+  return f.l + (f.n - 1) * f.s + f.block_len();
+}
+
+std::int64_t set_extent(const FallsSet& set) {
+  std::int64_t e = 0;
+  for (const Falls& f : set) e = std::max(e, falls_extent(f));
+  return e;
+}
+
+int falls_height(const Falls& f) {
+  return 1 + set_height(f.inner);
+}
+
+int set_height(const FallsSet& set) {
+  int h = 0;
+  for (const Falls& f : set) h = std::max(h, falls_height(f));
+  return h;
+}
+
+namespace {
+
+[[noreturn]] void fail(const Falls& f, const char* what) {
+  std::ostringstream os;
+  os << "invalid FALLS (" << f.l << "," << f.r << "," << f.s << "," << f.n
+     << "): " << what;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+void validate_falls(const Falls& f) {
+  if (f.l < 0) fail(f, "negative left index");
+  if (f.l > f.r) fail(f, "l > r");
+  if (f.n < 1) fail(f, "n < 1");
+  if (f.s < 1) fail(f, "s < 1");
+  if (f.n > 1 && f.s < f.block_len()) fail(f, "blocks overlap (s < r-l+1)");
+  if (!f.inner.empty()) {
+    if (set_extent(f.inner) > f.block_len())
+      fail(f, "inner FALLS exceed the outer block");
+    validate_falls_set(f.inner);
+  }
+}
+
+void validate_falls_set(const FallsSet& set) {
+  std::int64_t prev_end = 0;  // one past the previous member's span
+  bool first = true;
+  for (const Falls& f : set) {
+    validate_falls(f);
+    if (!first && f.l < prev_end) {
+      std::ostringstream os;
+      os << "FALLS set members overlap or are unsorted near l=" << f.l;
+      throw std::invalid_argument(os.str());
+    }
+    prev_end = falls_extent(f);
+    first = false;
+  }
+}
+
+void for_each_run(const Falls& f,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  for (std::int64_t k = 0; k < f.n; ++k) {
+    const std::int64_t base = f.l + k * f.s;
+    if (f.leaf()) {
+      fn(base, base + f.block_len() - 1);
+    } else {
+      for (const Falls& g : f.inner)
+        for_each_run(g, [&](std::int64_t a, std::int64_t b) { fn(base + a, base + b); });
+    }
+  }
+}
+
+void for_each_run(const FallsSet& set,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  for (const Falls& f : set) for_each_run(f, fn);
+}
+
+std::vector<std::int64_t> falls_bytes(const Falls& f) {
+  std::vector<std::int64_t> out;
+  for_each_run(f, [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t x = a; x <= b; ++x) out.push_back(x);
+  });
+  return out;
+}
+
+std::vector<std::int64_t> set_bytes(const FallsSet& set) {
+  std::vector<std::int64_t> out;
+  for (const Falls& f : set) {
+    auto fb = falls_bytes(f);
+    out.insert(out.end(), fb.begin(), fb.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LineSegment> set_runs(const FallsSet& set) {
+  std::vector<LineSegment> out;
+  for_each_run(set, [&](std::int64_t a, std::int64_t b) { out.push_back({a, b}); });
+  std::sort(out.begin(), out.end(),
+            [](const LineSegment& x, const LineSegment& y) { return x.l < y.l; });
+  // Coalesce runs that touch (distinct set members may produce adjacent runs).
+  std::vector<LineSegment> merged;
+  for (const LineSegment& seg : out) {
+    if (!merged.empty() && seg.l <= merged.back().r + 1)
+      merged.back().r = std::max(merged.back().r, seg.r);
+    else
+      merged.push_back(seg);
+  }
+  return merged;
+}
+
+Falls shift_falls(const Falls& f, std::int64_t delta) {
+  Falls out = f;
+  out.l += delta;
+  out.r += delta;
+  if (out.l < 0) throw std::invalid_argument("shift_falls: negative left index");
+  return out;
+}
+
+FallsSet shift_set(const FallsSet& set, std::int64_t delta) {
+  FallsSet out;
+  out.reserve(set.size());
+  for (const Falls& f : set) out.push_back(shift_falls(f, delta));
+  return out;
+}
+
+Falls wrap_outer(FallsSet inner, std::int64_t span, std::int64_t count) {
+  if (span < 1) throw std::invalid_argument("wrap_outer: span < 1");
+  return Falls{0, span - 1, span, count, std::move(inner)};
+}
+
+namespace {
+
+Falls equalize_falls(const Falls& f, int height) {
+  if (height < 1) throw std::invalid_argument("equalize_height: height too small");
+  Falls out = f;
+  if (f.leaf()) {
+    if (height == 1) return out;
+    // Insert a trivial inner FALLS covering the whole block, then recurse.
+    Falls trivial = make_falls(0, f.block_len() - 1, f.block_len(), 1);
+    out.inner.push_back(equalize_falls(trivial, height - 1));
+    return out;
+  }
+  out.inner = equalize_height(f.inner, height - 1);
+  return out;
+}
+
+}  // namespace
+
+FallsSet equalize_height(const FallsSet& set, int height) {
+  FallsSet out;
+  out.reserve(set.size());
+  for (const Falls& f : set) out.push_back(equalize_falls(f, height));
+  return out;
+}
+
+}  // namespace pfm

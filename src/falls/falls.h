@@ -1,0 +1,117 @@
+// Nested FALLS: the data representation at the core of the parallel file
+// model (paper section 4).
+//
+// A line segment (l, r) describes the contiguous bytes [l, r] of a file.
+// A FALLS (l, r, s, n) describes n equally sized, equally spaced segments:
+// the k-th segment is [l + k*s, r + k*s]. A *nested* FALLS additionally
+// carries a set of inner FALLS, expressed relative to the left index of the
+// outer block, which select a subset of every outer block. A set of nested
+// FALLS denotes the union of its members' byte sets; it is the description
+// of one partition element (a subfile or a view).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pfm {
+
+/// Contiguous byte range [l, r], both inclusive (paper's line segment).
+struct LineSegment {
+  std::int64_t l = 0;
+  std::int64_t r = 0;
+
+  std::int64_t size() const { return r - l + 1; }
+  bool operator==(const LineSegment&) const = default;
+};
+
+struct Falls;
+
+/// A set of nested FALLS; denotes the union of the members' byte sets.
+/// Members are kept sorted by left index and non-overlapping (see
+/// validate_falls_set).
+using FallsSet = std::vector<Falls>;
+
+/// One (possibly nested) FALLS. With an empty `inner`, every block [l+k*s,
+/// r+k*s] belongs wholly to the set; otherwise only the bytes selected by
+/// `inner` (relative to the block's left index) do.
+struct Falls {
+  std::int64_t l = 0;  ///< left index of the first block
+  std::int64_t r = 0;  ///< right index of the first block (inclusive)
+  std::int64_t s = 1;  ///< stride between consecutive blocks
+  std::int64_t n = 1;  ///< number of blocks
+  FallsSet inner;      ///< inner FALLS, relative to each block's left index
+
+  bool leaf() const { return inner.empty(); }
+  /// Length of one block in bytes (r - l + 1).
+  std::int64_t block_len() const { return r - l + 1; }
+  bool operator==(const Falls&) const = default;
+};
+
+/// Convenience constructors.
+Falls make_falls(std::int64_t l, std::int64_t r, std::int64_t s, std::int64_t n);
+Falls make_nested(std::int64_t l, std::int64_t r, std::int64_t s, std::int64_t n,
+                  FallsSet inner);
+/// A line segment (l, r) as the FALLS (l, r, r - l + 1, 1).
+Falls from_segment(const LineSegment& seg);
+
+/// Number of bytes denoted by f / by all members of set (paper's SIZE).
+std::int64_t falls_size(const Falls& f);
+std::int64_t set_size(const FallsSet& set);
+
+/// One past the last byte index touched by f / set (0 for an empty set).
+/// For f: l + (n-1)*s + block_len().
+std::int64_t falls_extent(const Falls& f);
+std::int64_t set_extent(const FallsSet& set);
+
+/// Height of the nesting tree: 1 for a leaf FALLS. For a set: the maximum
+/// over members, 0 for an empty set.
+int falls_height(const Falls& f);
+int set_height(const FallsSet& set);
+
+/// Structural validity of a nested FALLS:
+///  - l >= 0, l <= r, n >= 1, s >= 1
+///  - blocks must not overlap: s >= block_len when n > 1
+///  - inner FALLS must lie within [0, block_len) and be valid themselves,
+///    sorted by l with non-overlapping spans.
+/// Throws std::invalid_argument with a description when invalid.
+void validate_falls(const Falls& f);
+
+/// Validity of a set: every member valid, members sorted by l, member spans
+/// non-overlapping in the first period (the paper keeps partition elements
+/// disjoint; overlap checks use spans, i.e. [l, extent) ranges).
+void validate_falls_set(const FallsSet& set);
+
+/// True when the set denotes no bytes (empty, or members with size 0 cannot
+/// exist — validity requires l <= r — so this is just set.empty()).
+inline bool set_empty(const FallsSet& set) { return set.empty(); }
+
+/// Invokes fn(l, r) for every maximal contiguous run of bytes denoted by f,
+/// in increasing order. Runs of a nested FALLS are the leaf blocks.
+void for_each_run(const Falls& f, const std::function<void(std::int64_t, std::int64_t)>& fn);
+void for_each_run(const FallsSet& set,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Enumerates every byte index of the set in increasing order (test oracle;
+/// only sensible for small extents).
+std::vector<std::int64_t> set_bytes(const FallsSet& set);
+std::vector<std::int64_t> falls_bytes(const Falls& f);
+
+/// All maximal runs as line segments, in increasing order.
+std::vector<LineSegment> set_runs(const FallsSet& set);
+
+/// Shifts every byte of the set by delta (delta may be negative as long as
+/// no resulting index is negative).
+FallsSet shift_set(const FallsSet& set, std::int64_t delta);
+Falls shift_falls(const Falls& f, std::int64_t delta);
+
+/// Wraps a set into a single-block outer FALLS spanning [0, span), used by
+/// the intersection algorithm to equalize tree heights and to extend a
+/// partitioning pattern over several periods (count outer repetitions).
+Falls wrap_outer(FallsSet inner, std::int64_t span, std::int64_t count = 1);
+
+/// Increases the height of every branch to exactly `height` by inserting
+/// trivial inner FALLS (0, block_len-1, block_len, 1) at the leaves.
+FallsSet equalize_height(const FallsSet& set, int height);
+
+}  // namespace pfm

@@ -1,0 +1,111 @@
+#include "falls/pitfalls.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pfm {
+
+void validate_pitfalls(const Pitfalls& pf) {
+  if (pf.p < 1) throw std::invalid_argument("PITFALLS: p < 1");
+  if (pf.d < 0) throw std::invalid_argument("PITFALLS: d < 0");
+  // Validating the first processor's expansion validates l/r/s/n and inner
+  // structure; other processors are pure shifts of it.
+  validate_falls(expand(pf, 0));
+}
+
+void validate_pitfalls_set(const PitfallsSet& set) {
+  for (const Pitfalls& pf : set) validate_pitfalls(pf);
+}
+
+Falls expand(const Pitfalls& pf, std::int64_t proc) {
+  if (proc < 0 || proc >= pf.p) {
+    std::ostringstream os;
+    os << "PITFALLS expand: processor " << proc << " out of [0," << pf.p << ")";
+    throw std::out_of_range(os.str());
+  }
+  Falls f;
+  f.l = pf.l + proc * pf.d;
+  f.r = pf.r + proc * pf.d;
+  f.s = pf.s;
+  f.n = pf.n;
+  // Inner patterns are relative to the block left index, which already
+  // incorporates the processor shift, so inner expansion uses the same proc
+  // only when the inner family is itself processor-indexed (d != 0);
+  // otherwise proc 0 of the inner family is the pattern for every processor.
+  for (const Pitfalls& g : pf.inner)
+    f.inner.push_back(expand(g, g.p == 1 ? 0 : proc));
+  return f;
+}
+
+FallsSet expand(const PitfallsSet& set, std::int64_t proc) {
+  FallsSet out;
+  out.reserve(set.size());
+  for (const Pitfalls& pf : set) out.push_back(expand(pf, pf.p == 1 ? 0 : proc));
+  return out;
+}
+
+std::int64_t processor_count(const PitfallsSet& set) {
+  if (set.empty()) return 0;
+  std::int64_t p = 1;
+  for (const Pitfalls& pf : set)
+    if (pf.p > p) p = pf.p;
+  return p;
+}
+
+std::vector<FallsSet> expand_all(const PitfallsSet& set) {
+  const std::int64_t p = processor_count(set);
+  std::vector<FallsSet> out;
+  out.reserve(static_cast<std::size_t>(p));
+  for (std::int64_t i = 0; i < p; ++i) out.push_back(expand(set, i));
+  return out;
+}
+
+namespace {
+
+/// True when b is a shifted by delta (same structure, same inner).
+bool is_shift(const FallsSet& a, const FallsSet& b, std::int64_t delta) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Falls& x = a[i];
+    const Falls& y = b[i];
+    if (y.l != x.l + delta || y.r != x.r + delta || y.s != x.s || y.n != x.n ||
+        y.inner != x.inner)
+      return false;
+  }
+  return true;
+}
+
+Pitfalls to_pitfalls(const Falls& f, std::int64_t d, std::int64_t p) {
+  Pitfalls pf;
+  pf.l = f.l;
+  pf.r = f.r;
+  pf.s = f.s;
+  pf.n = f.n;
+  pf.d = d;
+  pf.p = p;
+  for (const Falls& g : f.inner) pf.inner.push_back(to_pitfalls(g, 0, 1));
+  return pf;
+}
+
+}  // namespace
+
+PitfallsSet fold(const std::vector<FallsSet>& per_proc) {
+  if (per_proc.empty()) return {};
+  const std::int64_t p = static_cast<std::int64_t>(per_proc.size());
+  if (p == 1) {
+    PitfallsSet out;
+    for (const Falls& f : per_proc[0]) out.push_back(to_pitfalls(f, 0, 1));
+    return out;
+  }
+  if (per_proc[0].empty()) return {};
+  const std::int64_t d = per_proc[1][0].l - per_proc[0][0].l;
+  if (d < 0) return {};
+  for (std::int64_t i = 1; i < p; ++i)
+    if (!is_shift(per_proc[0], per_proc[static_cast<std::size_t>(i)], i * d))
+      return {};
+  PitfallsSet out;
+  for (const Falls& f : per_proc[0]) out.push_back(to_pitfalls(f, d, p));
+  return out;
+}
+
+}  // namespace pfm

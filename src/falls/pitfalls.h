@@ -1,0 +1,58 @@
+// PITFALLS: Processor Indexed Tagged FAmilies of Line Segments
+// (Ramaswamy & Banerjee), and their nested extension (paper section 4).
+//
+// A PITFALLS (l, r, s, n, d, p) compactly describes one FALLS per processor:
+// processor i in [0, p) owns the FALLS (l + i*d, r + i*d, s, n). Regular
+// HPF-style distributions produce identical per-processor patterns shifted
+// by a constant, which is exactly what the d ("processor stride") captures.
+// A nested PITFALLS carries inner nested PITFALLS relative to each block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+struct Pitfalls;
+using PitfallsSet = std::vector<Pitfalls>;
+
+/// Processor-indexed family: processor i gets (l + i*d, r + i*d, s, n) with
+/// inner patterns expanded recursively for the same i.
+struct Pitfalls {
+  std::int64_t l = 0;  ///< first processor's first block left index
+  std::int64_t r = 0;  ///< first processor's first block right index
+  std::int64_t s = 1;  ///< stride between blocks of one processor
+  std::int64_t n = 1;  ///< blocks per processor
+  std::int64_t d = 0;  ///< shift between consecutive processors
+  std::int64_t p = 1;  ///< number of processors described
+  PitfallsSet inner;   ///< nested inner PITFALLS, relative to block left index
+
+  bool leaf() const { return inner.empty(); }
+  bool operator==(const Pitfalls&) const = default;
+};
+
+/// Structural validation (mirrors validate_falls, plus d/p constraints).
+void validate_pitfalls(const Pitfalls& pf);
+void validate_pitfalls_set(const PitfallsSet& set);
+
+/// The nested FALLS of processor `proc` described by pf / set.
+Falls expand(const Pitfalls& pf, std::int64_t proc);
+FallsSet expand(const PitfallsSet& set, std::int64_t proc);
+
+/// All processors' FALLS sets: result[i] is processor i's set. All members
+/// of `set` must agree on p.
+std::vector<FallsSet> expand_all(const PitfallsSet& set);
+
+/// Number of processors (p of the first member; validated equal across
+/// members). 0 for an empty set.
+std::int64_t processor_count(const PitfallsSet& set);
+
+/// Attempts to fold per-processor FALLS sets (result of expand_all or any
+/// partitioning pattern) back into a compact PITFALLS set: succeeds when
+/// every processor's set is the first one's shifted by i*d for a constant d.
+/// Returns an empty set when the sets are not shift-regular.
+PitfallsSet fold(const std::vector<FallsSet>& per_proc);
+
+}  // namespace pfm

@@ -1,0 +1,44 @@
+#include "falls/print.h"
+
+#include <sstream>
+
+#include "falls/set_ops.h"
+
+namespace pfm {
+
+std::string to_string(const Falls& f) {
+  std::ostringstream os;
+  os << '(' << f.l << ',' << f.r << ',' << f.s << ',' << f.n;
+  if (!f.leaf()) os << ',' << to_string(f.inner);
+  os << ')';
+  return os.str();
+}
+
+std::string to_string(const FallsSet& set) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const Falls& f : set) {
+    if (!first) os << ", ";
+    os << to_string(f);
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string render_bytes(const FallsSet& set, std::int64_t extent) {
+  if (extent < 0) extent = set_extent(set);
+  std::ostringstream os;
+  if (extent <= 64) {
+    for (std::int64_t i = 0; i < extent; ++i)
+      os << (i % 10) << (i + 1 < extent ? " " : "");
+    os << '\n';
+  }
+  for (std::int64_t i = 0; i < extent; ++i)
+    os << (set_contains(set, i) ? 'X' : '.') << (i + 1 < extent ? " " : "");
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace pfm

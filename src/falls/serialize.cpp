@@ -1,0 +1,116 @@
+#include "falls/serialize.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "falls/print.h"
+
+namespace pfm {
+
+std::string serialize(const FallsSet& set) { return to_string(set); }
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  FallsSet parse_set() {
+    expect('{');
+    FallsSet out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    out.push_back(parse_falls());
+    while (true) {
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        out.push_back(parse_falls());
+      } else {
+        break;
+      }
+    }
+    expect('}');
+    return out;
+  }
+
+  void expect_end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+  }
+
+ private:
+  Falls parse_falls() {
+    expect('(');
+    Falls f;
+    f.l = parse_int();
+    expect(',');
+    f.r = parse_int();
+    expect(',');
+    f.s = parse_int();
+    expect(',');
+    f.n = parse_int();
+    skip_ws();
+    if (peek() == ',') {
+      ++pos_;
+      skip_ws();
+      f.inner = parse_set();
+    }
+    expect(')');
+    return f;
+  }
+
+  std::int64_t parse_int() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ == start) fail("expected integer");
+    std::int64_t v = 0;
+    try {
+      v = std::stoll(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("integer out of range");
+    }
+    return v;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "parse_falls_set: " << what << " at position " << pos_;
+    throw std::invalid_argument(os.str());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FallsSet parse_falls_set(std::string_view text) {
+  Parser p(text);
+  FallsSet out = p.parse_set();
+  p.expect_end();
+  validate_falls_set(out);
+  return out;
+}
+
+}  // namespace pfm

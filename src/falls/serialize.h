@@ -1,0 +1,26 @@
+// Text serialization of FALLS sets.
+//
+// Grammar (whitespace-insensitive):
+//   set   := '{' [falls (',' falls)*] '}'
+//   falls := '(' int ',' int ',' int ',' int [',' set] ')'
+//
+// This is the same tuple notation the paper uses, so serialized forms can be
+// compared directly against the figures. parse_falls_set accepts exactly what
+// to_string produces (round-trip guaranteed by tests).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// Serializes using the tuple notation of print.h.
+std::string serialize(const FallsSet& set);
+
+/// Parses the tuple notation. Throws std::invalid_argument on syntax errors
+/// (with position information) and validates the result structurally.
+FallsSet parse_falls_set(std::string_view text);
+
+}  // namespace pfm

@@ -1,0 +1,75 @@
+#include "file_model/file.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pfm {
+
+FileView::FileView(FallsSet falls, std::int64_t pattern_size,
+                   std::int64_t displacement)
+    : index_(std::move(falls), pattern_size),
+      pattern_size_(pattern_size),
+      displacement_(displacement) {
+  if (displacement_ < 0) throw std::invalid_argument("FileView: bad displacement");
+}
+
+ElementRef FileView::ref() const {
+  return ElementRef{&index_.falls(), displacement_, pattern_size_};
+}
+
+PatternElement FileView::element() const {
+  return PatternElement{index_.falls(), pattern_size_, displacement_};
+}
+
+std::int64_t FileView::size_for_file(std::int64_t file_size) const {
+  if (file_size <= displacement_) return 0;
+  // Member bytes of the tiled pattern in [0, file_size - displacement).
+  return index_.count_in(0, file_size - displacement_ - 1);
+}
+
+ParallelFile::ParallelFile(PartitioningPattern physical, std::int64_t file_size)
+    : physical_(std::move(physical)), file_size_(file_size) {
+  if (file_size_ < 0) throw std::invalid_argument("ParallelFile: negative size");
+}
+
+std::int64_t ParallelFile::subfile_bytes(std::size_t i) const {
+  return physical_.element_bytes(i, file_size_);
+}
+
+std::vector<Buffer> ParallelFile::split(std::span<const std::byte> image) const {
+  if (static_cast<std::int64_t>(image.size()) != file_size_)
+    throw std::invalid_argument("ParallelFile::split: image size mismatch");
+  std::vector<Buffer> out(subfile_count());
+  const std::int64_t d = physical_.displacement();
+  if (file_size_ <= d) return out;
+  const std::span<const std::byte> data = image.subspan(static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < subfile_count(); ++i) {
+    const IndexSet idx(physical_.element(i), physical_.size());
+    out[i].resize(static_cast<std::size_t>(subfile_bytes(i)));
+    gather(out[i], data, 0, static_cast<std::int64_t>(data.size()) - 1, idx);
+  }
+  return out;
+}
+
+Buffer ParallelFile::join(const std::vector<Buffer>& subfiles) const {
+  if (subfiles.size() != subfile_count())
+    throw std::invalid_argument("ParallelFile::join: subfile count mismatch");
+  Buffer image(static_cast<std::size_t>(file_size_));
+  const std::int64_t d = physical_.displacement();
+  if (file_size_ <= d) return image;
+  const std::span<std::byte> data =
+      std::span<std::byte>(image).subspan(static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < subfile_count(); ++i) {
+    if (static_cast<std::int64_t>(subfiles[i].size()) != subfile_bytes(i))
+      throw std::invalid_argument("ParallelFile::join: subfile size mismatch");
+    const IndexSet idx(physical_.element(i), physical_.size());
+    scatter(data, subfiles[i], 0, static_cast<std::int64_t>(data.size()) - 1, idx);
+  }
+  return image;
+}
+
+FileView ParallelFile::view(FallsSet falls, std::int64_t view_pattern_size) const {
+  return FileView(std::move(falls), view_pattern_size, physical_.displacement());
+}
+
+}  // namespace pfm

@@ -1,0 +1,68 @@
+// ParallelFile: a linear byte file plus its physical partitioning pattern
+// (paper section 5). Subfiles and views are both partition elements of such
+// patterns; this class offers the file-level operations the examples and
+// tests use directly: materializing subfiles from a flat image, assembling
+// the image back, and setting logical views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "file_model/pattern.h"
+#include "redist/gather_scatter.h"
+#include "util/buffer.h"
+
+namespace pfm {
+
+/// A logical view on a file: one element of a (logical) partitioning
+/// pattern, with precomputed index runs for fast contiguous access.
+class FileView {
+ public:
+  FileView(FallsSet falls, std::int64_t pattern_size, std::int64_t displacement);
+
+  const FallsSet& falls() const { return index_.falls(); }
+  std::int64_t pattern_size() const { return pattern_size_; }
+  std::int64_t displacement() const { return displacement_; }
+  const IndexSet& index() const { return index_; }
+
+  ElementRef ref() const;
+  PatternElement element() const;
+
+  /// Bytes visible through the view for a file of `file_size` bytes.
+  std::int64_t size_for_file(std::int64_t file_size) const;
+
+ private:
+  IndexSet index_;
+  std::int64_t pattern_size_ = 0;
+  std::int64_t displacement_ = 0;
+};
+
+class ParallelFile {
+ public:
+  ParallelFile(PartitioningPattern physical, std::int64_t file_size);
+
+  const PartitioningPattern& physical() const { return physical_; }
+  std::int64_t size() const { return file_size_; }
+  std::size_t subfile_count() const { return physical_.element_count(); }
+  /// Bytes subfile i stores for this file.
+  std::int64_t subfile_bytes(std::size_t i) const;
+
+  /// Splits a flat file image into per-subfile images (physical layout).
+  /// image.size() must equal size(); bytes before the displacement belong
+  /// to no subfile and are ignored.
+  std::vector<Buffer> split(std::span<const std::byte> image) const;
+
+  /// Assembles the flat image back from per-subfile images; the inverse of
+  /// split (bytes before the displacement are zero-filled).
+  Buffer join(const std::vector<Buffer>& subfiles) const;
+
+  /// A view described by one element pattern (its own pattern size and the
+  /// file's displacement).
+  FileView view(FallsSet falls, std::int64_t view_pattern_size) const;
+
+ private:
+  PartitioningPattern physical_;
+  std::int64_t file_size_ = 0;
+};
+
+}  // namespace pfm

@@ -1,0 +1,96 @@
+#include "intersect/cut.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/arith.h"
+
+namespace pfm {
+
+namespace {
+
+/// Appends the cut of block k of f (bytes clipped to [a, b], relative to a).
+/// `complete` is true when the block lies fully inside [a, b].
+void append_partial_block(FallsSet& out, const Falls& f, std::int64_t k,
+                          std::int64_t a, std::int64_t b) {
+  const std::int64_t base = f.l + k * f.s;
+  const std::int64_t lo = std::max(a, base);
+  const std::int64_t hi = std::min(b, base + f.block_len() - 1);
+  if (lo > hi) return;
+  Falls piece;
+  piece.l = lo - a;
+  piece.r = hi - a;
+  piece.s = hi - lo + 1;
+  piece.n = 1;
+  if (!f.leaf()) {
+    piece.inner = cut_set(f.inner, lo - base, hi - base);
+    if (piece.inner.empty()) return;  // no member bytes survive the cut
+  }
+  out.push_back(std::move(piece));
+}
+
+}  // namespace
+
+FallsSet cut_falls(const Falls& f, std::int64_t a, std::int64_t b) {
+  if (a > b) throw std::invalid_argument("cut_falls: a > b");
+  FallsSet out;
+  // Blocks overlapping [a, b]: l + k*s <= b  and  l + k*s + blen - 1 >= a.
+  const std::int64_t blen = f.block_len();
+  std::int64_t k_lo = div_ceil(a - f.l - (blen - 1), f.s);
+  std::int64_t k_hi = div_floor(b - f.l, f.s);
+  k_lo = std::max<std::int64_t>(k_lo, 0);
+  k_hi = std::min<std::int64_t>(k_hi, f.n - 1);
+  if (k_lo > k_hi) return out;
+
+  // Complete blocks are those lying fully inside [a, b].
+  std::int64_t kc_lo = k_lo;
+  std::int64_t kc_hi = k_hi;
+  if (f.l + kc_lo * f.s < a) ++kc_lo;
+  if (f.l + kc_hi * f.s + blen - 1 > b) --kc_hi;
+
+  if (kc_lo > kc_hi) {
+    // No complete block: at most two partial ones (possibly the same block).
+    append_partial_block(out, f, k_lo, a, b);
+    if (k_hi != k_lo) append_partial_block(out, f, k_hi, a, b);
+    return out;
+  }
+  if (k_lo < kc_lo) append_partial_block(out, f, k_lo, a, b);
+  Falls mid;
+  mid.l = f.l + kc_lo * f.s - a;
+  mid.r = mid.l + blen - 1;
+  mid.s = f.s;
+  mid.n = kc_hi - kc_lo + 1;
+  mid.inner = f.inner;
+  out.push_back(std::move(mid));
+  if (k_hi > kc_hi) append_partial_block(out, f, k_hi, a, b);
+  return out;
+}
+
+FallsSet cut_set(const FallsSet& set, std::int64_t a, std::int64_t b) {
+  FallsSet out;
+  for (const Falls& f : set) {
+    FallsSet piece = cut_falls(f, a, b);
+    out.insert(out.end(), std::make_move_iterator(piece.begin()),
+               std::make_move_iterator(piece.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Falls& x, const Falls& y) { return x.l < y.l; });
+  return out;
+}
+
+FallsSet rebase_period(const FallsSet& set, std::int64_t shift, std::int64_t T) {
+  if (T <= 0) throw std::invalid_argument("rebase_period: T <= 0");
+  if (shift < 0 || shift >= T)
+    throw std::invalid_argument("rebase_period: shift out of [0, T)");
+  if (set_extent(set) > T)
+    throw std::invalid_argument("rebase_period: set extent exceeds period");
+  if (shift == 0) return set;
+  // Bytes at [shift, T) move to the front; bytes at [0, shift) wrap to the
+  // back, offset by T - shift.
+  FallsSet out = cut_set(set, shift, T - 1);
+  FallsSet wrapped = cut_set(set, 0, shift - 1);
+  for (Falls& f : wrapped) out.push_back(shift_falls(f, T - shift));
+  return out;
+}
+
+}  // namespace pfm

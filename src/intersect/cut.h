@@ -1,0 +1,32 @@
+// CUT-FALLS (paper section 7): restricting a FALLS to an index interval.
+//
+// CUT-FALLS(f, a, b) yields the set of FALLS describing the bytes of f that
+// lie in [a, b], re-expressed relative to a. The result is at most three
+// FALLS: a clipped head segment, the run of complete blocks, and a clipped
+// tail segment. The nested variant recursively cuts inner FALLS of blocks
+// that are only partially inside the interval.
+#pragma once
+
+#include <cstdint>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// Flat cut of the outer structure of f (inner sets are carried over to
+/// blocks that survive whole; partially covered blocks of a nested FALLS
+/// get their inner sets cut recursively). Result is relative to a, sorted,
+/// non-overlapping. Requires a <= b; indices may exceed f's extent (the cut
+/// simply yields fewer bytes).
+FallsSet cut_falls(const Falls& f, std::int64_t a, std::int64_t b);
+
+/// Cut of a whole set: union of member cuts (relative to a).
+FallsSet cut_set(const FallsSet& set, std::int64_t a, std::int64_t b);
+
+/// Rotates a partitioning-pattern element left by `shift` within a pattern
+/// of period T: byte x of the result corresponds to byte (x + shift) mod T
+/// of the input's periodic tiling. Used by PREPROCESS to align two patterns
+/// with different displacements. Requires 0 <= shift < T and set extent <= T.
+FallsSet rebase_period(const FallsSet& set, std::int64_t shift, std::int64_t T);
+
+}  // namespace pfm

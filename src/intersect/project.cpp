@@ -1,0 +1,135 @@
+#include "intersect/project.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "falls/compress.h"
+#include "falls/set_ops.h"
+
+namespace pfm {
+
+namespace {
+
+/// First/last member byte of a nested FALLS in O(depth) (inner sets are
+/// sorted, so front/back bound the members).
+std::int64_t first_member(const Falls& f) {
+  return f.leaf() ? f.l : f.l + first_member(f.inner.front());
+}
+std::int64_t last_member(const Falls& f) {
+  const std::int64_t base = f.l + (f.n - 1) * f.s;
+  return f.leaf() ? base + f.block_len() - 1 : base + last_member(f.inner.back());
+}
+
+/// Structural fast path: tries to project one top-level FALLS of the
+/// intersection without enumerating its runs. Two safe cases:
+///  (a) the element has no gaps across the FALLS's whole span (checked via
+///      MAP(last) - MAP(first) == last - first) — MAP is a plain shift
+///      there, so the FALLS keeps its structure, nesting included;
+///  (b) a flat FALLS whose stride is a whole number of element periods and
+///      whose first block maps contiguously — every repetition advances by
+///      a fixed number of element bytes, one strided family.
+/// Returns false when neither applies (caller falls back to runs).
+bool project_structural(const Falls& f, const ElementRef& ref,
+                        std::int64_t origin, FallsSet& out) {
+  const std::int64_t fb = first_member(f);
+  const std::int64_t lb = last_member(f);
+  const std::int64_t a_first = map_to_element(ref, origin + fb);
+  const std::int64_t a_last = map_to_element(ref, origin + lb);
+  if (a_last - a_first == lb - fb) {
+    // Case (a): dense over [fb, lb] — pure shift.
+    const std::int64_t delta = a_first - fb;
+    if (f.l + delta < 0) return false;
+    out.push_back(shift_falls(f, delta));
+    return true;
+  }
+  if (!f.leaf()) return false;
+  // The per-repetition advance in element space is constant when the
+  // element's tiled byte set is invariant under a shift dividing f's
+  // stride. Two sound sub-cases:
+  //  (b) f.s is a whole number of pattern periods (any element shape);
+  //  (c) the element is one flat family whose blocks seamlessly tile the
+  //      pattern (n0*s0 == T), making its byte set s0-periodic, and f.s is
+  //      a multiple of s0 — the BLOCK/CYCLIC(b) shapes of HPF layouts.
+  std::int64_t bytes_per_shift = -1;
+  if (f.s % ref.pattern_size == 0) {
+    bytes_per_shift = (f.s / ref.pattern_size) * ref.element_period();
+  } else if (ref.falls->size() == 1 && (*ref.falls)[0].leaf()) {
+    const Falls& a = (*ref.falls)[0];
+    if (a.n * a.s == ref.pattern_size && f.s % a.s == 0)
+      bytes_per_shift = (f.s / a.s) * a.block_len();
+  }
+  if (bytes_per_shift < 0) return false;
+  const std::int64_t b0 = map_to_element(ref, origin + f.r);
+  if (b0 - a_first + 1 != f.block_len()) return false;  // block not contiguous
+  out.push_back(make_falls(a_first, a_first + f.block_len() - 1,
+                           f.n > 1 ? bytes_per_shift : f.block_len(), f.n));
+  return true;
+}
+
+}  // namespace
+
+Projection project(const Intersection& x, const PatternElement& e) {
+  Projection out;
+  out.period = set_size(e.falls) * (x.period / e.pattern_size);
+  if (x.falls.empty()) return out;
+
+  const ElementRef ref{&e.falls, e.displacement, e.pattern_size};
+
+  // Attempt the structural projection for every member; any failure falls
+  // back to exact run enumeration for the whole set (mixing both could
+  // break the sorted-disjoint invariant cheaply maintained below).
+  {
+    FallsSet structural;
+    bool ok = true;
+    for (const Falls& f : x.falls) {
+      if (!project_structural(f, ref, x.origin, structural)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      std::sort(structural.begin(), structural.end(),
+                [](const Falls& p, const Falls& q) { return p.l < q.l; });
+      // The images are byte-disjoint (MAP is injective), but members with
+      // interleaved *spans* would violate the FallsSet invariant, and the
+      // shifted form's span slack (trailing non-member indices inside
+      // blocks) can poke past the projection period; fall back to exact
+      // runs in either rare case rather than emit an invalid set.
+      std::int64_t prev_end = 0;
+      for (const Falls& g : structural) {
+        if (g.l < prev_end) {
+          ok = false;
+          break;
+        }
+        prev_end = falls_extent(g);
+      }
+      if (ok && prev_end > out.period) ok = false;
+      if (ok) {
+        out.falls = std::move(structural);
+        return out;
+      }
+    }
+  }
+
+  // A maximal contiguous run of the intersection lies wholly inside the
+  // element's byte set, and MAP is order-preserving on that set, so each run
+  // maps to one contiguous run of element offsets.
+  std::vector<LineSegment> mapped;
+  for (const LineSegment& run : set_runs(x.falls)) {
+    const std::int64_t lo = map_to_element(ref, x.origin + run.l);
+    // MAP is monotonic over file offsets, so `mapped` stays sorted. Two file
+    // runs separated only by non-member bytes of e become adjacent in
+    // element space; merge them so the runs passed to compression are maximal.
+    if (!mapped.empty() && lo <= mapped.back().r + 1) {
+      mapped.back().r = lo + (run.r - run.l);
+    } else {
+      mapped.push_back({lo, lo + (run.r - run.l)});
+    }
+  }
+  out.falls = compress_runs_nested(mapped);
+  return out;
+}
+
+std::int64_t projection_size(const Projection& p) { return set_size(p.falls); }
+
+}  // namespace pfm

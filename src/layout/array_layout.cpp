@@ -1,0 +1,169 @@
+#include "layout/array_layout.h"
+
+#include <stdexcept>
+
+#include "util/arith.h"
+
+namespace pfm {
+
+std::int64_t GridDesc::total() const {
+  std::int64_t t = 1;
+  for (std::int64_t d : dims) {
+    if (d < 1) throw std::invalid_argument("GridDesc: dimension < 1");
+    t = mul_checked(t, d);
+  }
+  return t;
+}
+
+std::vector<std::int64_t> GridDesc::coords(std::int64_t proc) const {
+  if (proc < 0 || proc >= total())
+    throw std::out_of_range("GridDesc::coords: processor out of range");
+  std::vector<std::int64_t> c(dims.size());
+  for (std::size_t d = dims.size(); d-- > 0;) {
+    c[d] = proc % dims[d];
+    proc /= dims[d];
+  }
+  return c;
+}
+
+std::int64_t array_bytes(const ArrayDesc& a) {
+  std::int64_t t = a.elem_size;
+  if (t < 1) throw std::invalid_argument("ArrayDesc: elem_size < 1");
+  for (std::int64_t e : a.extents) {
+    if (e < 1) throw std::invalid_argument("ArrayDesc: extent < 1");
+    t = mul_checked(t, e);
+  }
+  return t;
+}
+
+std::int64_t dim_stride(const ArrayDesc& a, std::size_t d) {
+  if (d >= a.extents.size()) throw std::out_of_range("dim_stride: bad dimension");
+  std::int64_t s = a.elem_size;
+  for (std::size_t e = d + 1; e < a.extents.size(); ++e)
+    s = mul_checked(s, a.extents[e]);
+  return s;
+}
+
+namespace {
+
+/// Scales a FALLS set from element units of one dimension to bytes: indices
+/// multiply by the dimension's stride, and block ends become inclusive byte
+/// ends of whole sub-rows.
+FallsSet scale_set(const FallsSet& set, std::int64_t stride) {
+  FallsSet out;
+  out.reserve(set.size());
+  for (const Falls& f : set) {
+    Falls g;
+    g.l = f.l * stride;
+    g.r = (f.r + 1) * stride - 1;
+    g.s = f.s * stride;
+    g.n = f.n;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+/// True when the set is one block covering the whole dimension.
+bool covers_dimension(const FallsSet& set, std::int64_t extent) {
+  return set.size() == 1 && set[0].leaf() && set[0].l == 0 && set[0].n == 1 &&
+         set[0].block_len() == extent;
+}
+
+}  // namespace
+
+FallsSet layout_falls(const ArrayDesc& a, std::span<const Dist> dists,
+                      const GridDesc& grid, std::int64_t proc) {
+  const std::size_t rank = a.extents.size();
+  if (dists.size() != rank || grid.dims.size() != rank)
+    throw std::invalid_argument("layout_falls: rank mismatch");
+  if (rank == 0) throw std::invalid_argument("layout_falls: rank 0 array");
+  const std::vector<std::int64_t> c = grid.coords(proc);
+
+  // Build from the innermost dimension outwards. `current` is the byte
+  // pattern owned within one full "row" of the dimensions processed so far
+  // (extent suffix_bytes); `full` records whether it is all of it, in which
+  // case outer blocks stay contiguous leaves.
+  FallsSet current;
+  bool full = true;
+  std::int64_t suffix_bytes = a.elem_size;
+  for (std::size_t d = rank; d-- > 0;) {
+    const std::int64_t stride = suffix_bytes;  // == dim_stride(a, d)
+    FallsSet dim_set = dist_falls(dists[d], a.extents[d], grid.dims[d], c[d]);
+    if (dim_set.empty()) return {};  // this processor owns nothing
+    const bool dim_full = covers_dimension(dim_set, a.extents[d]);
+    suffix_bytes = mul_checked(stride, a.extents[d]);
+    if (dim_full && full) continue;  // whole level owned: nothing to refine
+    FallsSet scaled = scale_set(dim_set, stride);
+    if (full) {
+      // Everything below is contiguous: this level's blocks are plain byte
+      // ranges.
+      current = std::move(scaled);
+      full = false;
+      continue;
+    }
+    // Nest (for a full level above a partial inner this replicates the inner
+    // pattern across the whole dimension), replicating the inner pattern
+    // across every index this level's blocks span.
+    for (Falls& f : scaled) {
+      const std::int64_t k = f.block_len() / stride;  // indices per block
+      if (k == 1) {
+        f.inner = current;
+      } else {
+        f.inner = {make_nested(0, stride - 1, stride, k, current)};
+      }
+    }
+    current = std::move(scaled);
+  }
+  if (full) {
+    // The processor owns the entire array: one contiguous block.
+    return {make_falls(0, suffix_bytes - 1, suffix_bytes, 1)};
+  }
+  return current;
+}
+
+std::vector<FallsSet> layout_all(const ArrayDesc& a, std::span<const Dist> dists,
+                                 const GridDesc& grid) {
+  std::vector<FallsSet> out;
+  const std::int64_t p = grid.total();
+  out.reserve(static_cast<std::size_t>(p));
+  for (std::int64_t i = 0; i < p; ++i) out.push_back(layout_falls(a, dists, grid, i));
+  return out;
+}
+
+std::int64_t dist_owner(const Dist& d, std::int64_t extent, std::int64_t procs,
+                        std::int64_t idx) {
+  if (idx < 0 || idx >= extent) throw std::out_of_range("dist_owner: bad index");
+  switch (d.kind) {
+    case DistKind::kNone:
+      return 0;
+    case DistKind::kBlock:
+      return idx / div_ceil(extent, procs);
+    case DistKind::kCyclic:
+      return idx % procs;
+    case DistKind::kBlockCyclic:
+      return (idx / d.block) % procs;
+  }
+  throw std::logic_error("dist_owner: bad DistKind");
+}
+
+std::int64_t layout_owner(const ArrayDesc& a, std::span<const Dist> dists,
+                          const GridDesc& grid, std::int64_t offset) {
+  if (offset < 0 || offset >= array_bytes(a))
+    throw std::out_of_range("layout_owner: offset outside the array");
+  std::int64_t proc = 0;
+  std::int64_t rem = offset / a.elem_size;
+  // Decompose the element index into per-dimension indices (row-major).
+  std::vector<std::int64_t> idx(a.extents.size());
+  for (std::size_t d = a.extents.size(); d-- > 0;) {
+    idx[d] = rem % a.extents[d];
+    rem /= a.extents[d];
+  }
+  for (std::size_t d = 0; d < a.extents.size(); ++d) {
+    const std::int64_t owner =
+        dist_owner(dists[d], a.extents[d], grid.dims[d], idx[d]);
+    proc = proc * grid.dims[d] + owner;
+  }
+  return proc;
+}
+
+}  // namespace pfm

@@ -1,0 +1,64 @@
+// Multidimensional array partitions as nested FALLS (paper sections 3-4).
+//
+// The most used data structures of parallel scientific applications are
+// multidimensional arrays stored row-major in files. An HPF-style
+// distribution assigns each dimension a Dist over one axis of a processor
+// grid; the bytes owned by one processor then form a nested FALLS whose
+// nesting levels correspond to array dimensions — which is exactly the
+// regularity the paper's mapping and redistribution algorithms exploit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "falls/falls.h"
+#include "layout/dist.h"
+
+namespace pfm {
+
+/// Row-major array of `extents` elements of `elem_size` bytes each.
+struct ArrayDesc {
+  std::vector<std::int64_t> extents;
+  std::int64_t elem_size = 1;
+};
+
+/// Processor grid with one axis per array dimension (use extent 1 for axes
+/// of dimensions that are not distributed).
+struct GridDesc {
+  std::vector<std::int64_t> dims;
+
+  std::int64_t total() const;
+  /// Row-major linearization of grid coordinates.
+  std::vector<std::int64_t> coords(std::int64_t proc) const;
+};
+
+/// Total bytes of the array.
+std::int64_t array_bytes(const ArrayDesc& a);
+
+/// Row-major byte stride of dimension d (bytes between consecutive indices
+/// along d).
+std::int64_t dim_stride(const ArrayDesc& a, std::size_t d);
+
+/// Nested FALLS (over the array's byte space) owned by processor `proc` of
+/// the grid under per-dimension distributions `dists`. Ranks of extents,
+/// dists and grid dims must agree. Returns an empty set for processors that
+/// own no element (possible with BLOCK on non-divisible extents).
+FallsSet layout_falls(const ArrayDesc& a, std::span<const Dist> dists,
+                      const GridDesc& grid, std::int64_t proc);
+
+/// layout_falls for every processor of the grid; result[p] is processor p's
+/// set. Together the sets tile [0, array_bytes(a)) exactly.
+std::vector<FallsSet> layout_all(const ArrayDesc& a, std::span<const Dist> dists,
+                                 const GridDesc& grid);
+
+/// Owner oracle: the grid coordinate along one dimension owning element
+/// index `idx` (for tests and the naive baseline).
+std::int64_t dist_owner(const Dist& d, std::int64_t extent, std::int64_t procs,
+                        std::int64_t idx);
+
+/// Owner oracle over the whole array: processor owning the byte at `offset`.
+std::int64_t layout_owner(const ArrayDesc& a, std::span<const Dist> dists,
+                          const GridDesc& grid, std::int64_t offset);
+
+}  // namespace pfm

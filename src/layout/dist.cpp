@@ -1,0 +1,71 @@
+#include "layout/dist.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/arith.h"
+
+namespace pfm {
+
+FallsSet dist_falls(const Dist& d, std::int64_t extent, std::int64_t procs,
+                    std::int64_t proc) {
+  if (extent < 1) throw std::invalid_argument("dist_falls: extent < 1");
+  if (procs < 1) throw std::invalid_argument("dist_falls: procs < 1");
+  if (proc < 0 || proc >= procs)
+    throw std::invalid_argument("dist_falls: proc out of range");
+
+  switch (d.kind) {
+    case DistKind::kNone:
+      return {make_falls(0, extent - 1, extent, 1)};
+    case DistKind::kBlock: {
+      const std::int64_t b = div_ceil(extent, procs);
+      const std::int64_t lo = proc * b;
+      if (lo >= extent) return {};  // trailing processor with no elements
+      const std::int64_t hi = std::min(lo + b, extent) - 1;
+      return {make_falls(lo, hi, hi - lo + 1, 1)};
+    }
+    case DistKind::kCyclic: {
+      if (proc >= extent) return {};
+      const std::int64_t n = div_ceil(extent - proc, procs);
+      return {make_falls(proc, proc, procs, n)};
+    }
+    case DistKind::kBlockCyclic: {
+      const std::int64_t b = d.block;
+      if (b < 1) throw std::invalid_argument("dist_falls: block size < 1");
+      const std::int64_t stride = b * procs;
+      const std::int64_t lo = proc * b;
+      if (lo >= extent) return {};
+      // Number of (possibly clipped) blocks this processor owns.
+      const std::int64_t n_full = (extent - lo) / stride;
+      const std::int64_t rem = (extent - lo) % stride;
+      FallsSet out;
+      const std::int64_t full_n = n_full + (rem >= b ? 1 : 0);
+      if (full_n > 0)
+        out.push_back(make_falls(lo, lo + b - 1, stride, full_n));
+      if (rem > 0 && rem < b) {
+        // Clipped trailing block.
+        const std::int64_t tail_lo = lo + n_full * stride;
+        out.push_back(make_falls(tail_lo, tail_lo + rem - 1, rem, 1));
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("dist_falls: bad DistKind");
+}
+
+std::string to_string(const Dist& d) {
+  switch (d.kind) {
+    case DistKind::kNone: return "*";
+    case DistKind::kBlock: return "BLOCK";
+    case DistKind::kCyclic: return "CYCLIC";
+    case DistKind::kBlockCyclic: {
+      std::ostringstream os;
+      os << "CYCLIC(" << d.block << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace pfm

@@ -1,0 +1,51 @@
+// HPF-style per-dimension distributions (paper section 3: "support for any
+// High-Performance Fortran-style BLOCK and CYCLIC based data distribution on
+// disk and in memory is a straightforward application of our approach").
+//
+// A Dist describes how one array dimension of a given extent is split over a
+// number of processors along that dimension of the processor grid. Each
+// (dist, extent, procs, proc) combination yields a FALLS over element
+// indices [0, extent) of that dimension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+enum class DistKind {
+  kNone,         ///< dimension not distributed: every processor sees all of it
+  kBlock,        ///< contiguous blocks of ceil(extent/procs) elements
+  kCyclic,       ///< round-robin single elements (CYCLIC(1))
+  kBlockCyclic,  ///< round-robin blocks of a given size (CYCLIC(b))
+};
+
+struct Dist {
+  DistKind kind = DistKind::kNone;
+  std::int64_t block = 1;  ///< block size for kBlockCyclic; ignored otherwise
+
+  static Dist none() { return {DistKind::kNone, 1}; }
+  static Dist block_dist() { return {DistKind::kBlock, 1}; }
+  static Dist cyclic() { return {DistKind::kCyclic, 1}; }
+  static Dist block_cyclic(std::int64_t b) { return {DistKind::kBlockCyclic, b}; }
+
+  bool operator==(const Dist&) const = default;
+};
+
+/// The index set of dimension elements owned by processor `proc` out of
+/// `procs`, as a FALLS over [0, extent) in element units. For kBlock the
+/// block size is ceil(extent/procs) and trailing processors may own a short
+/// or empty range; an empty range yields a FALLS with n == 0 converted by
+/// the caller (we signal it by returning std::nullopt-like empty set via
+/// dist_falls_set).
+///
+/// extent >= 1, procs >= 1, 0 <= proc < procs required.
+FallsSet dist_falls(const Dist& d, std::int64_t extent, std::int64_t procs,
+                    std::int64_t proc);
+
+/// Human-readable name ("BLOCK", "CYCLIC", "CYCLIC(4)", "*").
+std::string to_string(const Dist& d);
+
+}  // namespace pfm

@@ -1,0 +1,109 @@
+#include "layout/ncube.h"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "util/arith.h"
+
+namespace pfm {
+
+NcubeMapping::NcubeMapping(int addr_bits, std::vector<int> disk_bit_positions)
+    : addr_bits_(addr_bits), disk_bits_(std::move(disk_bit_positions)) {
+  if (addr_bits < 1 || addr_bits > 62)
+    throw std::invalid_argument("NcubeMapping: addr_bits out of range");
+  std::sort(disk_bits_.begin(), disk_bits_.end());
+  for (std::size_t i = 0; i < disk_bits_.size(); ++i) {
+    if (disk_bits_[i] < 0 || disk_bits_[i] >= addr_bits)
+      throw std::invalid_argument("NcubeMapping: disk bit out of range");
+    if (i > 0 && disk_bits_[i] == disk_bits_[i - 1])
+      throw std::invalid_argument("NcubeMapping: duplicate disk bit");
+  }
+  for (int b = 0; b < addr_bits; ++b)
+    if (!std::binary_search(disk_bits_.begin(), disk_bits_.end(), b))
+      offset_bits_.push_back(b);
+}
+
+std::int64_t NcubeMapping::disk_of(std::int64_t addr) const {
+  if (addr < 0 || addr >= file_size())
+    throw std::out_of_range("NcubeMapping::disk_of: address out of range");
+  std::int64_t disk = 0;
+  for (std::size_t i = 0; i < disk_bits_.size(); ++i)
+    disk |= ((addr >> disk_bits_[i]) & 1) << i;
+  return disk;
+}
+
+std::int64_t NcubeMapping::offset_of(std::int64_t addr) const {
+  if (addr < 0 || addr >= file_size())
+    throw std::out_of_range("NcubeMapping::offset_of: address out of range");
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < offset_bits_.size(); ++i)
+    off |= ((addr >> offset_bits_[i]) & 1) << i;
+  return off;
+}
+
+std::int64_t NcubeMapping::address_of(std::int64_t disk, std::int64_t offset) const {
+  if (disk < 0 || disk >= disk_count())
+    throw std::out_of_range("NcubeMapping::address_of: disk out of range");
+  if (offset < 0 || offset >= disk_size())
+    throw std::out_of_range("NcubeMapping::address_of: offset out of range");
+  std::int64_t addr = 0;
+  for (std::size_t i = 0; i < disk_bits_.size(); ++i)
+    addr |= ((disk >> i) & 1) << disk_bits_[i];
+  for (std::size_t i = 0; i < offset_bits_.size(); ++i)
+    addr |= ((offset >> i) & 1) << offset_bits_[i];
+  return addr;
+}
+
+namespace {
+
+/// Byte set {x in [0, 2^bits) : for every (pos, val) constraint the bit of x
+/// at pos equals val}, built as nested FALLS by fixing the highest
+/// constrained bit first. `constraints` is sorted ascending by position.
+FallsSet constrained_bits_falls(int bits,
+                                std::span<const std::pair<int, int>> constraints) {
+  if (constraints.empty()) {
+    const std::int64_t span = std::int64_t{1} << bits;
+    return {make_falls(0, span - 1, span, 1)};
+  }
+  const auto [pos, val] = constraints.back();
+  const std::int64_t lo = static_cast<std::int64_t>(val) << pos;
+  const std::int64_t blen = std::int64_t{1} << pos;
+  const std::int64_t stride = std::int64_t{1} << (pos + 1);
+  const std::int64_t reps = std::int64_t{1} << (bits - pos - 1);
+  FallsSet inner = constrained_bits_falls(pos, constraints.first(constraints.size() - 1));
+  Falls f = make_falls(lo, lo + blen - 1, stride, reps);
+  // A full-cover inner set adds no structure; keep the FALLS flat then.
+  if (!(inner.size() == 1 && inner[0].leaf() && inner[0].l == 0 &&
+        inner[0].n == 1 && inner[0].block_len() == blen))
+    f.inner = std::move(inner);
+  return {f};
+}
+
+}  // namespace
+
+FallsSet NcubeMapping::disk_falls(std::int64_t disk) const {
+  if (disk < 0 || disk >= disk_count())
+    throw std::out_of_range("NcubeMapping::disk_falls: disk out of range");
+  std::vector<std::pair<int, int>> constraints;
+  for (std::size_t i = 0; i < disk_bits_.size(); ++i)
+    constraints.emplace_back(disk_bits_[i], static_cast<int>((disk >> i) & 1));
+  return constrained_bits_falls(addr_bits_, constraints);
+}
+
+NcubeMapping ncube_striping(std::int64_t file_size, std::int64_t disks,
+                            std::int64_t stripe) {
+  if (!is_pow2(file_size) || !is_pow2(disks) || !is_pow2(stripe))
+    throw std::invalid_argument("ncube_striping: all sizes must be powers of two");
+  const int fb = log2_exact(file_size);
+  const int db = log2_exact(disks);
+  const int sb = log2_exact(stripe);
+  if (sb + db > fb)
+    throw std::invalid_argument("ncube_striping: stripe*disks exceeds file size");
+  std::vector<int> disk_bits;
+  for (int b = sb; b < sb + db; ++b) disk_bits.push_back(b);
+  return NcubeMapping(fb, std::move(disk_bits));
+}
+
+}  // namespace pfm

@@ -1,0 +1,57 @@
+// nCube-style address-bit-permutation mappings (paper section 2 related
+// work): the nCube parallel I/O system builds mapping functions between
+// processors' views and disks by permuting the bits of the linear file
+// address. A subset of the address bits selects the disk, the remaining bits
+// (in order) form the offset within the disk.
+//
+// The paper's critique — and the reason its FALLS-based mappings are a
+// strict superset — is that every size must be a power of two. This module
+// implements the nCube scheme both directly (bit arithmetic) and as nested
+// FALLS, so tests and benches can demonstrate the equivalence on power-of-
+// two shapes and the generality gap elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// A disk mapping over a file of 2^addr_bits bytes distributed over
+/// 2^|disk_bits| disks: disk id bits are extracted from the address at the
+/// given positions (bit 0 = least significant), offset bits are the
+/// remaining positions from low to high.
+class NcubeMapping {
+ public:
+  /// disk_bit_positions must be distinct, each in [0, addr_bits).
+  NcubeMapping(int addr_bits, std::vector<int> disk_bit_positions);
+
+  int addr_bits() const { return addr_bits_; }
+  std::int64_t file_size() const { return std::int64_t{1} << addr_bits_; }
+  std::int64_t disk_count() const { return std::int64_t{1} << disk_bits_.size(); }
+  std::int64_t disk_size() const { return file_size() / disk_count(); }
+
+  /// Disk id / within-disk offset of a file address.
+  std::int64_t disk_of(std::int64_t addr) const;
+  std::int64_t offset_of(std::int64_t addr) const;
+
+  /// Inverse: the file address stored at `offset` of `disk`.
+  std::int64_t address_of(std::int64_t disk, std::int64_t offset) const;
+
+  /// The byte set of one disk as nested FALLS — the bridge into the paper's
+  /// general model. The set denotes {addr : disk_of(addr) == disk}.
+  FallsSet disk_falls(std::int64_t disk) const;
+
+ private:
+  int addr_bits_;
+  std::vector<int> disk_bits_;    ///< sorted ascending
+  std::vector<int> offset_bits_;  ///< remaining positions, ascending
+};
+
+/// Classic striping: disk bits are the log2(disks) bits just above the
+/// log2(stripe) offset bits, i.e. round-robin stripes of `stripe` bytes.
+NcubeMapping ncube_striping(std::int64_t file_size, std::int64_t disks,
+                            std::int64_t stripe);
+
+}  // namespace pfm

@@ -1,0 +1,87 @@
+#include "layout/partitions2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "layout/array_layout.h"
+
+namespace pfm {
+
+Partition2D partition2d_from_char(char c) {
+  switch (c) {
+    case 'r': return Partition2D::kRowBlocks;
+    case 'c': return Partition2D::kColumnBlocks;
+    case 'b': return Partition2D::kSquareBlocks;
+  }
+  throw std::invalid_argument("partition2d_from_char: expected r, c or b");
+}
+
+char partition2d_char(Partition2D p) {
+  switch (p) {
+    case Partition2D::kRowBlocks: return 'r';
+    case Partition2D::kColumnBlocks: return 'c';
+    case Partition2D::kSquareBlocks: return 'b';
+  }
+  return '?';
+}
+
+std::string to_string(Partition2D p) {
+  switch (p) {
+    case Partition2D::kRowBlocks: return "row-blocks";
+    case Partition2D::kColumnBlocks: return "column-blocks";
+    case Partition2D::kSquareBlocks: return "square-blocks";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t exact_isqrt(std::int64_t x) {
+  const auto r = static_cast<std::int64_t>(std::llround(std::sqrt(static_cast<double>(x))));
+  if (r * r != x)
+    throw std::invalid_argument("square-block partition needs a square part count");
+  return r;
+}
+
+}  // namespace
+
+FallsSet partition2d_falls(Partition2D p, std::int64_t rows, std::int64_t cols,
+                           std::int64_t parts, std::int64_t elem) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("partition2d: bad extents");
+  if (parts < 1 || elem < 0 || elem >= parts)
+    throw std::invalid_argument("partition2d: bad element index");
+  const ArrayDesc a{{rows, cols}, 1};
+  switch (p) {
+    case Partition2D::kRowBlocks: {
+      if (rows % parts != 0)
+        throw std::invalid_argument("row-block partition: parts must divide rows");
+      const Dist dists[2] = {Dist::block_dist(), Dist::none()};
+      return layout_falls(a, dists, GridDesc{{parts, 1}}, elem);
+    }
+    case Partition2D::kColumnBlocks: {
+      if (cols % parts != 0)
+        throw std::invalid_argument("column-block partition: parts must divide cols");
+      const Dist dists[2] = {Dist::none(), Dist::block_dist()};
+      return layout_falls(a, dists, GridDesc{{1, parts}}, elem);
+    }
+    case Partition2D::kSquareBlocks: {
+      const std::int64_t g = exact_isqrt(parts);
+      if (rows % g != 0 || cols % g != 0)
+        throw std::invalid_argument("square-block partition: grid must divide extents");
+      const Dist dists[2] = {Dist::block_dist(), Dist::block_dist()};
+      return layout_falls(a, dists, GridDesc{{g, g}}, elem);
+    }
+  }
+  throw std::logic_error("partition2d_falls: bad Partition2D");
+}
+
+std::vector<FallsSet> partition2d_all(Partition2D p, std::int64_t rows,
+                                      std::int64_t cols, std::int64_t parts) {
+  std::vector<FallsSet> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  for (std::int64_t e = 0; e < parts; ++e)
+    out.push_back(partition2d_falls(p, rows, cols, parts, e));
+  return out;
+}
+
+}  // namespace pfm

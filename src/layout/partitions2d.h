@@ -1,0 +1,35 @@
+// The two-dimensional matrix partitions used throughout the paper's
+// evaluation (section 8.2): an N x N byte matrix, stored row-major in a
+// file, split over P partition elements as blocks of rows, blocks of
+// columns, or square blocks on a sqrt(P) x sqrt(P) grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// The three physical/logical partitions of the evaluation. The paper's
+/// shorthand: 'r' = row blocks, 'c' = column blocks, 'b' = square blocks.
+enum class Partition2D { kRowBlocks, kColumnBlocks, kSquareBlocks };
+
+/// Parses 'r'/'c'/'b'; throws on anything else.
+Partition2D partition2d_from_char(char c);
+char partition2d_char(Partition2D p);
+std::string to_string(Partition2D p);
+
+/// FALLS set of partition element `elem` (0 <= elem < parts) of an
+/// rows x cols byte matrix under the given partition. kSquareBlocks
+/// requires `parts` to be a perfect square dividing both extents; the other
+/// two require the corresponding extent to be divisible by parts.
+FallsSet partition2d_falls(Partition2D p, std::int64_t rows, std::int64_t cols,
+                           std::int64_t parts, std::int64_t elem);
+
+/// All elements' sets; together they tile [0, rows*cols).
+std::vector<FallsSet> partition2d_all(Partition2D p, std::int64_t rows,
+                                      std::int64_t cols, std::int64_t parts);
+
+}  // namespace pfm

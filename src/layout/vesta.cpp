@@ -1,0 +1,63 @@
+#include "layout/vesta.h"
+
+#include <stdexcept>
+
+#include "layout/array_layout.h"
+
+namespace pfm {
+
+void validate_vesta(const VestaFile& f, const VestaPartition& p) {
+  if (f.cells < 1 || f.bsu < 1 || f.records < 1)
+    throw std::invalid_argument("Vesta: bad file shape");
+  if (p.vbs < 1 || p.vn < 1 || p.hbs < 1 || p.hn < 1)
+    throw std::invalid_argument("Vesta: bad partition parameters");
+  if (p.vbs * p.vn > f.cells)
+    throw std::invalid_argument("Vesta: vertical groups exceed the cells");
+  if (p.hbs * p.hn > f.records)
+    throw std::invalid_argument("Vesta: horizontal groups exceed the records");
+}
+
+namespace {
+
+/// Vesta's two axes are block-cyclic distributions over the record and cell
+/// dimensions of the [records][cells] x bsu array.
+ArrayDesc vesta_array(const VestaFile& f) {
+  return ArrayDesc{{f.records, f.cells}, f.bsu};
+}
+
+}  // namespace
+
+FallsSet vesta_falls(const VestaFile& f, const VestaPartition& p,
+                     std::int64_t vi, std::int64_t hj) {
+  validate_vesta(f, p);
+  if (vi < 0 || vi >= p.vn || hj < 0 || hj >= p.hn)
+    throw std::out_of_range("vesta_falls: sub-partition index out of range");
+  const Dist dists[2] = {Dist::block_cyclic(p.hbs), Dist::block_cyclic(p.vbs)};
+  const GridDesc grid{{p.hn, p.vn}};
+  // layout_falls linearizes grid coordinates row-major as (h, v).
+  return layout_falls(vesta_array(f), dists, grid, hj * p.vn + vi);
+}
+
+std::vector<FallsSet> vesta_all(const VestaFile& f, const VestaPartition& p) {
+  std::vector<FallsSet> out;
+  out.reserve(static_cast<std::size_t>(p.vn * p.hn));
+  for (std::int64_t vi = 0; vi < p.vn; ++vi)
+    for (std::int64_t hj = 0; hj < p.hn; ++hj)
+      out.push_back(vesta_falls(f, p, vi, hj));
+  return out;
+}
+
+std::int64_t vesta_owner(const VestaFile& f, const VestaPartition& p,
+                         std::int64_t offset) {
+  validate_vesta(f, p);
+  if (offset < 0 || offset >= f.bytes())
+    throw std::out_of_range("vesta_owner: offset outside the file");
+  const std::int64_t unit = offset / f.bsu;
+  const std::int64_t record = unit / f.cells;
+  const std::int64_t cell = unit % f.cells;
+  const std::int64_t vi = (cell / p.vbs) % p.vn;
+  const std::int64_t hj = (record / p.hbs) % p.hn;
+  return vi * p.hn + hj;
+}
+
+}  // namespace pfm

@@ -1,0 +1,64 @@
+// Vesta-style file partitioning (paper section 2 related work): the Vesta
+// Parallel File System views a file as a two-dimensional structure — a
+// number of cells (vertical stripes), each a sequence of basic striping
+// units (BSUs) — and partitions it into subfiles/views with four
+// parameters: Vbs/Hbs (vertical/horizontal group sizes) and Vn/Hn (group
+// counts), which carve the cell x record grid into rectangular blocks.
+//
+// The paper's claim: Vesta's scheme is "restricted only to data sets that
+// can be partitioned into two-dimensional rectangular arrays", whereas
+// nested FALLS express it directly — this module is the constructive proof,
+// mapping any Vesta partition onto the file model of section 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// The physical shape of a Vesta file: `cells` vertical stripes of `bsu`
+/// bytes per striping unit. Byte (record r, cell c, offset k) of the
+/// logical 2-D structure lives at file offset (r * cells + c) * bsu + k —
+/// records are horizontal slices across all cells.
+struct VestaFile {
+  std::int64_t cells = 1;
+  std::int64_t bsu = 1;
+  std::int64_t records = 1;  ///< records per cell (file length / (cells*bsu))
+
+  std::int64_t bytes() const { return cells * bsu * records; }
+};
+
+/// A Vesta partition: the cell axis splits into Vn groups of Vbs cells, the
+/// record axis into Hn groups of Hbs records; sub-partition (i, j) owns
+/// cell group i and record group j, interleaved cyclically when the group
+/// counts do not exhaust the axis (Vesta's round-robin semantics).
+struct VestaPartition {
+  std::int64_t vbs = 1;  ///< cells per vertical group
+  std::int64_t vn = 1;   ///< number of vertical groups
+  std::int64_t hbs = 1;  ///< records per horizontal group
+  std::int64_t hn = 1;   ///< number of horizontal groups
+};
+
+/// Validates shape divisibility: cells % (vbs*vn) == 0 is not required by
+/// Vesta (groups wrap cyclically), but vbs*vn <= cells and hbs*hn <=
+/// records keep sub-partitions non-empty. Throws std::invalid_argument.
+void validate_vesta(const VestaFile& f, const VestaPartition& p);
+
+/// The byte set of sub-partition (vi, hj), 0 <= vi < vn, 0 <= hj < hn, as
+/// nested FALLS over the file's byte space — one partition element of the
+/// section 5 model.
+FallsSet vesta_falls(const VestaFile& f, const VestaPartition& p,
+                     std::int64_t vi, std::int64_t hj);
+
+/// All vn*hn sub-partitions, row-major in (vi, hj); together they tile the
+/// file exactly.
+std::vector<FallsSet> vesta_all(const VestaFile& f, const VestaPartition& p);
+
+/// Ownership oracle for tests: which sub-partition owns the byte at
+/// `offset` (row-major (vi, hj) index).
+std::int64_t vesta_owner(const VestaFile& f, const VestaPartition& p,
+                         std::int64_t offset);
+
+}  // namespace pfm

@@ -1,0 +1,35 @@
+#include "mapping/compose.h"
+
+#include <stdexcept>
+
+namespace pfm {
+
+std::int64_t map_between(const ElementRef& from, const ElementRef& to,
+                         std::int64_t from_off, Round round) {
+  const std::int64_t file_off = map_to_file(from, from_off);
+  return map_to_element(to, file_off, round);
+}
+
+bool maps_exactly(const ElementRef& from, const ElementRef& to,
+                  std::int64_t from_off) {
+  const std::int64_t file_off = map_to_file(from, from_off);
+  const auto m = round_to_member(to, file_off, Round::kExact);
+  return m.has_value();
+}
+
+std::optional<IntervalMap> map_interval(const ElementRef& from, const ElementRef& to,
+                                        std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("map_interval: lo > hi");
+  const std::int64_t file_lo = map_to_file(from, lo);
+  const std::int64_t file_hi = map_to_file(from, hi);
+  const auto to_lo = round_to_member(to, file_lo, Round::kNext);
+  const auto to_hi = round_to_member(to, file_hi, Round::kPrev);
+  if (!to_lo.has_value() || !to_hi.has_value() || *to_lo > *to_hi)
+    return std::nullopt;
+  IntervalMap out;
+  out.lo = map_to_element(to, *to_lo);
+  out.hi = map_to_element(to, *to_hi);
+  return out;
+}
+
+}  // namespace pfm

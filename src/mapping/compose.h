@@ -1,0 +1,35 @@
+// Mapping between two partition elements of the same file (paper §6.2):
+// the composition MAP_S(MAP_V^-1(x)) carries an offset of element V to the
+// corresponding offset of element S through file-linear space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mapping/map.h"
+
+namespace pfm {
+
+/// Offset of `to` corresponding to offset `from_off` of `from`. The file
+/// byte MAP_from^-1(from_off) need not belong to `to`; `round` selects the
+/// behaviour exactly as in map_to_element.
+std::int64_t map_between(const ElementRef& from, const ElementRef& to,
+                         std::int64_t from_off, Round round = Round::kExact);
+
+/// True when byte from_off of `from` denotes the same file byte as some
+/// offset of `to` (i.e. the exact composition is defined).
+bool maps_exactly(const ElementRef& from, const ElementRef& to,
+                  std::int64_t from_off);
+
+/// Maps the access interval [lo, hi] of `from` onto `to`: lo rounds to the
+/// next member byte, hi to the previous (the paper's extremity mapping,
+/// write pseudocode lines 3-4). Returns std::nullopt when the interval
+/// covers no byte of `to`.
+struct IntervalMap {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+std::optional<IntervalMap> map_interval(const ElementRef& from, const ElementRef& to,
+                                        std::int64_t lo, std::int64_t hi);
+
+}  // namespace pfm

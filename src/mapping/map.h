@@ -1,0 +1,69 @@
+// Mapping functions between the linear space of a file and the linear space
+// of one partition element (subfile or view) — paper section 6.
+//
+// A partition element is a set of nested FALLS S belonging to a partitioning
+// pattern of size `pattern_size` applied repeatedly from byte `displacement`
+// of the file. MAP_S(x) gives the element-linear offset a file offset maps
+// to; MAP_S^-1 is its inverse. For file offsets that do not belong to S, the
+// Round::next / Round::prev variants return the mapping of the next /
+// previous file byte that does (used to map access-interval extremities,
+// lines 3-4 of the paper's write pseudocode).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// Rounding behaviour of MAP for offsets outside the element's byte set.
+enum class Round {
+  kExact,  ///< require membership; throw std::domain_error otherwise
+  kNext,   ///< map the next file byte belonging to the element
+  kPrev,   ///< map the previous file byte belonging to the element
+};
+
+/// A partition element in context: the FALLS set plus the enclosing
+/// pattern's displacement and period. All mapping functions take this.
+struct ElementRef {
+  const FallsSet* falls = nullptr;
+  std::int64_t displacement = 0;
+  std::int64_t pattern_size = 0;  ///< SIZE of the partitioning pattern
+
+  std::int64_t element_period() const;  ///< SIZE of the element's set
+};
+
+/// MAP_S: file offset -> element offset.
+///
+/// MAP_S(x) = ((x - disp) div size(P)) * size(S)
+///            + MAP-AUX_S((x - disp) mod size(P))
+///
+/// With Round::kNext/kPrev, out-of-set offsets round to the nearest member
+/// byte in the requested direction; kPrev below the first member byte (or
+/// kNext past the last when the pattern has no further period) throws
+/// std::domain_error. File offsets below the displacement are handled by the
+/// rounding rules (kNext rounds into the first period).
+std::int64_t map_to_element(const ElementRef& e, std::int64_t file_off,
+                            Round round = Round::kExact);
+
+/// MAP_S^-1: element offset -> file offset. Total for element offsets >= 0.
+std::int64_t map_to_file(const ElementRef& e, std::int64_t elem_off);
+
+/// The file offset of the next/previous member byte of e at or before/after
+/// file_off (inclusive). std::nullopt when kPrev finds no member byte at or
+/// below file_off.
+std::optional<std::int64_t> round_to_member(const ElementRef& e,
+                                            std::int64_t file_off, Round round);
+
+/// MAP-AUX for a set of nested FALLS: rank of x within one pattern period
+/// (x relative to the period start). Exposed for tests and the intersection
+/// projections. Requires membership under Round::kExact semantics.
+std::int64_t map_aux(const FallsSet& set, std::int64_t x, Round round = Round::kExact);
+
+/// MAP-AUX^-1: the byte index (relative to the period start) of the k-th
+/// member byte of the set (k = 0-based rank). Throws std::out_of_range when
+/// k >= size(set).
+std::int64_t map_aux_inverse(const FallsSet& set, std::int64_t k);
+
+}  // namespace pfm

@@ -1,0 +1,79 @@
+#include "redist/gather_scatter.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "falls/set_ops.h"
+#include "util/arith.h"
+
+namespace pfm {
+
+IndexSet::IndexSet(FallsSet falls, std::int64_t period)
+    : falls_(std::move(falls)), period_(period) {
+  if (period_ < 1) throw std::invalid_argument("IndexSet: period < 1");
+  if (set_extent(falls_) > period_)
+    throw std::invalid_argument("IndexSet: set extent exceeds period");
+  size_ = set_size(falls_);
+  runs_ = set_runs(falls_);
+}
+
+std::int64_t IndexSet::count_in(std::int64_t v, std::int64_t w) const {
+  if (v > w || size_ == 0) return 0;
+  v = std::max<std::int64_t>(v, 0);
+  if (v > w) return 0;
+  // Rank of a tiled position x: full periods below plus rank within phase.
+  const auto rank = [&](std::int64_t x) {  // member bytes strictly below x
+    const std::int64_t p = div_floor(x, period_);
+    const std::int64_t phase = mod_floor(x, period_);
+    return p * size_ + set_rank(falls_, phase);
+  };
+  return rank(w + 1) - rank(v);
+}
+
+bool IndexSet::contiguous_in(std::int64_t v, std::int64_t w) const {
+  bool first = true;
+  std::int64_t prev_end = 0;
+  bool contiguous = true;
+  for_each_run_in(v, w, [&](std::int64_t lo, std::int64_t hi) {
+    if (!first && lo != prev_end + 1) contiguous = false;
+    prev_end = hi;
+    first = false;
+  });
+  return contiguous;
+}
+
+std::int64_t gather(std::span<std::byte> dest, std::span<const std::byte> src,
+                    std::int64_t v, std::int64_t w, const IndexSet& idx) {
+  if (v > w) throw std::invalid_argument("gather: v > w");
+  if (static_cast<std::int64_t>(src.size()) < w - v + 1)
+    throw std::invalid_argument("gather: src smaller than [v, w]");
+  std::int64_t out = 0;
+  idx.for_each_run_in(v, w, [&](std::int64_t lo, std::int64_t hi) {
+    const std::int64_t len = hi - lo + 1;
+    if (out + len > static_cast<std::int64_t>(dest.size()))
+      throw std::out_of_range("gather: dest buffer too small");
+    std::memcpy(dest.data() + out, src.data() + (lo - v),
+                static_cast<std::size_t>(len));
+    out += len;
+  });
+  return out;
+}
+
+std::int64_t scatter(std::span<std::byte> dest, std::span<const std::byte> src,
+                     std::int64_t v, std::int64_t w, const IndexSet& idx) {
+  if (v > w) throw std::invalid_argument("scatter: v > w");
+  if (static_cast<std::int64_t>(dest.size()) < w - v + 1)
+    throw std::invalid_argument("scatter: dest smaller than [v, w]");
+  std::int64_t in = 0;
+  idx.for_each_run_in(v, w, [&](std::int64_t lo, std::int64_t hi) {
+    const std::int64_t len = hi - lo + 1;
+    if (in + len > static_cast<std::int64_t>(src.size()))
+      throw std::out_of_range("scatter: src buffer too small");
+    std::memcpy(dest.data() + (lo - v), src.data() + in,
+                static_cast<std::size_t>(len));
+    in += len;
+  });
+  return in;
+}
+
+}  // namespace pfm

@@ -1,0 +1,74 @@
+// Scatter and gather over nested FALLS (paper section 8): copying between
+// the non-contiguous byte positions an index set selects and a contiguous
+// buffer. The Clusterfile write path gathers view data into a wire buffer at
+// the compute node and scatters it into the subfile at the I/O node; the
+// same two procedures implement MPI-style pack/unpack (paper section 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "falls/falls.h"
+
+namespace pfm {
+
+/// A periodic index set: the FALLS pattern tiled with `period` (>= extent of
+/// the set). `runs` caches the maximal runs of one period — the paper's
+/// "set of indices computed at view setting", reused by every access.
+class IndexSet {
+ public:
+  IndexSet() = default;
+  IndexSet(FallsSet falls, std::int64_t period);
+
+  const FallsSet& falls() const { return falls_; }
+  std::int64_t period() const { return period_; }
+  /// Bytes per period.
+  std::int64_t size() const { return size_; }
+  const std::vector<LineSegment>& runs() const { return runs_; }
+
+  /// Number of member bytes in [v, w] of the tiled space.
+  std::int64_t count_in(std::int64_t v, std::int64_t w) const;
+
+  /// Invokes fn(l, r) for every maximal member run intersected with [v, w],
+  /// in increasing order (runs adjacent across a period boundary are
+  /// reported separately).
+  template <typename Fn>
+  void for_each_run_in(std::int64_t v, std::int64_t w, Fn&& fn) const {
+    if (v > w || runs_.empty()) return;
+    const std::int64_t first_period = v >= 0 ? v / period_ : 0;
+    for (std::int64_t p = first_period; p * period_ <= w; ++p) {
+      const std::int64_t base = p * period_;
+      for (const LineSegment& run : runs_) {
+        const std::int64_t lo = std::max(base + run.l, v);
+        const std::int64_t hi = std::min(base + run.r, w);
+        if (lo <= hi) fn(lo, hi);
+      }
+    }
+  }
+
+  /// True when the member bytes of [v, w] form one contiguous run (the
+  /// Clusterfile fast path that skips gather/scatter entirely).
+  bool contiguous_in(std::int64_t v, std::int64_t w) const;
+
+ private:
+  FallsSet falls_;
+  std::int64_t period_ = 1;
+  std::int64_t size_ = 0;
+  std::vector<LineSegment> runs_;
+};
+
+/// GATHER (paper section 8): copies the bytes of `src` at the member
+/// positions of `idx` within [v, w] — `src` backs positions [v, w], i.e.
+/// src[0] is position v — into the contiguous `dest`. Returns the number of
+/// bytes copied. dest must have room for idx.count_in(v, w) bytes.
+std::int64_t gather(std::span<std::byte> dest, std::span<const std::byte> src,
+                    std::int64_t v, std::int64_t w, const IndexSet& idx);
+
+/// SCATTER: the reverse copy, from contiguous `src` to the member positions
+/// of `idx` within [v, w] of `dest` (dest[0] is position v). Returns bytes
+/// copied.
+std::int64_t scatter(std::span<std::byte> dest, std::span<const std::byte> src,
+                     std::int64_t v, std::int64_t w, const IndexSet& idx);
+
+}  // namespace pfm

@@ -1,0 +1,42 @@
+#include "redist/matching.h"
+
+#include <algorithm>
+
+namespace pfm {
+
+double MatchingDegree::score() const {
+  if (bytes_per_period == 0) return 0.0;
+  // Run coarseness: mean run length normalized by the bytes one element
+  // exchanges on average; capped at 1.
+  const double per_msg =
+      static_cast<double>(bytes_per_period) / static_cast<double>(messages == 0 ? 1 : messages);
+  const double coarseness = per_msg == 0.0 ? 0.0 : std::min(1.0, mean_run_bytes / per_msg);
+  // Locality and coarseness both in [0, 1]; blend equally but keep the
+  // score positive for nonempty plans so ordering is total.
+  return 0.5 * (locality + coarseness);
+}
+
+MatchingDegree matching_degree(const RedistPlan& plan) {
+  MatchingDegree m;
+  std::int64_t same_elem_bytes = 0;
+  for (const Transfer& t : plan.transfers) {
+    m.bytes_per_period += t.bytes_per_period;
+    m.runs_per_period += t.runs_per_period;
+    m.messages += 1;
+    if (t.src_elem == t.dst_elem) same_elem_bytes += t.bytes_per_period;
+  }
+  if (m.bytes_per_period > 0) {
+    m.locality = static_cast<double>(same_elem_bytes) /
+                 static_cast<double>(m.bytes_per_period);
+    m.mean_run_bytes = static_cast<double>(m.bytes_per_period) /
+                       static_cast<double>(m.runs_per_period == 0 ? 1 : m.runs_per_period);
+  }
+  return m;
+}
+
+MatchingDegree matching_degree(const PartitioningPattern& from,
+                               const PartitioningPattern& to) {
+  return matching_degree(build_plan(from, to));
+}
+
+}  // namespace pfm

@@ -1,0 +1,43 @@
+// Matching degree of two partitions (paper section 9, future work): "We are
+// interested in finding a quantitative description of the matching degree
+// of two partitions" — this module provides one, derived from the
+// redistribution plan, and the ablation benchmark relates it to measured
+// redistribution cost.
+#pragma once
+
+#include <cstdint>
+
+#include "redist/plan.h"
+
+namespace pfm {
+
+struct MatchingDegree {
+  /// Fraction of bytes that stay on the same element index (no inter-element
+  /// traffic). 1.0 for identical partitions.
+  double locality = 0.0;
+  /// Mean contiguous run length (bytes) across all transfers — long runs
+  /// mean cheap gather/scatter and good network utilization.
+  double mean_run_bytes = 0.0;
+  /// Total contiguous runs per common period (fragmentation; gather cost
+  /// proxy).
+  std::int64_t runs_per_period = 0;
+  /// Element pairs exchanging data (message count per period).
+  std::int64_t messages = 0;
+  /// Bytes exchanged per common period.
+  std::int64_t bytes_per_period = 0;
+
+  /// Scalar score in (0, 1]: locality weighted by run coarseness; 1.0 means
+  /// a perfect match (identity redistribution, all bytes in one run per
+  /// element).
+  double score() const;
+};
+
+/// Computes the metric from a plan (cheap: uses the per-transfer accounting
+/// already stored there).
+MatchingDegree matching_degree(const RedistPlan& plan);
+
+/// Convenience: plan + metric.
+MatchingDegree matching_degree(const PartitioningPattern& from,
+                               const PartitioningPattern& to);
+
+}  // namespace pfm

@@ -1,0 +1,34 @@
+#include "redist/naive.h"
+
+#include <stdexcept>
+
+namespace pfm {
+
+RedistStats naive_redistribute(const PartitioningPattern& from,
+                               const PartitioningPattern& to,
+                               const std::vector<Buffer>& src,
+                               std::vector<Buffer>& dst, std::int64_t file_size) {
+  if (from.displacement() != to.displacement())
+    throw std::invalid_argument("naive_redistribute: displacements must match");
+  if (src.size() != from.element_count())
+    throw std::invalid_argument("naive_redistribute: source buffer count mismatch");
+
+  dst.assign(to.element_count(), Buffer{});
+  for (std::size_t j = 0; j < to.element_count(); ++j)
+    dst[j].resize(static_cast<std::size_t>(to.element_bytes(j, file_size)));
+
+  RedistStats stats;
+  for (std::int64_t x = from.displacement(); x < file_size; ++x) {
+    const std::size_t i = from.element_of(x);
+    const std::size_t j = to.element_of(x);
+    const std::int64_t so = from.map_to_element(i, x);
+    const std::int64_t to_off = to.map_to_element(j, x);
+    dst[j][static_cast<std::size_t>(to_off)] = src[i][static_cast<std::size_t>(so)];
+    ++stats.bytes_moved;
+    ++stats.copy_runs;
+  }
+  stats.messages = stats.bytes_moved;  // every byte is its own message
+  return stats;
+}
+
+}  // namespace pfm

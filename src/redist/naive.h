@@ -1,0 +1,26 @@
+// The baseline the paper argues against (section 3): "by converting between
+// two different distributions, it would be inefficient to map each byte
+// from one distribution to another". This executor does exactly that — one
+// MAP^-1 / element_of / MAP composition per byte — and exists so the
+// ablation benchmark can quantify the advantage of segment-wise
+// redistribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "file_model/pattern.h"
+#include "redist/execute.h"
+#include "util/buffer.h"
+
+namespace pfm {
+
+/// Byte-at-a-time redistribution via mapping-function composition. Produces
+/// the same result as execute_redist; costs one full mapping computation
+/// per byte.
+RedistStats naive_redistribute(const PartitioningPattern& from,
+                               const PartitioningPattern& to,
+                               const std::vector<Buffer>& src,
+                               std::vector<Buffer>& dst, std::int64_t file_size);
+
+}  // namespace pfm

@@ -1,0 +1,44 @@
+#include "redist/plan.h"
+
+#include "intersect/project.h"
+
+namespace pfm {
+
+std::int64_t RedistPlan::bytes_per_period() const {
+  std::int64_t total = 0;
+  for (const Transfer& t : transfers) total += t.bytes_per_period;
+  return total;
+}
+
+RedistPlan build_plan(const PartitioningPattern& from,
+                      const PartitioningPattern& to) {
+  RedistPlan plan;
+  bool first = true;
+  for (std::size_t i = 0; i < from.element_count(); ++i) {
+    const PatternElement src = from.pattern_element(i);
+    for (std::size_t j = 0; j < to.element_count(); ++j) {
+      const PatternElement dst = to.pattern_element(j);
+      Intersection x = intersect_nested(src, dst);
+      if (first) {
+        plan.period = x.period;
+        plan.origin = x.origin;
+        first = false;
+      }
+      if (x.empty()) continue;
+      Transfer t;
+      t.src_elem = i;
+      t.dst_elem = j;
+      t.bytes_per_period = set_size(x.falls);
+      t.runs_per_period = static_cast<std::int64_t>(set_runs(x.falls).size());
+      const Projection ps = project(x, src);
+      const Projection pd = project(x, dst);
+      t.src_idx = IndexSet(ps.falls, ps.period);
+      t.dst_idx = IndexSet(pd.falls, pd.period);
+      t.common = std::move(x.falls);
+      plan.transfers.push_back(std::move(t));
+    }
+  }
+  return plan;
+}
+
+}  // namespace pfm

@@ -1,0 +1,37 @@
+#include "util/arith.h"
+
+#include <limits>
+
+namespace pfm {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  if (a < 0 || b < 0) throw std::invalid_argument("gcd64: negative input");
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t mul_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    throw std::overflow_error("mul_checked: int64 overflow");
+  return out;
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a, b);
+  return mul_checked(a / g, b);
+}
+
+int log2_exact(std::int64_t x) {
+  if (!is_pow2(x)) throw std::invalid_argument("log2_exact: not a power of two");
+  int k = 0;
+  while ((std::int64_t{1} << k) != x) ++k;
+  return k;
+}
+
+}  // namespace pfm

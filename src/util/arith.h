@@ -1,0 +1,48 @@
+// Integer arithmetic helpers used throughout the FALLS algebra.
+//
+// All file offsets and sizes in this library are signed 64-bit. The FALLS
+// intersection algorithm relies on exact lcm/gcd of strides and on
+// floor-division semantics for possibly-negative differences, which C++'s
+// builtin operators do not provide for negative operands.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace pfm {
+
+/// Greatest common divisor. gcd(0, x) == x. Inputs must be non-negative.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple. Throws std::overflow_error when the result would
+/// not fit in int64. lcm(0, x) == 0.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/// Floor division: rounds toward negative infinity (Python's //).
+constexpr std::int64_t div_floor(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Mathematical modulus: result has the sign of the divisor (Python's %).
+constexpr std::int64_t mod_floor(std::int64_t a, std::int64_t b) {
+  const std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+
+/// Ceiling division for non-negative a and positive b.
+constexpr std::int64_t div_ceil(std::int64_t a, std::int64_t b) {
+  return div_floor(a + b - 1, b);
+}
+
+/// Checked multiplication; throws std::overflow_error on overflow.
+std::int64_t mul_checked(std::int64_t a, std::int64_t b);
+
+/// True when x is a power of two (x > 0).
+constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Integer log2 of a power of two.
+int log2_exact(std::int64_t x);
+
+}  // namespace pfm

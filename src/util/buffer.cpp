@@ -1,0 +1,38 @@
+#include "util/buffer.h"
+
+#include <cstring>
+
+namespace pfm {
+
+namespace {
+// splitmix64: tiny, high-quality 64-bit mixer; good enough to make every
+// byte of a test image distinct with overwhelming probability.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::byte pattern_byte(std::uint64_t off, std::uint64_t seed) {
+  return static_cast<std::byte>(mix64(off ^ (seed * 0x2545f4914f6cdd1dULL)) & 0xff);
+}
+
+void fill_pattern(std::span<std::byte> buf, std::uint64_t seed) {
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = pattern_byte(i, seed);
+}
+
+Buffer make_pattern_buffer(std::size_t n, std::uint64_t seed) {
+  Buffer b(n);
+  fill_pattern(b, seed);
+  return b;
+}
+
+bool equal_bytes(std::span<const std::byte> a, std::span<const std::byte> b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+}  // namespace pfm

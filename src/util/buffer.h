@@ -1,0 +1,28 @@
+// Byte-buffer helpers shared by the redistribution executor, the datatype
+// pack/unpack routines and the Clusterfile storage backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pfm {
+
+using Buffer = std::vector<std::byte>;
+
+/// Fills buf with a deterministic pseudo-random pattern derived from seed.
+/// Used by tests and benchmarks to create recognizable file images.
+void fill_pattern(std::span<std::byte> buf, std::uint64_t seed);
+
+/// Returns a buffer of n bytes filled via fill_pattern.
+Buffer make_pattern_buffer(std::size_t n, std::uint64_t seed);
+
+/// Byte at file offset `off` of the canonical test image with seed `seed`.
+/// fill_pattern(buf, seed) makes buf[i] == pattern_byte(i, seed).
+std::byte pattern_byte(std::uint64_t off, std::uint64_t seed);
+
+/// memcmp convenience; true when the two spans have equal size and contents.
+bool equal_bytes(std::span<const std::byte> a, std::span<const std::byte> b);
+
+}  // namespace pfm

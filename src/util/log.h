@@ -1,0 +1,41 @@
+// Minimal leveled logger. Off by default; the Clusterfile simulation enables
+// it under PFM_LOG=debug for tracing the message protocol.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pfm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; initialized from the PFM_LOG environment variable
+/// (debug|info|warn|error|off) on first use.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel lv);
+
+/// Emits one line to stderr when lv >= threshold. Thread-safe (single write).
+void log_line(LogLevel lv, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+#define PFM_LOG(level, ...)                                       \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::pfm::log_threshold()))                 \
+      ::pfm::log_line(level, ::pfm::detail::cat(__VA_ARGS__));    \
+  } while (0)
+
+#define PFM_DEBUG(...) PFM_LOG(::pfm::LogLevel::kDebug, __VA_ARGS__)
+#define PFM_INFO(...) PFM_LOG(::pfm::LogLevel::kInfo, __VA_ARGS__)
+#define PFM_WARN(...) PFM_LOG(::pfm::LogLevel::kWarn, __VA_ARGS__)
+#define PFM_ERROR(...) PFM_LOG(::pfm::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace pfm

@@ -1,0 +1,32 @@
+// Seeded pseudo-random generator for property tests and workload generators.
+//
+// A thin wrapper over std::mt19937_64 with convenience ranges; every use in
+// tests/benchmarks takes an explicit seed so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pfm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// True with probability p.
+  bool chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng_) < p;
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace pfm

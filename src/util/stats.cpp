@@ -1,0 +1,39 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pfm {
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  if (samples_.empty()) throw std::logic_error("Stats::min on empty");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  if (samples_.empty()) throw std::logic_error("Stats::max on empty");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::rel_stddev() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+}  // namespace pfm

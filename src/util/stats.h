@@ -1,0 +1,32 @@
+// Small descriptive-statistics helper for benchmark repetitions.
+//
+// The paper reports means of 10 repetitions and notes the standard deviation
+// stayed within 4% of the mean; the table binaries reproduce that protocol.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pfm {
+
+/// Accumulates samples and reports mean / stddev / min / max.
+class Stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// stddev / mean, or 0 when the mean is 0.
+  double rel_stddev() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace pfm

@@ -1,0 +1,63 @@
+// Wall-clock phase timer used by the Clusterfile case study and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pfm {
+
+/// Monotonic stopwatch with microsecond reporting.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time since construction or last reset, in microseconds.
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across disjoint measured sections (e.g. the gather phase
+/// of every write in a repetition loop).
+class PhaseAccumulator {
+ public:
+  void add_us(double us) {
+    total_us_ += us;
+    ++samples_;
+  }
+
+  void clear() {
+    total_us_ = 0;
+    samples_ = 0;
+  }
+
+  double total_us() const { return total_us_; }
+  std::int64_t samples() const { return samples_; }
+
+ private:
+  double total_us_ = 0;
+  std::int64_t samples_ = 0;
+};
+
+/// RAII helper: measures the lifetime of a scope into an accumulator.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseAccumulator& acc) : acc_(acc) {}
+  ~ScopedPhase() { acc_.add_us(timer_.elapsed_us()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseAccumulator& acc_;
+  Timer timer_;
+};
+
+}  // namespace pfm

@@ -1,0 +1,118 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm {
+
+AccessTrace make_sequential(std::int64_t total, std::int64_t chunk) {
+  if (total < 1 || chunk < 1)
+    throw std::invalid_argument("make_sequential: bad sizes");
+  AccessTrace out;
+  for (std::int64_t off = 0; off < total; off += chunk)
+    out.push_back({off, std::min(chunk, total - off)});
+  return out;
+}
+
+AccessTrace make_strided(std::int64_t first, std::int64_t record,
+                         std::int64_t stride, std::int64_t count) {
+  if (first < 0 || record < 1 || count < 1 || (count > 1 && stride < record))
+    throw std::invalid_argument("make_strided: bad parameters");
+  AccessTrace out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k)
+    out.push_back({first + k * stride, record});
+  return out;
+}
+
+AccessTrace make_nested_strided(std::int64_t first, std::int64_t record,
+                                std::int64_t stride, std::int64_t count,
+                                std::int64_t outer_stride,
+                                std::int64_t outer_count) {
+  if (outer_count < 1)
+    throw std::invalid_argument("make_nested_strided: bad outer count");
+  const AccessTrace inner = make_strided(first, record, stride, count);
+  const std::int64_t inner_span = trace_span(inner) - first;
+  if (outer_count > 1 && outer_stride < inner_span)
+    throw std::invalid_argument("make_nested_strided: outer stride overlaps");
+  AccessTrace out;
+  out.reserve(inner.size() * static_cast<std::size_t>(outer_count));
+  for (std::int64_t g = 0; g < outer_count; ++g)
+    for (const AccessOp& op : inner)
+      out.push_back({op.offset + g * outer_stride, op.len});
+  return out;
+}
+
+AccessTrace make_random(Rng& rng, std::int64_t total, std::int64_t len,
+                        std::int64_t count) {
+  if (total < 1 || len < 1 || count < 1 || len * count > total)
+    throw std::invalid_argument("make_random: requests do not fit");
+  // Slot-based sampling keeps requests disjoint: choose `count` of the
+  // total/len aligned slots.
+  const std::int64_t slots = total / len;
+  std::vector<std::int64_t> chosen;
+  std::vector<std::int64_t> all(static_cast<std::size_t>(slots));
+  for (std::int64_t s = 0; s < slots; ++s) all[static_cast<std::size_t>(s)] = s;
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  chosen.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count));
+  std::sort(chosen.begin(), chosen.end());
+  AccessTrace out;
+  out.reserve(chosen.size());
+  for (std::int64_t s : chosen) out.push_back({s * len, len});
+  return out;
+}
+
+std::int64_t trace_bytes(const AccessTrace& trace) {
+  std::int64_t total = 0;
+  for (const AccessOp& op : trace) total += op.len;
+  return total;
+}
+
+std::int64_t trace_span(const AccessTrace& trace) {
+  std::int64_t span = 0;
+  for (const AccessOp& op : trace) span = std::max(span, op.offset + op.len);
+  return span;
+}
+
+ReplayStats replay_writes(ClusterfileClient& client, std::int64_t view_id,
+                          const AccessTrace& trace,
+                          std::span<const std::byte> data) {
+  ReplayStats out;
+  for (const AccessOp& op : trace) {
+    if (op.offset + op.len > static_cast<std::int64_t>(data.size()))
+      throw std::invalid_argument("replay_writes: trace exceeds the buffer");
+    const auto t = client.write(
+        view_id, op.offset, op.offset + op.len - 1,
+        data.subspan(static_cast<std::size_t>(op.offset),
+                     static_cast<std::size_t>(op.len)));
+    ++out.ops;
+    out.bytes += t.bytes;
+    out.messages += t.messages;
+    out.t_m_us += t.t_m_us;
+    out.t_g_us += t.t_g_us;
+    out.t_w_us += t.t_w_us;
+  }
+  return out;
+}
+
+ReplayStats replay_reads(ClusterfileClient& client, std::int64_t view_id,
+                         const AccessTrace& trace, std::span<std::byte> out_buf) {
+  ReplayStats out;
+  for (const AccessOp& op : trace) {
+    if (op.offset + op.len > static_cast<std::int64_t>(out_buf.size()))
+      throw std::invalid_argument("replay_reads: trace exceeds the buffer");
+    const auto t = client.read(
+        view_id, op.offset, op.offset + op.len - 1,
+        out_buf.subspan(static_cast<std::size_t>(op.offset),
+                        static_cast<std::size_t>(op.len)));
+    ++out.ops;
+    out.bytes += t.bytes;
+    out.messages += t.messages;
+    out.t_m_us += t.t_m_us;
+    out.t_g_us += t.t_g_us;
+    out.t_w_us += t.t_w_us;
+  }
+  return out;
+}
+
+}  // namespace pfm

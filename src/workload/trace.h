@@ -1,0 +1,75 @@
+// Synthetic access-trace generation and replay.
+//
+// The workload characterization studies the paper builds its motivation on
+// (Nieuwejaar/Kotz CHARISMA, Crandall et al., Smirni/Reed — paper section 1)
+// found parallel scientific applications issue many small, regularly
+// strided requests. This module generates such traces — sequential, simple
+// strided, nested strided, and uniform random — and replays them against a
+// Clusterfile view, so benchmarks can study how physical/logical matching
+// behaves under realistic request streams rather than one bulk write.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clusterfile/client.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+
+namespace pfm {
+
+/// One request against a view: bytes [offset, offset + len) in view space.
+struct AccessOp {
+  std::int64_t offset = 0;
+  std::int64_t len = 0;
+};
+
+using AccessTrace = std::vector<AccessOp>;
+
+/// Whole-range sequential access in `chunk`-byte requests (last one may be
+/// short). total >= 1, chunk >= 1.
+AccessTrace make_sequential(std::int64_t total, std::int64_t chunk);
+
+/// Simple strided access: `count` records of `record` bytes, record starts
+/// `stride` apart, beginning at `first`.
+AccessTrace make_strided(std::int64_t first, std::int64_t record,
+                         std::int64_t stride, std::int64_t count);
+
+/// Nested strided: the strided trace above, repeated `outer_count` times at
+/// `outer_stride` intervals (the CHARISMA nested-strided shape).
+AccessTrace make_nested_strided(std::int64_t first, std::int64_t record,
+                                std::int64_t stride, std::int64_t count,
+                                std::int64_t outer_stride,
+                                std::int64_t outer_count);
+
+/// `count` non-overlapping random requests of `len` bytes within
+/// [0, total), sorted by offset.
+AccessTrace make_random(Rng& rng, std::int64_t total, std::int64_t len,
+                        std::int64_t count);
+
+/// Total bytes a trace touches.
+std::int64_t trace_bytes(const AccessTrace& trace);
+/// Largest offset+len over the trace (0 for an empty trace).
+std::int64_t trace_span(const AccessTrace& trace);
+
+/// Replay accounting.
+struct ReplayStats {
+  std::int64_t ops = 0;
+  std::int64_t bytes = 0;
+  std::int64_t messages = 0;  ///< server requests across all ops
+  double t_m_us = 0;
+  double t_g_us = 0;
+  double t_w_us = 0;
+};
+
+/// Replays the trace as writes through `view_id` of `client`; data[k] backs
+/// view byte k (the trace must stay within data.size()).
+ReplayStats replay_writes(ClusterfileClient& client, std::int64_t view_id,
+                          const AccessTrace& trace,
+                          std::span<const std::byte> data);
+
+/// Replays the trace as reads; `out` is filled at the trace's positions.
+ReplayStats replay_reads(ClusterfileClient& client, std::int64_t view_id,
+                         const AccessTrace& trace, std::span<std::byte> out);
+
+}  // namespace pfm

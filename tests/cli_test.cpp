@@ -1,0 +1,84 @@
+// End-to-end tests of the pfm_falls command-line tool: spawn the real
+// binary and check stdout and exit codes. The binary path comes from the
+// PFM_FALLS_BIN compile definition set by CMake.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace pfm {
+namespace {
+
+struct CliResult {
+  int status = -1;
+  std::string out;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(PFM_FALLS_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CliResult r;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) r.out += buf.data();
+  const int rc = pclose(pipe);
+  r.status = WEXITSTATUS(rc);
+  return r;
+}
+
+TEST(Cli, SizeReportsPaperFigure2) {
+  const CliResult r = run_cli("size '{(0,3,8,2,{(0,0,2,2)})}'");
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("size 4"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("height 2"), std::string::npos) << r.out;
+}
+
+TEST(Cli, RenderShowsMemberBytes) {
+  const CliResult r = run_cli("render '{(1,2,4,2)}' 8");
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find(". X X . . X X ."), std::string::npos) << r.out;
+}
+
+TEST(Cli, MapMatchesPaperFigure3) {
+  // MAP of file byte 10 on subfile (2,3,6,1) with T=6, disp=2 is 2.
+  const CliResult r = run_cli("map '{(2,3,6,1)}' 6 2 10");
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(r.out, "2\n");
+  const CliResult inv = run_cli("unmap '{(2,3,6,1)}' 6 2 2");
+  EXPECT_EQ(inv.out, "10\n");
+}
+
+TEST(Cli, CutMatchesPaperExample) {
+  const CliResult r = run_cli("cut '{(3,5,6,5)}' 4 23");
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("(0,1,"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("(5,7,6,3)"), std::string::npos) << r.out;
+}
+
+TEST(Cli, IntersectReproducesFigure4) {
+  const CliResult r = run_cli(
+      "intersect '{(0,7,16,2,{(0,1,4,2)})}' 32 0 '{(0,3,8,4,{(0,0,2,2)})}' 32 0");
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("bytes 2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("proj1 {(0,0,4,2)}"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("proj2 {(0,0,4,2)}"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CompressFindsStructure) {
+  const CliResult r = run_cli("compress '0-1,6-7,12-13,18-19'");
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(r.out, "{(0,1,6,4)}\n");
+}
+
+TEST(Cli, UsageAndDomainErrors) {
+  EXPECT_EQ(run_cli("").status, 1);
+  EXPECT_EQ(run_cli("frobnicate x").status, 1);
+  EXPECT_EQ(run_cli("size '{(5,2,6,1)}'").status, 2);  // l > r
+  // MAP of a byte outside the element: domain error -> exit 2.
+  EXPECT_EQ(run_cli("map '{(2,3,6,1)}' 6 2 6").status, 2);
+  EXPECT_EQ(run_cli("map '{(2,3,6,1)}' 6 2").status, 1);  // missing arg
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,133 @@
+// Tests for the simulated cluster substrate: channels, network routing,
+// node loops, and the wire cost model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/node.h"
+
+namespace pfm {
+namespace {
+
+TEST(Channel, FifoDelivery) {
+  Channel ch;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.v = i;
+    ASSERT_TRUE(ch.send(std::move(m)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto m = ch.receive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->v, i);
+  }
+  EXPECT_EQ(ch.try_receive(), std::nullopt);
+}
+
+TEST(Channel, CloseUnblocksReceivers) {
+  Channel ch;
+  std::thread t([&] {
+    auto m = ch.receive();
+    EXPECT_FALSE(m.has_value());
+  });
+  ch.close();
+  t.join();
+  Message m;
+  EXPECT_FALSE(ch.send(std::move(m)));  // sends after close are dropped
+}
+
+TEST(Channel, BackPressureBlocksSender) {
+  Channel ch(2);
+  Message a, b;
+  ASSERT_TRUE(ch.send(std::move(a)));
+  ASSERT_TRUE(ch.send(std::move(b)));
+  std::atomic<bool> sent{false};
+  std::thread t([&] {
+    Message c;
+    ch.send(std::move(c));
+    sent.store(true);
+  });
+  // The third send must wait until we drain one message.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(sent.load());
+  ASSERT_TRUE(ch.receive().has_value());
+  t.join();
+  EXPECT_TRUE(sent.load());
+}
+
+TEST(Channel, DrainsAfterClose) {
+  Channel ch;
+  Message m;
+  m.v = 42;
+  ASSERT_TRUE(ch.send(std::move(m)));
+  ch.close();
+  auto got = ch.receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->v, 42);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Network, RoutesToDestinationInbox) {
+  Network net(3);
+  Message m;
+  m.kind = MsgKind::kWrite;
+  m.dst_node = 2;
+  ASSERT_TRUE(net.send(0, std::move(m)));
+  auto got = net.inbox(2).try_receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src_node, 0);
+  EXPECT_EQ(got->kind, MsgKind::kWrite);
+  EXPECT_EQ(net.inbox(1).try_receive(), std::nullopt);
+  Message bad;
+  bad.dst_node = 7;
+  EXPECT_THROW(net.send(0, std::move(bad)), std::out_of_range);
+}
+
+TEST(Network, WireModelAccountsLatencyAndBandwidth) {
+  NetParams p{10.0, 100.0};  // 10 us + bytes/100 us
+  EXPECT_DOUBLE_EQ(p.wire_time_us(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.wire_time_us(1000), 20.0);
+
+  Network net(2, p);
+  Message m;
+  m.dst_node = 1;
+  m.payload.resize(936);  // wire_bytes = 64 + 936 = 1000
+  net.send(0, std::move(m));
+  EXPECT_EQ(net.messages_sent(), 1);
+  EXPECT_EQ(net.bytes_sent(), 1000);
+  EXPECT_NEAR(net.simulated_wire_us(), 20.0, 0.1);
+  net.reset_accounting();
+  EXPECT_EQ(net.messages_sent(), 0);
+}
+
+TEST(NodeLoop, HandlesMessagesUntilShutdown) {
+  Network net(2);
+  std::atomic<int> handled{0};
+  NodeLoop loop(net, 1, [&](Message&&) { handled.fetch_add(1); });
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.kind = MsgKind::kAck;
+    m.dst_node = 1;
+    net.send(0, std::move(m));
+  }
+  loop.stop();
+  EXPECT_EQ(handled.load(), 3);
+}
+
+TEST(NodeLoop, StopIsIdempotent) {
+  Network net(1);
+  NodeLoop loop(net, 0, [](Message&&) {});
+  loop.stop();
+  loop.stop();  // must not hang or crash
+}
+
+TEST(MsgKind, Names) {
+  EXPECT_STREQ(to_string(MsgKind::kSetView), "SET_VIEW");
+  EXPECT_STREQ(to_string(MsgKind::kShutdown), "SHUTDOWN");
+}
+
+}  // namespace
+}  // namespace pfm

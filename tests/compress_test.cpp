@@ -1,0 +1,90 @@
+// Tests for run-list -> FALLS compression.
+#include <gtest/gtest.h>
+
+#include "falls/compress.h"
+#include "falls/print.h"
+#include "falls/set_ops.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(CompressRuns, SingleRun) {
+  const std::vector<LineSegment> runs{{3, 9}};
+  const FallsSet s = compress_runs(runs);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(byte_set(s), byte_set({from_segment({3, 9})}));
+}
+
+TEST(CompressRuns, UniformProgressionBecomesOneFalls) {
+  // Runs 0-1, 6-7, 12-13, 18-19 -> (0,1,6,4).
+  const std::vector<LineSegment> runs{{0, 1}, {6, 7}, {12, 13}, {18, 19}};
+  const FallsSet s = compress_runs(runs);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], make_falls(0, 1, 6, 4));
+}
+
+TEST(CompressRuns, MixedLengthsSplitFamilies) {
+  const std::vector<LineSegment> runs{{0, 1}, {4, 5}, {8, 10}, {20, 22}};
+  const FallsSet s = compress_runs(runs);
+  EXPECT_EQ(byte_set(s),
+            (std::set<std::int64_t>{0, 1, 4, 5, 8, 9, 10, 20, 21, 22}));
+  EXPECT_NO_THROW(validate_falls_set(s));
+}
+
+TEST(CompressRuns, IrregularStridesStayIndividual) {
+  const std::vector<LineSegment> runs{{0, 0}, {3, 3}, {5, 5}, {10, 10}};
+  const FallsSet s = compress_runs(runs);
+  EXPECT_EQ(byte_set(s), (std::set<std::int64_t>{0, 3, 5, 10}));
+}
+
+TEST(CompressNested, DetectsTwoLevelStructure) {
+  // Two groups of three runs: {0,4,8} and {20,24,28} -> nested FALLS
+  // (outer stride 20, inner (0,0,4,3)).
+  std::vector<LineSegment> runs;
+  for (std::int64_t base : {0, 20, 40, 60})
+    for (std::int64_t k : {0, 4, 8}) runs.push_back({base + k, base + k});
+  const FallsSet s = compress_runs_nested(runs);
+  std::set<std::int64_t> expected;
+  for (const LineSegment& r : runs) expected.insert(r.l);
+  EXPECT_EQ(byte_set(s), expected) << to_string(s);
+  // The nested form is strictly more compact than 12 segments.
+  EXPECT_LE(node_count(s), 4);
+}
+
+TEST(CompressNested, FallsBackToFlatWhenIrregular) {
+  const std::vector<LineSegment> runs{{0, 0}, {7, 8}, {13, 13}};
+  const FallsSet s = compress_runs_nested(runs);
+  EXPECT_EQ(byte_set(s), (std::set<std::int64_t>{0, 7, 8, 13}));
+}
+
+TEST(Recompress, PreservesByteSet) {
+  Rng rng(909);
+  for (int it = 0; it < 100; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 200, 3);
+    const FallsSet r = recompress(s);
+    EXPECT_EQ(byte_set(r), byte_set(s)) << to_string(s) << " -> " << to_string(r);
+    EXPECT_NO_THROW(validate_falls_set(r));
+  }
+}
+
+TEST(Recompress, CompactsRegularPatterns) {
+  // A BLOCK-CYCLIC-like pattern expressed as many segments compresses to a
+  // single FALLS.
+  std::vector<LineSegment> runs;
+  for (std::int64_t k = 0; k < 64; ++k) runs.push_back({k * 16, k * 16 + 3});
+  const FallsSet s = compress_runs_nested(runs);
+  EXPECT_LE(node_count(s), 2);
+  EXPECT_EQ(set_size(s), 64 * 4);
+}
+
+TEST(NodeCount, CountsAllLevels) {
+  const FallsSet s{make_nested(0, 7, 16, 2,
+                               {make_falls(0, 1, 4, 2), make_falls(3, 3, 4, 1)})};
+  EXPECT_EQ(node_count(s), 3);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,118 @@
+// Tests for CUT-FALLS and the period-rebasing used by PREPROCESS.
+#include <gtest/gtest.h>
+
+#include "falls/print.h"
+#include "intersect/cut.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+std::set<std::int64_t> oracle_cut(const FallsSet& s, std::int64_t a, std::int64_t b) {
+  std::set<std::int64_t> out;
+  for (std::int64_t x : set_bytes(s))
+    if (x >= a && x <= b) out.insert(x - a);
+  return out;
+}
+
+// Paper section 7: cutting FALLS (3,5,6,5) between 4 and 23 keeps bytes
+// {4,5, 9,10,11, 15,16,17, 21,22,23}, relative to 4.
+TEST(Cut, PaperExampleFigure1Between4And23) {
+  const Falls f = make_falls(3, 5, 6, 5);
+  const FallsSet cut = cut_falls(f, 4, 23);
+  const std::set<std::int64_t> expected{0, 1, 5, 6, 7, 11, 12, 13, 17, 18, 19};
+  EXPECT_EQ(byte_set(cut), expected) << to_string(cut);
+  EXPECT_NO_THROW(validate_falls_set(cut));
+}
+
+TEST(Cut, WindowInsideSingleBlock) {
+  const Falls f = make_falls(0, 9, 20, 2);
+  const FallsSet cut = cut_falls(f, 2, 5);
+  EXPECT_EQ(byte_set(cut), (std::set<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(Cut, WindowClipsSingleBlockOnRightOnly) {
+  // Regression guard: one block, clipped only by b.
+  const Falls f = make_falls(4, 11, 20, 1);
+  const FallsSet cut = cut_falls(f, 0, 7);
+  EXPECT_EQ(byte_set(cut), (std::set<std::int64_t>{4, 5, 6, 7}));
+}
+
+TEST(Cut, WindowClipsSingleBlockOnLeftOnly) {
+  const Falls f = make_falls(0, 7, 20, 1);
+  const FallsSet cut = cut_falls(f, 4, 30);
+  EXPECT_EQ(byte_set(cut), (std::set<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(Cut, DisjointWindowIsEmpty) {
+  const Falls f = make_falls(0, 3, 10, 2);
+  EXPECT_TRUE(cut_falls(f, 4, 9).empty());
+  EXPECT_TRUE(cut_falls(f, 20, 30).empty());
+}
+
+TEST(Cut, NestedBlocksCutRecursively) {
+  // Figure 2 pattern: bytes {0,2,8,10}; window [1, 9] keeps {2, 8} -> {1, 7}.
+  const Falls f = make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)});
+  const FallsSet cut = cut_falls(f, 1, 9);
+  EXPECT_EQ(byte_set(cut), (std::set<std::int64_t>{1, 7})) << to_string(cut);
+}
+
+TEST(Cut, RejectsInvertedWindow) {
+  EXPECT_THROW(cut_falls(make_falls(0, 1, 4, 1), 3, 2), std::invalid_argument);
+}
+
+TEST(Cut, PropertyMatchesOracle) {
+  Rng rng(1234);
+  for (int it = 0; it < 150; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 120, 3);
+    const std::int64_t ext = set_extent(s);
+    const std::int64_t a = rng.uniform(0, ext);
+    const std::int64_t b = a + rng.uniform(0, ext - a + 4);
+    const FallsSet cut = cut_set(s, a, b);
+    EXPECT_EQ(byte_set(cut), oracle_cut(s, a, b))
+        << to_string(s) << " cut [" << a << "," << b << "]";
+    for (const Falls& f : cut) EXPECT_NO_THROW(validate_falls(f));
+  }
+}
+
+TEST(Rebase, ZeroShiftIsIdentity) {
+  const FallsSet s{make_falls(0, 1, 4, 2)};
+  EXPECT_EQ(rebase_period(s, 0, 8), s);
+}
+
+TEST(Rebase, RotatesPatternPhase) {
+  // Pattern {0,1} in period 4, shifted by 2: bytes at phase {2,3} of the
+  // original tiling, i.e. rebased byte x corresponds to original (x+2)%4.
+  const FallsSet s{make_falls(0, 1, 4, 1)};
+  const FallsSet r = rebase_period(s, 2, 4);
+  EXPECT_EQ(byte_set(r), (std::set<std::int64_t>{2, 3})) << to_string(r);
+}
+
+TEST(Rebase, PropertyMatchesModularShift) {
+  Rng rng(555);
+  for (int it = 0; it < 100; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 100, 2);
+    const std::int64_t T = set_extent(s) + rng.uniform(0, 10);
+    const std::int64_t shift = rng.uniform(0, T - 1);
+    const FallsSet r = rebase_period(s, shift, T);
+    std::set<std::int64_t> expected;
+    for (std::int64_t x : set_bytes(s))
+      expected.insert((x - shift + T) % T);
+    EXPECT_EQ(byte_set(r), expected)
+        << to_string(s) << " shift=" << shift << " T=" << T;
+    EXPECT_LE(set_extent(r), T);
+  }
+}
+
+TEST(Rebase, RejectsBadArguments) {
+  const FallsSet s{make_falls(0, 1, 4, 1)};
+  EXPECT_THROW(rebase_period(s, -1, 8), std::invalid_argument);
+  EXPECT_THROW(rebase_period(s, 8, 8), std::invalid_argument);
+  EXPECT_THROW(rebase_period(s, 0, 0), std::invalid_argument);
+  EXPECT_THROW(rebase_period(s, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,191 @@
+// Tests for the MPI-like datatype layer (paper sections 3-4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datatype/datatype.h"
+#include "falls/print.h"
+#include "redist/gather_scatter.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Datatype, ContiguousBytes) {
+  const Datatype t = Datatype::contiguous(8);
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.extent(), 8);
+  EXPECT_EQ(byte_set(t.falls()), (std::set<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Datatype, ContiguousOfContiguousCollapses) {
+  const Datatype t = Datatype::contiguous(3, Datatype::contiguous(4));
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_EQ(t.extent(), 12);
+  EXPECT_EQ(set_runs(t.falls()), (std::vector<LineSegment>{{0, 11}}));
+}
+
+TEST(Datatype, VectorMatchesMpiSemantics) {
+  // MPI_Type_vector(count=3, blocklen=2, stride=5) of 1-byte elements:
+  // bytes {0,1, 5,6, 10,11}; extent = (3-1)*5+2 = 12.
+  const Datatype t = Datatype::vector(3, 2, 5, Datatype::contiguous(1));
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.extent(), 12);
+  EXPECT_EQ(byte_set(t.falls()), (std::set<std::int64_t>{0, 1, 5, 6, 10, 11}));
+}
+
+TEST(Datatype, VectorOfSparseOldtype) {
+  // A sparse oldtype: bytes {0, 2} of a 3-byte extent.
+  const Datatype t0 = Datatype::vector(2, 1, 2, Datatype::contiguous(1));
+  EXPECT_EQ(byte_set(t0.falls()), (std::set<std::int64_t>{0, 2}));
+  const Datatype t = Datatype::vector(2, 1, 2, t0);
+  // Slots are t0-extents (3 bytes): slot starts at 0 and 6.
+  EXPECT_EQ(byte_set(t.falls()), (std::set<std::int64_t>{0, 2, 6, 8}));
+}
+
+TEST(Datatype, IndexedBlocks) {
+  const std::int64_t lens[] = {2, 1};
+  const std::int64_t displs[] = {0, 4};
+  const Datatype t = Datatype::indexed(lens, displs, Datatype::contiguous(2));
+  // Blocks: 2 oldtypes at displ 0 -> bytes [0,3]; 1 oldtype at displ 4 ->
+  // bytes [8,9].
+  EXPECT_EQ(byte_set(t.falls()), (std::set<std::int64_t>{0, 1, 2, 3, 8, 9}));
+  EXPECT_EQ(t.extent(), 10);
+}
+
+TEST(Datatype, IndexedRejectsOverlap) {
+  const std::int64_t lens[] = {2, 2};
+  const std::int64_t displs[] = {0, 1};
+  EXPECT_THROW(Datatype::indexed(lens, displs, Datatype::contiguous(1)),
+               std::invalid_argument);
+}
+
+TEST(Datatype, SubarraySelectsRectangle) {
+  // 4x6 bytes, subarray rows 1-2, cols 2-4.
+  const std::int64_t sizes[] = {4, 6};
+  const std::int64_t subsizes[] = {2, 3};
+  const std::int64_t starts[] = {1, 2};
+  const Datatype t = Datatype::subarray(sizes, subsizes, starts, 1);
+  std::set<std::int64_t> expected;
+  for (std::int64_t r = 1; r <= 2; ++r)
+    for (std::int64_t c = 2; c <= 4; ++c) expected.insert(r * 6 + c);
+  EXPECT_EQ(byte_set(t.falls()), expected) << to_string(t.falls());
+  EXPECT_EQ(t.extent(), 24);
+  EXPECT_EQ(t.size(), 6);
+}
+
+TEST(Datatype, SubarrayWithElemSizeAndFullDims) {
+  // 3x4 of 2-byte elements, full column range: rows 1-1, all cols.
+  const std::int64_t sizes[] = {3, 4};
+  const std::int64_t subsizes[] = {1, 4};
+  const std::int64_t starts[] = {1, 0};
+  const Datatype t = Datatype::subarray(sizes, subsizes, starts, 2);
+  EXPECT_EQ(set_runs(t.falls()), (std::vector<LineSegment>{{8, 15}}));
+}
+
+TEST(Datatype, SubarrayValidation) {
+  const std::int64_t sizes[] = {4};
+  const std::int64_t subsizes[] = {5};
+  const std::int64_t starts[] = {0};
+  EXPECT_THROW(Datatype::subarray(sizes, subsizes, starts, 1),
+               std::invalid_argument);
+}
+
+TEST(Datatype, StructConcatenatesFields) {
+  const Datatype fields[] = {Datatype::contiguous(2),
+                             Datatype::vector(2, 1, 2, Datatype::contiguous(1))};
+  const std::int64_t displs[] = {0, 4};
+  const Datatype t = Datatype::struct_type(fields, displs);
+  // Field 0: bytes 0,1; field 1 at 4: bytes 4, 6.
+  EXPECT_EQ(byte_set(t.falls()), (std::set<std::int64_t>{0, 1, 4, 6}));
+  EXPECT_EQ(t.extent(), 7);
+}
+
+TEST(Datatype, NestedStridedGalleyStyle) {
+  // Galley-style: 2-byte blocks, 3 per group stride 4, 2 groups stride 16.
+  const Datatype::StridedLevel levels[] = {{3, 4}, {2, 16}};
+  const Datatype t = Datatype::nested_strided(2, levels);
+  // Inner: {0,1, 4,5, 8,9}; outer repeats at 16: plus {16,17, 20,21, 24,25}.
+  std::set<std::int64_t> expected;
+  for (std::int64_t g : {0, 16})
+    for (std::int64_t k : {0, 4, 8}) {
+      expected.insert(g + k);
+      expected.insert(g + k + 1);
+    }
+  EXPECT_EQ(byte_set(t.falls()), expected) << to_string(t.falls());
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_EQ(t.extent(), 26);
+}
+
+TEST(Datatype, NestedStridedSingleLevelEqualsVector) {
+  const Datatype::StridedLevel levels[] = {{4, 6}};
+  const Datatype a = Datatype::nested_strided(2, levels);
+  const Datatype b = Datatype::vector(4, 2, 6, Datatype::contiguous(1));
+  EXPECT_EQ(byte_set(a.falls()), byte_set(b.falls()));
+}
+
+TEST(Datatype, NestedStridedValidation) {
+  const Datatype::StridedLevel overlap[] = {{2, 1}};  // stride 1 < block 2
+  EXPECT_THROW(Datatype::nested_strided(2, overlap), std::invalid_argument);
+  const Datatype::StridedLevel bad_count[] = {{0, 4}};
+  EXPECT_THROW(Datatype::nested_strided(2, bad_count), std::invalid_argument);
+  EXPECT_THROW(Datatype::nested_strided(0, {}), std::invalid_argument);
+  // count == 1 ignores the stride entirely.
+  const Datatype::StridedLevel single[] = {{1, 0}};
+  EXPECT_EQ(Datatype::nested_strided(3, single).size(), 3);
+}
+
+TEST(Datatype, FromFallsLowersArbitrarySelections) {
+  // Figure 2's nested FALLS as a datatype.
+  FallsSet f{make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)})};
+  const Datatype t = Datatype::from_falls(f, 16);
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.extent(), 16);
+  const Buffer src = make_pattern_buffer(16, 8);
+  Buffer packed(4);
+  t.pack(src, 1, packed);
+  EXPECT_EQ(packed[0], src[0]);
+  EXPECT_EQ(packed[1], src[2]);
+  EXPECT_EQ(packed[2], src[8]);
+  EXPECT_EQ(packed[3], src[10]);
+  EXPECT_THROW(Datatype::from_falls(f, 8), std::invalid_argument);  // extent
+}
+
+TEST(Datatype, PackUnpackRoundTrip) {
+  const Datatype t = Datatype::vector(3, 2, 5, Datatype::contiguous(1));
+  const std::int64_t count = 4;
+  const Buffer src = make_pattern_buffer(static_cast<std::size_t>(count * t.extent()), 9);
+  Buffer packed(static_cast<std::size_t>(count * t.size()));
+  EXPECT_EQ(t.pack(src, count, packed), count * t.size());
+
+  Buffer restored(src.size());
+  EXPECT_EQ(t.unpack(packed, count, restored), count * t.size());
+  // Selected positions round-trip; gaps are zero.
+  const IndexSet idx(t.falls(), t.extent());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (idx.count_in(static_cast<std::int64_t>(i), static_cast<std::int64_t>(i)) == 1) {
+      EXPECT_EQ(restored[i], src[i]) << i;
+    } else {
+      EXPECT_EQ(restored[i], std::byte{0}) << i;
+    }
+  }
+}
+
+TEST(Datatype, PackMatchesManualGatherOrder) {
+  const Datatype t = Datatype::vector(2, 1, 3, Datatype::contiguous(2));
+  // Selection: bytes {0,1, 6,7} of extent 8... stride 3 oldtype extents = 6
+  // bytes; second block at 6. extent = ((2-1)*3+1)*2 = 8.
+  EXPECT_EQ(byte_set(t.falls()), (std::set<std::int64_t>{0, 1, 6, 7}));
+  Buffer src(16);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i);
+  Buffer packed(8);
+  t.pack(src, 2, packed);
+  const std::vector<int> expected{0, 1, 6, 7, 8, 9, 14, 15};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(std::to_integer<int>(packed[i]), expected[i]);
+}
+
+}  // namespace
+}  // namespace pfm

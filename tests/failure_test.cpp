@@ -1,0 +1,117 @@
+// Failure injection: protocol errors, closed networks, malformed requests.
+// A production file system must degrade with error replies, not hangs or
+// dead server threads.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "clusterfile/fs.h"
+#include "falls/serialize.h"
+#include "layout/partitions2d.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+PartitioningPattern pattern2d(Partition2D p, std::int64_t n, std::int64_t parts) {
+  auto elems = partition2d_all(p, n, n, parts);
+  return make_pattern({elems.begin(), elems.end()});
+}
+
+TEST(Failure, WriteWithoutViewGetsErrorReply) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  // Bypass the client: send a raw write for a view that was never set.
+  Message msg;
+  msg.kind = MsgKind::kWrite;
+  msg.dst_node = 4;  // first I/O node
+  msg.view_id = 99;
+  msg.v = 0;
+  msg.w = 3;
+  msg.payload.resize(4);
+  ASSERT_TRUE(fs.network().send(0, std::move(msg)));
+  const auto reply = fs.network().inbox(0).receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, MsgKind::kError);
+  EXPECT_NE(reply->meta.find("without a registered view"), std::string::npos)
+      << reply->meta;
+  // The server survived and still handles good requests afterwards.
+  auto& client = fs.client(1);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 8, 8, 4);
+  const std::int64_t vid = client.set_view(views[1], 64);
+  const Buffer data = make_pattern_buffer(16, 1);
+  EXPECT_NO_THROW(client.write(vid, 0, 15, data));
+}
+
+TEST(Failure, MalformedSetViewGetsErrorReply) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  Message msg;
+  msg.kind = MsgKind::kSetView;
+  msg.dst_node = 4;
+  msg.view_id = 0;
+  msg.meta = "{(not falls";  // unparseable projection
+  msg.v = 8;
+  ASSERT_TRUE(fs.network().send(0, std::move(msg)));
+  const auto reply = fs.network().inbox(0).receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, MsgKind::kError);
+}
+
+TEST(Failure, ClientSurfacesServerErrors) {
+  // A client whose awaited reply is an error must throw, not hang.
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  auto& client = fs.client(0);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 8, 8, 4);
+  const std::int64_t vid = client.set_view(views[0], 64);
+  // Sabotage: shut the matching server down and close its inbox, then
+  // write. The client must throw instead of hanging on a dropped request.
+  fs.server_for(0).stop();
+  fs.network().inbox(4).close();
+  const Buffer data = make_pattern_buffer(16, 2);
+  EXPECT_THROW(client.write(vid, 0, 15, data), std::runtime_error);
+}
+
+TEST(Failure, NetworkCloseUnblocksWaitingClient) {
+  Clusterfile* fs =
+      new Clusterfile(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  auto& client = fs->client(0);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 8, 8, 4);
+  const std::int64_t vid = client.set_view(views[0], 64);
+  fs->server_for(0).stop();
+  fs->network().close_all();
+  const Buffer data = make_pattern_buffer(16, 3);
+  EXPECT_THROW(client.write(vid, 0, 15, data), std::runtime_error);
+  delete fs;
+}
+
+TEST(Failure, ClientRejectsBadArguments) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  auto& client = fs.client(0);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 8, 8, 4);
+  const std::int64_t vid = client.set_view(views[0], 64);
+  Buffer data(4);
+  EXPECT_THROW(client.write(vid, 3, 2, data), std::invalid_argument);
+  EXPECT_THROW(client.write(vid, 0, 7, data), std::invalid_argument);  // short
+  EXPECT_THROW(client.write(vid + 7, 0, 3, data), std::out_of_range);
+  Buffer out(4);
+  EXPECT_THROW(client.read(vid, 3, 2, out), std::invalid_argument);
+  EXPECT_THROW(client.read(vid + 7, 0, 3, out), std::out_of_range);
+}
+
+TEST(Failure, ViewOnEmptyIntersectionWritesNothing) {
+  // A view entirely outside a subfile produces no targets for it; writing
+  // the view touches only the subfiles it intersects.
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  auto& client = fs.client(0);
+  // View = rows 0-1 only: intersects subfile 0, nothing else.
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 8, 8, 4);
+  const std::int64_t vid = client.set_view(views[0], 64);
+  const Buffer data = make_pattern_buffer(16, 4);
+  const auto t = client.write(vid, 0, 15, data);
+  EXPECT_EQ(t.messages, 1);
+  EXPECT_EQ(fs.subfile_storage(1).size(), 0);
+  EXPECT_EQ(fs.subfile_storage(2).size(), 0);
+  EXPECT_EQ(fs.subfile_storage(3).size(), 0);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,123 @@
+// Tests for the scatter/gather procedures (paper section 8).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "falls/print.h"
+#include "redist/gather_scatter.h"
+#include "tests/test_util.h"
+#include "util/buffer.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(IndexSet, BasicProperties) {
+  const IndexSet idx({make_falls(0, 1, 4, 2)}, 8);
+  EXPECT_EQ(idx.size(), 4);
+  EXPECT_EQ(idx.period(), 8);
+  EXPECT_EQ(idx.runs().size(), 2u);
+  EXPECT_THROW(IndexSet({make_falls(0, 9, 10, 1)}, 8), std::invalid_argument);
+  EXPECT_THROW(IndexSet({}, 0), std::invalid_argument);
+}
+
+TEST(IndexSet, CountInTiledRanges) {
+  // Pattern {0,1,4,5} period 8, tiled: members 0,1,4,5, 8,9,12,13, ...
+  const IndexSet idx({make_falls(0, 1, 4, 2)}, 8);
+  EXPECT_EQ(idx.count_in(0, 7), 4);
+  EXPECT_EQ(idx.count_in(0, 15), 8);
+  EXPECT_EQ(idx.count_in(2, 3), 0);
+  EXPECT_EQ(idx.count_in(1, 4), 2);
+  EXPECT_EQ(idx.count_in(5, 9), 3);
+  EXPECT_EQ(idx.count_in(6, 5), 0);  // inverted
+  EXPECT_EQ(idx.count_in(-5, 0), 1);  // clipped at zero
+}
+
+TEST(IndexSet, ForEachRunInClipsAndTiles) {
+  const IndexSet idx({make_falls(0, 1, 4, 2)}, 8);
+  std::vector<LineSegment> got;
+  idx.for_each_run_in(1, 12, [&](std::int64_t l, std::int64_t r) {
+    got.push_back({l, r});
+  });
+  EXPECT_EQ(got, (std::vector<LineSegment>{{1, 1}, {4, 5}, {8, 9}, {12, 12}}));
+}
+
+TEST(IndexSet, ContiguousDetection) {
+  const IndexSet dense({make_falls(0, 7, 8, 1)}, 8);
+  EXPECT_TRUE(dense.contiguous_in(0, 7));
+  EXPECT_TRUE(dense.contiguous_in(0, 23));  // tiles seamlessly
+  const IndexSet sparse({make_falls(0, 1, 4, 2)}, 8);
+  EXPECT_TRUE(sparse.contiguous_in(0, 1));
+  EXPECT_FALSE(sparse.contiguous_in(0, 5));
+  EXPECT_TRUE(sparse.contiguous_in(2, 3));  // empty selection is contiguous
+}
+
+TEST(GatherScatter, PaperFigure5Gather) {
+  // Figure 5: gather between v=0 and w=4 using PROJ_V = {(0,0,4,2)} from an
+  // 8-byte view buffer picks view bytes 0 and 4.
+  const IndexSet idx({make_falls(0, 0, 4, 2)}, 8);
+  const Buffer src = make_pattern_buffer(8, 1);
+  Buffer dest(2);
+  EXPECT_EQ(gather(dest, std::span<const std::byte>(src).first(5), 0, 4, idx), 2);
+  EXPECT_EQ(dest[0], src[0]);
+  EXPECT_EQ(dest[1], src[4]);
+}
+
+TEST(GatherScatter, ScatterIsInverseOfGather) {
+  Rng rng(888);
+  for (int it = 0; it < 60; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 64, 2);
+    const std::int64_t period = set_extent(s) + rng.uniform(0, 8);
+    const IndexSet idx(s, period);
+    const std::int64_t v = rng.uniform(0, period);
+    const std::int64_t w = v + rng.uniform(0, 2 * period);
+    const std::int64_t n = idx.count_in(v, w);
+
+    const Buffer original = make_pattern_buffer(static_cast<std::size_t>(w - v + 1), 3);
+    Buffer packed(static_cast<std::size_t>(n));
+    ASSERT_EQ(gather(packed, original, v, w, idx), n);
+
+    Buffer restored(static_cast<std::size_t>(w - v + 1));
+    ASSERT_EQ(scatter(restored, packed, v, w, idx), n);
+
+    // Restored must agree with the original on member positions and stay
+    // zero elsewhere.
+    std::int64_t pos = v;
+    for (std::size_t i = 0; i < restored.size(); ++i, ++pos) {
+      const bool member = idx.count_in(pos, pos) == 1;
+      if (member) {
+        EXPECT_EQ(restored[i], original[i]) << "pos " << pos;
+      } else {
+        EXPECT_EQ(restored[i], std::byte{0}) << "pos " << pos;
+      }
+    }
+  }
+}
+
+TEST(GatherScatter, GatherOrderIsIncreasingPosition) {
+  const IndexSet idx({make_falls(1, 2, 6, 1), make_falls(4, 4, 6, 1)}, 6);
+  Buffer src(12);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i);
+  Buffer dest(6);
+  ASSERT_EQ(gather(dest, src, 0, 11, idx), 6);
+  // Members: 1,2,4, 7,8,10 -> gathered in that order.
+  const std::vector<int> expected{1, 2, 4, 7, 8, 10};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(std::to_integer<int>(dest[i]), expected[i]);
+}
+
+TEST(GatherScatter, ValidatesBufferSizes) {
+  const IndexSet idx({make_falls(0, 1, 4, 2)}, 8);
+  Buffer small(1);
+  const Buffer src = make_pattern_buffer(8, 1);
+  EXPECT_THROW(gather(small, src, 0, 7, idx), std::out_of_range);
+  EXPECT_THROW(gather(small, std::span<const std::byte>(src).first(2), 0, 7, idx),
+               std::invalid_argument);
+  Buffer dest(8);
+  EXPECT_THROW(scatter(dest, small, 0, 7, idx), std::out_of_range);
+  EXPECT_THROW(gather(dest, src, 3, 2, idx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,118 @@
+// Cross-module stress: intersections and redistributions between patterns
+// produced by the HPF layout builders — the structured, deeply nested
+// FALLS the paper's algorithms were designed for (multidimensional array
+// partitions), checked against brute-force ownership oracles.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "falls/print.h"
+#include "file_model/file.h"
+#include "intersect/intersect.h"
+#include "intersect/project.h"
+#include "layout/array_layout.h"
+#include "redist/execute.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+struct LayoutPair {
+  ArrayDesc array;
+  std::vector<Dist> d1, d2;
+  GridDesc g1, g2;
+  const char* name;
+};
+
+class LayoutIntersect : public ::testing::TestWithParam<LayoutPair> {};
+
+TEST_P(LayoutIntersect, PairwiseIntersectionsMatchOwnershipOracle) {
+  const LayoutPair& c = GetParam();
+  const auto e1 = layout_all(c.array, c.d1, c.g1);
+  const auto e2 = layout_all(c.array, c.d2, c.g2);
+  const std::int64_t bytes = array_bytes(c.array);
+
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    for (std::size_t j = 0; j < e2.size(); ++j) {
+      PatternElement a{e1[i], bytes, 0};
+      PatternElement b{e2[j], bytes, 0};
+      const Intersection x = intersect_nested(a, b);
+      std::set<std::int64_t> expected;
+      for (std::int64_t off = 0; off < bytes; ++off) {
+        if (layout_owner(c.array, c.d1, c.g1, off) == static_cast<std::int64_t>(i) &&
+            layout_owner(c.array, c.d2, c.g2, off) == static_cast<std::int64_t>(j))
+          expected.insert(off);
+      }
+      ASSERT_EQ(byte_set(x.falls), expected)
+          << c.name << " pair (" << i << "," << j << ")";
+      if (!x.falls.empty()) {
+        const Projection pa = project(x, a);
+        ASSERT_EQ(set_size(pa.falls), set_size(x.falls));
+      }
+    }
+  }
+}
+
+TEST_P(LayoutIntersect, FullRedistributionIsByteExact) {
+  const LayoutPair& c = GetParam();
+  auto e1 = layout_all(c.array, c.d1, c.g1);
+  auto e2 = layout_all(c.array, c.d2, c.g2);
+  const std::int64_t bytes = array_bytes(c.array);
+  const PartitioningPattern from({e1.begin(), e1.end()}, 0);
+  const PartitioningPattern to({e2.begin(), e2.end()}, 0);
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(bytes), 4242);
+  const auto src = ParallelFile(from, bytes).split(image);
+  const auto expected = ParallelFile(to, bytes).split(image);
+  std::vector<Buffer> dst;
+  redistribute(from, to, src, dst, bytes);
+  for (std::size_t k = 0; k < expected.size(); ++k)
+    ASSERT_TRUE(equal_bytes(dst[k], expected[k])) << c.name << " element " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, LayoutIntersect,
+    ::testing::Values(
+        LayoutPair{{{8, 8}, 1},
+                   {Dist::block_dist(), Dist::none()},
+                   {Dist::none(), Dist::block_dist()},
+                   {{2, 1}},
+                   {{1, 2}},
+                   "rows2_vs_cols2"},
+        LayoutPair{{{8, 8}, 1},
+                   {Dist::cyclic(), Dist::none()},
+                   {Dist::block_dist(), Dist::block_dist()},
+                   {{2, 1}},
+                   {{2, 2}},
+                   "cyclicrows_vs_squares"},
+        LayoutPair{{{12, 6}, 1},
+                   {Dist::block_cyclic(2), Dist::none()},
+                   {Dist::none(), Dist::block_cyclic(3)},
+                   {{3, 1}},
+                   {{1, 2}},
+                   "bc2rows_vs_bc3cols"},
+        LayoutPair{{{6, 6}, 2},
+                   {Dist::block_dist(), Dist::cyclic()},
+                   {Dist::cyclic(), Dist::block_dist()},
+                   {{2, 3}},
+                   {{3, 2}},
+                   "mixed_grids_elem2"},
+        LayoutPair{{{4, 4, 4}, 1},
+                   {Dist::block_dist(), Dist::none(), Dist::none()},
+                   {Dist::none(), Dist::none(), Dist::block_dist()},
+                   {{2, 1, 1}},
+                   {{1, 1, 2}},
+                   "slabs3d_vs_pencils3d"},
+        LayoutPair{{{4, 4, 4}, 1},
+                   {Dist::cyclic(), Dist::block_dist(), Dist::none()},
+                   {Dist::block_cyclic(2), Dist::none(), Dist::cyclic()},
+                   {{2, 2, 1}},
+                   {{2, 1, 2}},
+                   "deep3d_mixed"}),
+    [](const ::testing::TestParamInfo<LayoutPair>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace pfm

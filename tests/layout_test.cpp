@@ -1,0 +1,211 @@
+// Tests for HPF-style distributions and multidimensional array layouts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "falls/print.h"
+#include "layout/array_layout.h"
+#include "layout/dist.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Dist, BlockSplitsContiguously) {
+  // 12 elements over 3 procs: [0,3], [4,7], [8,11].
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_dist(), 12, 3, 0)),
+            (std::set<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_dist(), 12, 3, 2)),
+            (std::set<std::int64_t>{8, 9, 10, 11}));
+}
+
+TEST(Dist, BlockHandlesNonDivisibleExtents) {
+  // 10 elements over 4 procs, block = ceil(10/4) = 3: [0,2],[3,5],[6,8],[9].
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_dist(), 10, 4, 2)),
+            (std::set<std::int64_t>{6, 7, 8}));
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_dist(), 10, 4, 3)),
+            (std::set<std::int64_t>{9}));
+  // 9 elements over 4 procs, block 3: proc 3 owns nothing.
+  EXPECT_TRUE(dist_falls(Dist::block_dist(), 9, 4, 3).empty());
+}
+
+TEST(Dist, CyclicRoundRobins) {
+  EXPECT_EQ(byte_set(dist_falls(Dist::cyclic(), 10, 3, 0)),
+            (std::set<std::int64_t>{0, 3, 6, 9}));
+  EXPECT_EQ(byte_set(dist_falls(Dist::cyclic(), 10, 3, 1)),
+            (std::set<std::int64_t>{1, 4, 7}));
+  EXPECT_TRUE(dist_falls(Dist::cyclic(), 2, 3, 2).empty());
+}
+
+TEST(Dist, BlockCyclicWithClippedTail) {
+  // CYCLIC(2) of 10 elements over 2 procs:
+  // proc 0: {0,1, 4,5, 8,9}; proc 1: {2,3, 6,7}.
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_cyclic(2), 10, 2, 0)),
+            (std::set<std::int64_t>{0, 1, 4, 5, 8, 9}));
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_cyclic(2), 10, 2, 1)),
+            (std::set<std::int64_t>{2, 3, 6, 7}));
+  // 9 elements: proc 0's last block is clipped to {8}.
+  EXPECT_EQ(byte_set(dist_falls(Dist::block_cyclic(2), 9, 2, 0)),
+            (std::set<std::int64_t>{0, 1, 4, 5, 8}));
+}
+
+TEST(Dist, OwnershipOracleAgreesWithFalls) {
+  Rng rng(12);
+  const Dist dists[] = {Dist::none(), Dist::block_dist(), Dist::cyclic(),
+                        Dist::block_cyclic(2), Dist::block_cyclic(3)};
+  for (int it = 0; it < 60; ++it) {
+    const Dist d = dists[rng.uniform(0, 4)];
+    const std::int64_t extent = rng.uniform(1, 40);
+    const std::int64_t procs = rng.uniform(1, 5);
+    // Union over processors must tile [0, extent) exactly, and membership
+    // must match dist_owner.
+    std::multiset<std::int64_t> seen;
+    for (std::int64_t p = 0; p < procs; ++p) {
+      const FallsSet s = dist_falls(d, extent, procs, p);
+      for (std::int64_t b : byte_set(s)) {
+        seen.insert(b);
+        if (d.kind != DistKind::kNone) {
+          EXPECT_EQ(dist_owner(d, extent, procs, b), p)
+              << to_string(d) << " extent=" << extent << " procs=" << procs;
+        }
+      }
+      if (!s.empty()) {
+        EXPECT_NO_THROW(validate_falls_set(s));
+      }
+    }
+    if (d.kind == DistKind::kNone) {
+      // Non-distributed: every processor sees the whole dimension.
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(extent * procs));
+    } else {
+      // Distributed: exact tiling, each index owned once.
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(extent));
+      EXPECT_EQ(std::set<std::int64_t>(seen.begin(), seen.end()).size(),
+                static_cast<std::size_t>(extent));
+    }
+  }
+}
+
+TEST(Dist, Names) {
+  EXPECT_EQ(to_string(Dist::none()), "*");
+  EXPECT_EQ(to_string(Dist::block_dist()), "BLOCK");
+  EXPECT_EQ(to_string(Dist::cyclic()), "CYCLIC");
+  EXPECT_EQ(to_string(Dist::block_cyclic(4)), "CYCLIC(4)");
+}
+
+TEST(Grid, CoordsRowMajor) {
+  GridDesc g{{2, 3}};
+  EXPECT_EQ(g.total(), 6);
+  EXPECT_EQ(g.coords(0), (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(g.coords(2), (std::vector<std::int64_t>{0, 2}));
+  EXPECT_EQ(g.coords(3), (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(g.coords(5), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_THROW(g.coords(6), std::out_of_range);
+}
+
+TEST(ArrayLayout, RowBlocksOfMatrixAreContiguous) {
+  // 4x4 matrix, (BLOCK, *) over a 2x1 grid: proc 0 owns rows 0-1 = bytes
+  // [0,7] contiguously.
+  const ArrayDesc a{{4, 4}, 1};
+  const Dist dists[2] = {Dist::block_dist(), Dist::none()};
+  const FallsSet s0 = layout_falls(a, dists, GridDesc{{2, 1}}, 0);
+  const FallsSet s1 = layout_falls(a, dists, GridDesc{{2, 1}}, 1);
+  EXPECT_EQ(set_runs(s0), (std::vector<LineSegment>{{0, 7}}));
+  EXPECT_EQ(set_runs(s1), (std::vector<LineSegment>{{8, 15}}));
+}
+
+TEST(ArrayLayout, ColumnBlocksOfMatrixAreStrided) {
+  // 4x4 matrix, (*, BLOCK) over 1x2: proc 0 owns columns 0-1: bytes
+  // {0,1, 4,5, 8,9, 12,13} = (0,1,4,4).
+  const ArrayDesc a{{4, 4}, 1};
+  const Dist dists[2] = {Dist::none(), Dist::block_dist()};
+  const FallsSet s0 = layout_falls(a, dists, GridDesc{{1, 2}}, 0);
+  EXPECT_EQ(byte_set(s0), (std::set<std::int64_t>{0, 1, 4, 5, 8, 9, 12, 13}));
+}
+
+TEST(ArrayLayout, SquareBlocks) {
+  // 4x4 over 2x2 (BLOCK, BLOCK): proc (1,0) owns rows 2-3, cols 0-1:
+  // bytes {8,9, 12,13}.
+  const ArrayDesc a{{4, 4}, 1};
+  const Dist dists[2] = {Dist::block_dist(), Dist::block_dist()};
+  const FallsSet s = layout_falls(a, dists, GridDesc{{2, 2}}, 2);
+  EXPECT_EQ(byte_set(s), (std::set<std::int64_t>{8, 9, 12, 13}));
+}
+
+TEST(ArrayLayout, ElemSizeScalesBytes) {
+  // 2x3 array of 4-byte elements, (*, CYCLIC) over 1x3: proc 1 owns column 1
+  // = elements 1 and 4 = bytes [4,7] and [16,19].
+  const ArrayDesc a{{2, 3}, 4};
+  const Dist dists[2] = {Dist::none(), Dist::cyclic()};
+  const FallsSet s = layout_falls(a, dists, GridDesc{{1, 3}}, 1);
+  EXPECT_EQ(byte_set(s),
+            (std::set<std::int64_t>{4, 5, 6, 7, 16, 17, 18, 19}));
+}
+
+TEST(ArrayLayout, FullOwnershipCollapsesToOneBlock) {
+  const ArrayDesc a{{4, 4}, 2};
+  const Dist dists[2] = {Dist::none(), Dist::none()};
+  const FallsSet s = layout_falls(a, dists, GridDesc{{1, 1}}, 0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s[0].leaf());
+  EXPECT_EQ(falls_size(s[0]), 32);
+}
+
+TEST(ArrayLayout, ThreeDimensionalBlockCyclicMix) {
+  // 4x4x4 bytes, (BLOCK, CYCLIC, *) over 2x2x1.
+  const ArrayDesc a{{4, 4, 4}, 1};
+  const Dist dists[3] = {Dist::block_dist(), Dist::cyclic(), Dist::none()};
+  const GridDesc g{{2, 2, 1}};
+  const auto all = layout_all(a, dists, g);
+  // Tiling and owner-oracle agreement over all 64 bytes.
+  std::set<std::int64_t> seen;
+  for (std::size_t p = 0; p < all.size(); ++p) {
+    for (std::int64_t b : byte_set(all[p])) {
+      EXPECT_TRUE(seen.insert(b).second);
+      EXPECT_EQ(layout_owner(a, dists, g, b), static_cast<std::int64_t>(p));
+    }
+    EXPECT_NO_THROW(validate_falls_set(all[p]));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(ArrayLayout, PropertyTilingAndOwnership) {
+  Rng rng(777);
+  const Dist choices[] = {Dist::none(), Dist::block_dist(), Dist::cyclic(),
+                          Dist::block_cyclic(2)};
+  for (int it = 0; it < 40; ++it) {
+    const std::size_t rank = static_cast<std::size_t>(rng.uniform(1, 3));
+    ArrayDesc a;
+    GridDesc g;
+    std::vector<Dist> dists;
+    for (std::size_t d = 0; d < rank; ++d) {
+      a.extents.push_back(rng.uniform(1, 8));
+      g.dims.push_back(rng.uniform(1, 3));
+      dists.push_back(choices[rng.uniform(0, 3)]);
+    }
+    a.elem_size = rng.uniform(1, 3);
+    const auto all = layout_all(a, dists, g);
+    std::set<std::int64_t> seen;
+    std::int64_t replication = 1;
+    for (std::size_t d = 0; d < rank; ++d)
+      if (dists[d].kind == DistKind::kNone) replication *= g.dims[d];
+    std::map<std::int64_t, int> owners;
+    for (std::size_t p = 0; p < all.size(); ++p)
+      for (std::int64_t b : byte_set(all[p])) ++owners[b];
+    // Every byte of the array is owned exactly `replication` times
+    // (non-distributed axes replicate ownership across that grid axis).
+    EXPECT_EQ(owners.size(), static_cast<std::size_t>(array_bytes(a)));
+    for (const auto& [b, count] : owners) EXPECT_EQ(count, replication) << b;
+  }
+}
+
+TEST(ArrayLayout, RankValidation) {
+  const ArrayDesc a{{4, 4}, 1};
+  const Dist dists[1] = {Dist::block_dist()};
+  EXPECT_THROW(layout_falls(a, dists, GridDesc{{2, 2}}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm

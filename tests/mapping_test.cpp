@@ -1,0 +1,207 @@
+// Tests for the mapping functions MAP / MAP^-1 (paper section 6).
+#include <gtest/gtest.h>
+
+#include "falls/print.h"
+#include "falls/set_ops.h"
+#include "mapping/compose.h"
+#include "mapping/map.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+// Paper figure 3: file with displacement 2, pattern size 6, subfiles
+// (0,1,6,1), (2,3,6,1), (4,5,6,1).
+struct Figure3 {
+  FallsSet sub0{make_falls(0, 1, 6, 1)};
+  FallsSet sub1{make_falls(2, 3, 6, 1)};
+  FallsSet sub2{make_falls(4, 5, 6, 1)};
+  ElementRef e0{&sub0, 2, 6};
+  ElementRef e1{&sub1, 2, 6};
+  ElementRef e2{&sub2, 2, 6};
+};
+
+TEST(Map, PaperFigure3ByteTenMapsToSubfileOneOffsetTwo) {
+  Figure3 fig;
+  EXPECT_EQ(map_to_element(fig.e1, 10), 2);
+  EXPECT_EQ(map_to_file(fig.e1, 2), 10);
+}
+
+TEST(Map, PaperSection6NextPrevExample) {
+  // "the previous map of byte at file offset x=5 on partition element 0 is
+  //  the byte at offset 1 and the next map is the byte at offset 2."
+  Figure3 fig;
+  EXPECT_THROW(map_to_element(fig.e0, 5), std::domain_error);
+  EXPECT_EQ(map_to_element(fig.e0, 5, Round::kPrev), 1);
+  EXPECT_EQ(map_to_element(fig.e0, 5, Round::kNext), 2);
+}
+
+TEST(Map, Figure3FullPeriodMapping) {
+  Figure3 fig;
+  // File bytes 2,3 -> subfile0 0,1; 4,5 -> subfile1 0,1; 6,7 -> subfile2 0,1;
+  // then the pattern repeats: 8,9 -> subfile0 2,3 ...
+  EXPECT_EQ(map_to_element(fig.e0, 2), 0);
+  EXPECT_EQ(map_to_element(fig.e0, 3), 1);
+  EXPECT_EQ(map_to_element(fig.e1, 4), 0);
+  EXPECT_EQ(map_to_element(fig.e1, 5), 1);
+  EXPECT_EQ(map_to_element(fig.e2, 6), 0);
+  EXPECT_EQ(map_to_element(fig.e2, 7), 1);
+  EXPECT_EQ(map_to_element(fig.e0, 8), 2);
+  EXPECT_EQ(map_to_element(fig.e0, 9), 3);
+  EXPECT_EQ(map_to_element(fig.e2, 31), 9);
+}
+
+TEST(Map, RoundTripIdentityOnPaperExample) {
+  Figure3 fig;
+  for (std::int64_t k = 0; k < 40; ++k) {
+    EXPECT_EQ(map_to_element(fig.e1, map_to_file(fig.e1, k)), k);
+  }
+}
+
+TEST(Map, ThrowsBeforeDisplacement) {
+  Figure3 fig;
+  EXPECT_THROW(map_to_element(fig.e0, 1), std::domain_error);
+  EXPECT_THROW(map_to_element(fig.e0, 1, Round::kPrev), std::domain_error);
+  // kNext rounds into the first period.
+  EXPECT_EQ(map_to_element(fig.e0, 0, Round::kNext), 0);
+}
+
+TEST(MapAux, EqualsRankForMembers) {
+  Rng rng(55);
+  for (int it = 0; it < 60; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 150, 3);
+    for (std::int64_t x : set_bytes(s)) {
+      EXPECT_EQ(map_aux(s, x), set_rank(s, x)) << to_string(s) << " x=" << x;
+    }
+  }
+}
+
+TEST(MapAux, InverseEnumeratesBytesInOrder) {
+  Rng rng(66);
+  for (int it = 0; it < 60; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 150, 3);
+    const auto bytes = set_bytes(s);
+    for (std::size_t k = 0; k < bytes.size(); ++k)
+      EXPECT_EQ(map_aux_inverse(s, static_cast<std::int64_t>(k)), bytes[k])
+          << to_string(s);
+    EXPECT_THROW(map_aux_inverse(s, static_cast<std::int64_t>(bytes.size())),
+                 std::out_of_range);
+    EXPECT_THROW(map_aux_inverse(s, -1), std::out_of_range);
+  }
+}
+
+// Property: MAP and MAP^-1 are mutually inverse across several periods, for
+// random elements embedded in a pattern larger than their extent.
+TEST(Map, RoundTripPropertyAcrossPeriods) {
+  Rng rng(77);
+  for (int it = 0; it < 50; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 120, 2);
+    const std::int64_t T = set_extent(s) + rng.uniform(0, 20);
+    const std::int64_t disp = rng.uniform(0, 10);
+    const ElementRef e{&s, disp, T};
+    const std::int64_t sz = set_size(s);
+    for (std::int64_t k = 0; k < 3 * sz; ++k) {
+      const std::int64_t file_off = map_to_file(e, k);
+      EXPECT_EQ(map_to_element(e, file_off), k) << to_string(s);
+    }
+  }
+}
+
+// Property: MAP agrees with the rank over the tiled byte-set oracle.
+TEST(Map, AgreesWithTiledOracle) {
+  Rng rng(88);
+  for (int it = 0; it < 30; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 80, 2);
+    const std::int64_t T = set_extent(s) + rng.uniform(0, 8);
+    const std::int64_t disp = rng.uniform(0, 6);
+    const ElementRef e{&s, disp, T};
+    const std::int64_t limit = disp + 3 * T;
+    const auto tiled = pfm::testing::tiled_byte_set(s, T, disp, limit);
+    std::int64_t rank = 0;
+    for (std::int64_t x : tiled) {
+      EXPECT_EQ(map_to_element(e, x), rank) << to_string(s) << " x=" << x;
+      ++rank;
+    }
+  }
+}
+
+// Property: next/prev rounding finds exactly the neighbouring member bytes.
+TEST(Map, RoundingMatchesOracle) {
+  Rng rng(99);
+  for (int it = 0; it < 30; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 60, 2);
+    const std::int64_t T = set_extent(s) + rng.uniform(0, 5);
+    const std::int64_t disp = rng.uniform(0, 4);
+    const ElementRef e{&s, disp, T};
+    const std::int64_t limit = disp + 2 * T + 5;
+    const auto tiled = pfm::testing::tiled_byte_set(s, T, disp, disp + 4 * T);
+    for (std::int64_t x = 0; x < limit; ++x) {
+      const auto next_it = tiled.lower_bound(x);
+      ASSERT_NE(next_it, tiled.end());
+      EXPECT_EQ(round_to_member(e, x, Round::kNext), *next_it) << " x=" << x;
+      auto prev_it = tiled.upper_bound(x);
+      if (prev_it == tiled.begin()) {
+        EXPECT_EQ(round_to_member(e, x, Round::kPrev), std::nullopt);
+      } else {
+        EXPECT_EQ(round_to_member(e, x, Round::kPrev), *std::prev(prev_it))
+            << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(Compose, MapsBetweenPartitionsOfTheSameFile) {
+  // Two partitions of the same file space: halves (pattern {0..3},{4..7})
+  // and interleaved pairs ({0,1,4,5},{2,3,6,7}).
+  FallsSet half0{make_falls(0, 3, 8, 1)};
+  FallsSet inter0{make_falls(0, 1, 4, 2)};
+  const ElementRef a{&half0, 0, 8};
+  const ElementRef b{&inter0, 0, 8};
+  // half0 offset 1 = file byte 1 = inter0 offset 1.
+  EXPECT_EQ(map_between(a, b, 1), 1);
+  // half0 offset 2 = file byte 2, not in inter0; next member is byte 4 ->
+  // inter0 offset 2.
+  EXPECT_FALSE(maps_exactly(a, b, 2));
+  EXPECT_EQ(map_between(a, b, 2, Round::kNext), 2);
+  EXPECT_EQ(map_between(a, b, 2, Round::kPrev), 1);
+}
+
+TEST(Compose, PerfectOverlapComposesToIdentity) {
+  // When a view and a subfile are described by identical parameters, each
+  // view offset maps exactly onto the same subfile offset (paper 6.2).
+  FallsSet v{make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)})};
+  FallsSet s = v;
+  const ElementRef ev{&v, 0, 16};
+  const ElementRef es{&s, 0, 16};
+  for (std::int64_t k = 0; k < 12; ++k) {
+    EXPECT_TRUE(maps_exactly(ev, es, k));
+    EXPECT_EQ(map_between(ev, es, k), k);
+  }
+}
+
+TEST(Compose, IntervalMappingUsesNextPrevExtremities) {
+  Figure3 fig;
+  // View = subfile 0's byte set seen as an element; interval [0,3] of the
+  // file partition element e1 corresponds to file bytes 4,5,10,11.
+  const auto m = map_interval(fig.e1, fig.e0, 0, 3);
+  ASSERT_TRUE(m.has_value());
+  // File range [4, 11]: subfile0 member bytes within are 8,9 -> offsets 2,3.
+  EXPECT_EQ(m->lo, 2);
+  EXPECT_EQ(m->hi, 3);
+}
+
+TEST(Compose, IntervalWithNoTargetBytesIsEmpty) {
+  // Element covering bytes {0} of an 8-byte pattern vs element covering {4}:
+  // the interval [0,0] of the first touches no byte of the second.
+  FallsSet a{make_falls(0, 0, 8, 1)};
+  FallsSet b{make_falls(4, 4, 8, 1)};
+  const ElementRef ea{&a, 0, 8};
+  const ElementRef eb{&b, 0, 8};
+  const auto m = map_interval(ea, eb, 0, 0);
+  EXPECT_FALSE(m.has_value());
+}
+
+}  // namespace
+}  // namespace pfm

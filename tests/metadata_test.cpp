@@ -1,0 +1,138 @@
+// Tests for the Clusterfile metadata manager and manifest persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "clusterfile/metadata.h"
+#include "layout/partitions2d.h"
+
+namespace pfm {
+namespace {
+
+FileRecord sample_record(const std::string& name, Partition2D p,
+                         std::int64_t n = 16) {
+  FileRecord rec;
+  rec.name = name;
+  rec.displacement = 0;
+  rec.size = n * n;
+  const auto elems = partition2d_all(p, n, n, 4);
+  rec.subfile_falls = {elems.begin(), elems.end()};
+  rec.io_nodes = {4, 5, 6, 7};
+  return rec;
+}
+
+TEST(Metadata, CreateLookupRemove) {
+  MetadataManager mm;
+  mm.create(sample_record("matrix", Partition2D::kSquareBlocks));
+  EXPECT_TRUE(mm.exists("matrix"));
+  EXPECT_EQ(mm.count(), 1u);
+  const FileRecord& rec = mm.lookup("matrix");
+  EXPECT_EQ(rec.size, 256);
+  EXPECT_EQ(rec.subfile_falls.size(), 4u);
+  EXPECT_EQ(rec.pattern().size(), 256);
+  EXPECT_TRUE(mm.remove("matrix"));
+  EXPECT_FALSE(mm.exists("matrix"));
+  EXPECT_FALSE(mm.remove("matrix"));
+  EXPECT_THROW(mm.lookup("matrix"), std::out_of_range);
+}
+
+TEST(Metadata, RejectsInvalidRecords) {
+  MetadataManager mm;
+  FileRecord rec = sample_record("ok", Partition2D::kRowBlocks);
+  mm.create(rec);
+  rec.name = "ok";
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);  // duplicate
+  rec.name = "";
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);
+  rec.name = "bad";
+  rec.io_nodes.pop_back();
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);  // node count
+  rec = sample_record("bad2", Partition2D::kRowBlocks);
+  rec.subfile_falls[1] = rec.subfile_falls[0];  // overlapping pattern
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);
+  rec = sample_record("bad3", Partition2D::kRowBlocks);
+  rec.size = -1;
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);
+}
+
+TEST(Metadata, SizeUpdatesGrowOnly) {
+  MetadataManager mm;
+  mm.create(sample_record("f", Partition2D::kRowBlocks));
+  mm.update_size("f", 512);
+  EXPECT_EQ(mm.lookup("f").size, 512);
+  EXPECT_THROW(mm.update_size("f", 100), std::invalid_argument);
+  EXPECT_THROW(mm.update_size("missing", 1), std::out_of_range);
+}
+
+TEST(Metadata, LayoutUpdateValidates) {
+  MetadataManager mm;
+  mm.create(sample_record("f", Partition2D::kRowBlocks));
+  const auto cols = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  mm.update_layout("f", {cols.begin(), cols.end()});
+  EXPECT_EQ(mm.lookup("f").subfile_falls[0], cols[0]);
+  // Wrong element count rejected.
+  const auto two = partition2d_all(Partition2D::kRowBlocks, 16, 16, 2);
+  EXPECT_THROW(mm.update_layout("f", {two.begin(), two.end()}),
+               std::invalid_argument);
+}
+
+TEST(Metadata, ManifestRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_test";
+  std::filesystem::create_directories(dir);
+  const auto manifest = dir / "manifest.txt";
+
+  MetadataManager mm;
+  mm.create(sample_record("alpha", Partition2D::kSquareBlocks));
+  mm.create(sample_record("beta", Partition2D::kColumnBlocks, 8));
+  FileRecord custom;
+  custom.name = "gamma";
+  custom.displacement = 2;
+  custom.size = 100;
+  custom.subfile_falls = {{make_falls(0, 1, 6, 1)},
+                          {make_falls(2, 3, 6, 1)},
+                          {make_falls(4, 5, 6, 1)}};
+  custom.io_nodes = {4, 5, 4};
+  mm.create(custom);
+  mm.save(manifest);
+
+  MetadataManager back;
+  back.load(manifest);
+  EXPECT_EQ(back.count(), 3u);
+  EXPECT_EQ(back.list(), (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  const FileRecord& g = back.lookup("gamma");
+  EXPECT_EQ(g.displacement, 2);
+  EXPECT_EQ(g.size, 100);
+  EXPECT_EQ(g.io_nodes, (std::vector<int>{4, 5, 4}));
+  EXPECT_EQ(g.subfile_falls, custom.subfile_falls);
+  const FileRecord& a = back.lookup("alpha");
+  EXPECT_EQ(a.subfile_falls, mm.lookup("alpha").subfile_falls);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metadata, LoadRejectsMalformedManifests) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_bad";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const std::string& text) {
+    const auto path = dir / "m.txt";
+    std::ofstream os(path);
+    os << text;
+    os.close();
+    return path;
+  };
+  MetadataManager mm;
+  EXPECT_THROW(mm.load(dir / "missing.txt"), std::runtime_error);
+  EXPECT_THROW(mm.load(write("not-a-manifest 1\n")), std::invalid_argument);
+  EXPECT_THROW(mm.load(write("pfm-manifest 2\n")), std::invalid_argument);
+  EXPECT_THROW(mm.load(write("pfm-manifest 1\nfile x\ndisp 0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      mm.load(write("pfm-manifest 1\nfile x\ndisp 0\nsize 8\nsubfiles 1\n"
+                    "4 {(0,1,")),
+      std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pfm

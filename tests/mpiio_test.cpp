@@ -1,0 +1,150 @@
+// Tests for the MPI-IO-style adapter (paper section 3: the MPI-IO file
+// model implemented on the paper's file model and mappings).
+#include <gtest/gtest.h>
+
+#include "datatype/datatype.h"
+#include "mpiio/mpiio.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+TEST(MemoryFile, GrowsOnWriteAndChecksReads) {
+  MemoryFile f;
+  const Buffer data = make_pattern_buffer(16, 1);
+  f.write_at(8, data);
+  EXPECT_EQ(f.size(), 24);
+  Buffer out(16);
+  f.read_at(8, out);
+  EXPECT_TRUE(equal_bytes(out, data));
+  EXPECT_THROW(f.read_at(20, out), std::out_of_range);
+}
+
+TEST(MpiioView, IdentityViewIsPlainFileAccess) {
+  auto file = std::make_shared<MemoryFile>();
+  // etype = 4 bytes, filetype = 8 contiguous etypes.
+  MpiioView view(file, 0, 4, Datatype::contiguous(8, Datatype::contiguous(4)));
+  const Buffer data = make_pattern_buffer(32, 2);
+  view.write_at(0, data);
+  EXPECT_TRUE(equal_bytes(file->bytes(), data));
+  Buffer out(32);
+  view.read_at(0, out);
+  EXPECT_TRUE(equal_bytes(out, data));
+}
+
+TEST(MpiioView, DisplacementShiftsEverything) {
+  auto file = std::make_shared<MemoryFile>();
+  MpiioView view(file, 10, 1, Datatype::contiguous(4));
+  const Buffer data = make_pattern_buffer(4, 3);
+  view.write_at(0, data);
+  EXPECT_EQ(file->size(), 14);
+  EXPECT_EQ(view.file_offset_of(0), 10);
+  Buffer out(4);
+  file->read_at(10, out);
+  EXPECT_TRUE(equal_bytes(out, data));
+}
+
+// The classic MPI-IO partitioned-file pattern: P processes each see every
+// P-th block of the file. Writing through all views assembles the file.
+TEST(MpiioView, InterleavedProcessViewsTileTheFile) {
+  auto file = std::make_shared<MemoryFile>();
+  const std::int64_t block = 8, procs = 3, blocks_per_proc = 4;
+  const std::int64_t total = block * procs * blocks_per_proc;
+
+  // Process p's filetype: block bytes at displacement p*block of a
+  // procs*block tile, expressed as a subarray of a (procs x block) grid.
+  std::vector<std::unique_ptr<MpiioView>> views;
+  for (std::int64_t p = 0; p < procs; ++p) {
+    // filetype tile: [p*block, (p+1)*block) selected out of procs*block.
+    const std::int64_t sizes[] = {procs, block};
+    const std::int64_t subsizes[] = {1, block};
+    const std::int64_t starts[] = {p, 0};
+    const Datatype ft = Datatype::subarray(sizes, subsizes, starts, 1);
+    ASSERT_EQ(ft.extent(), procs * block);
+    ASSERT_EQ(ft.size(), block);
+    views.push_back(std::make_unique<MpiioView>(file, 0, block, ft));
+  }
+
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(total), 4);
+  for (std::int64_t p = 0; p < procs; ++p) {
+    // Process p writes its blocks_per_proc blocks in one call.
+    Buffer mine(static_cast<std::size_t>(block * blocks_per_proc));
+    for (std::int64_t k = 0; k < blocks_per_proc; ++k) {
+      const std::int64_t src = (k * procs + p) * block;
+      std::copy_n(image.begin() + src, block, mine.begin() + k * block);
+    }
+    views[static_cast<std::size_t>(p)]->write_at(0, mine);
+  }
+  EXPECT_TRUE(equal_bytes(file->bytes(), image));
+
+  // And each process reads back exactly its own blocks.
+  for (std::int64_t p = 0; p < procs; ++p) {
+    Buffer out(static_cast<std::size_t>(block * blocks_per_proc));
+    views[static_cast<std::size_t>(p)]->read_at(0, out);
+    for (std::int64_t k = 0; k < blocks_per_proc; ++k) {
+      const std::int64_t src = (k * procs + p) * block;
+      EXPECT_TRUE(equal_bytes(
+          std::span<const std::byte>(out).subspan(
+              static_cast<std::size_t>(k * block), static_cast<std::size_t>(block)),
+          std::span<const std::byte>(image).subspan(
+              static_cast<std::size_t>(src), static_cast<std::size_t>(block))))
+          << "proc " << p << " block " << k;
+    }
+  }
+}
+
+TEST(MpiioView, OffsetsAreCountedInEtypes) {
+  auto file = std::make_shared<MemoryFile>();
+  // etype 4 bytes; filetype: first 4 of every 8 bytes.
+  const std::int64_t sizes[] = {2, 4};
+  const std::int64_t subsizes[] = {1, 4};
+  const std::int64_t starts[] = {0, 0};
+  MpiioView view(file, 0, 4, Datatype::subarray(sizes, subsizes, starts, 1));
+
+  const Buffer a = make_pattern_buffer(4, 5);
+  view.write_at(3, a);  // etype offset 3 -> view byte 12 -> file byte 24
+  EXPECT_EQ(view.file_offset_of(12), 24);
+  Buffer out(4);
+  file->read_at(24, out);
+  EXPECT_TRUE(equal_bytes(out, a));
+}
+
+TEST(MpiioView, SparseFiletypeRoundTripMatchesMapping) {
+  Rng rng(31);
+  auto file = std::make_shared<MemoryFile>();
+  // filetype: bytes {0,1, 5,6, 10,11} of a 12-byte tile (vector pattern).
+  const Datatype ft = Datatype::vector(3, 2, 5, Datatype::contiguous(1));
+  MpiioView view(file, 2, 1, ft);
+
+  const Buffer data = make_pattern_buffer(18, 6);  // 3 tiles worth of view
+  view.write_at(0, data);
+  // Every view byte k landed at file_offset_of(k).
+  for (std::int64_t k = 0; k < 18; ++k) {
+    Buffer one(1);
+    file->read_at(view.file_offset_of(k), one);
+    EXPECT_EQ(one[0], data[static_cast<std::size_t>(k)]) << k;
+  }
+  Buffer back(18);
+  view.read_at(0, back);
+  EXPECT_TRUE(equal_bytes(back, data));
+}
+
+TEST(MpiioView, Validation) {
+  auto file = std::make_shared<MemoryFile>();
+  EXPECT_THROW(MpiioView(nullptr, 0, 1, Datatype::contiguous(4)),
+               std::invalid_argument);
+  EXPECT_THROW(MpiioView(file, -1, 1, Datatype::contiguous(4)),
+               std::invalid_argument);
+  EXPECT_THROW(MpiioView(file, 0, 0, Datatype::contiguous(4)),
+               std::invalid_argument);
+  // filetype of 6 bytes is not whole 4-byte etypes.
+  EXPECT_THROW(MpiioView(file, 0, 4, Datatype::contiguous(6)),
+               std::invalid_argument);
+  MpiioView ok(file, 0, 4, Datatype::contiguous(8));
+  Buffer data(6);
+  EXPECT_THROW(ok.write_at(0, data), std::invalid_argument);  // 6 % 4 != 0
+  EXPECT_THROW(ok.write_at(-1, Buffer(4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,99 @@
+// Tests for the nCube bit-permutation baseline and its FALLS equivalence
+// (paper section 2: our mapping functions are a superset of nCube's).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "falls/print.h"
+#include "falls/set_ops.h"
+#include "layout/ncube.h"
+#include "mapping/map.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Ncube, StripingMapsRoundRobin) {
+  // 64-byte file, 4 disks, stripe 4: address 0-3 -> disk 0, 4-7 -> disk 1...
+  const NcubeMapping m = ncube_striping(64, 4, 4);
+  EXPECT_EQ(m.disk_of(0), 0);
+  EXPECT_EQ(m.disk_of(5), 1);
+  EXPECT_EQ(m.disk_of(10), 2);
+  EXPECT_EQ(m.disk_of(15), 3);
+  EXPECT_EQ(m.disk_of(16), 0);
+  EXPECT_EQ(m.offset_of(0), 0);
+  EXPECT_EQ(m.offset_of(5), 1);
+  EXPECT_EQ(m.offset_of(16), 4);
+}
+
+TEST(Ncube, AddressRoundTrip) {
+  const NcubeMapping m = ncube_striping(256, 4, 8);
+  for (std::int64_t addr = 0; addr < 256; ++addr) {
+    EXPECT_EQ(m.address_of(m.disk_of(addr), m.offset_of(addr)), addr);
+  }
+}
+
+TEST(Ncube, ArbitraryBitChoiceStillBijective) {
+  // Disk bits scattered through the address: still a bijection per disk.
+  const NcubeMapping m(8, {1, 5, 7});
+  EXPECT_EQ(m.disk_count(), 8);
+  EXPECT_EQ(m.disk_size(), 32);
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (std::int64_t addr = 0; addr < 256; ++addr) {
+    EXPECT_TRUE(seen.insert({m.disk_of(addr), m.offset_of(addr)}).second);
+    EXPECT_EQ(m.address_of(m.disk_of(addr), m.offset_of(addr)), addr);
+  }
+}
+
+TEST(Ncube, DiskFallsDenoteExactlyTheDiskBytes) {
+  const NcubeMapping m(7, {2, 4});
+  for (std::int64_t disk = 0; disk < m.disk_count(); ++disk) {
+    const FallsSet s = m.disk_falls(disk);
+    std::set<std::int64_t> expected;
+    for (std::int64_t addr = 0; addr < m.file_size(); ++addr)
+      if (m.disk_of(addr) == disk) expected.insert(addr);
+    EXPECT_EQ(byte_set(s), expected) << "disk " << disk << ": " << to_string(s);
+    EXPECT_NO_THROW(validate_falls_set(s));
+  }
+}
+
+// The generality claim: the FALLS MAP agrees with nCube's offset_of on every
+// power-of-two shape — the nCube mapping is a special case of the paper's.
+TEST(Ncube, GeneralMapSubsumesBitPermutation) {
+  const NcubeMapping m = ncube_striping(128, 4, 8);
+  for (std::int64_t disk = 0; disk < 4; ++disk) {
+    const FallsSet s = m.disk_falls(disk);
+    const ElementRef ref{&s, 0, m.file_size()};
+    for (std::int64_t addr = 0; addr < 128; ++addr) {
+      if (m.disk_of(addr) != disk) continue;
+      EXPECT_EQ(map_to_element(ref, addr), m.offset_of(addr)) << addr;
+      EXPECT_EQ(map_to_file(ref, m.offset_of(addr)), addr) << addr;
+    }
+  }
+}
+
+TEST(Ncube, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(ncube_striping(100, 4, 8), std::invalid_argument);
+  EXPECT_THROW(ncube_striping(128, 3, 8), std::invalid_argument);
+  EXPECT_THROW(ncube_striping(128, 4, 6), std::invalid_argument);
+  EXPECT_THROW(ncube_striping(16, 4, 8), std::invalid_argument);  // too big
+  EXPECT_THROW(NcubeMapping(8, {8}), std::invalid_argument);
+  EXPECT_THROW(NcubeMapping(8, {3, 3}), std::invalid_argument);
+}
+
+TEST(Ncube, OffsetOrderIsPreservedWithContiguousDiskBits) {
+  // With disk bits contiguous above the stripe bits, offsets within a disk
+  // increase with addresses — matching the FALLS rank order used by MAP.
+  const NcubeMapping m = ncube_striping(64, 2, 8);
+  std::int64_t prev = -1;
+  for (std::int64_t addr = 0; addr < 64; ++addr) {
+    if (m.disk_of(addr) != 0) continue;
+    EXPECT_GT(m.offset_of(addr), prev);
+    prev = m.offset_of(addr);
+  }
+}
+
+}  // namespace
+}  // namespace pfm

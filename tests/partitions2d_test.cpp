@@ -1,0 +1,92 @@
+// Tests for the evaluation's 2-D matrix partitions (paper section 8.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "falls/print.h"
+#include "layout/partitions2d.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Partition2D, CharRoundTrip) {
+  for (char c : {'r', 'c', 'b'}) {
+    EXPECT_EQ(partition2d_char(partition2d_from_char(c)), c);
+  }
+  EXPECT_THROW(partition2d_from_char('x'), std::invalid_argument);
+}
+
+TEST(Partition2D, RowBlocksAreContiguousRanges) {
+  // 8x8 over 4 parts: element k owns rows 2k..2k+1 = bytes [16k, 16k+15].
+  for (std::int64_t k = 0; k < 4; ++k) {
+    const FallsSet s = partition2d_falls(Partition2D::kRowBlocks, 8, 8, 4, k);
+    EXPECT_EQ(set_runs(s), (std::vector<LineSegment>{{16 * k, 16 * k + 15}}))
+        << to_string(s);
+  }
+}
+
+TEST(Partition2D, ColumnBlocksStridePerRow) {
+  // 8x8 over 4 parts: element 1 owns columns 2-3: bytes {2,3, 10,11, ...}.
+  const FallsSet s = partition2d_falls(Partition2D::kColumnBlocks, 8, 8, 4, 1);
+  std::set<std::int64_t> expected;
+  for (std::int64_t row = 0; row < 8; ++row)
+    for (std::int64_t col = 2; col <= 3; ++col) expected.insert(row * 8 + col);
+  EXPECT_EQ(byte_set(s), expected);
+}
+
+TEST(Partition2D, SquareBlocksOnTwoByTwoGrid) {
+  // 8x8 over 4 parts: element 3 = grid (1,1): rows 4-7, cols 4-7.
+  const FallsSet s = partition2d_falls(Partition2D::kSquareBlocks, 8, 8, 4, 3);
+  std::set<std::int64_t> expected;
+  for (std::int64_t row = 4; row < 8; ++row)
+    for (std::int64_t col = 4; col < 8; ++col) expected.insert(row * 8 + col);
+  EXPECT_EQ(byte_set(s), expected);
+}
+
+TEST(Partition2D, AllPartitionsTileTheMatrix) {
+  for (const Partition2D p : {Partition2D::kRowBlocks, Partition2D::kColumnBlocks,
+                              Partition2D::kSquareBlocks}) {
+    const auto all = partition2d_all(p, 16, 16, 4);
+    std::set<std::int64_t> seen;
+    for (const FallsSet& s : all)
+      for (std::int64_t b : byte_set(s))
+        EXPECT_TRUE(seen.insert(b).second) << to_string(p) << " byte " << b;
+    EXPECT_EQ(seen.size(), 256u) << to_string(p);
+  }
+}
+
+TEST(Partition2D, NonSquareMatrices) {
+  // 4 rows x 12 cols, column blocks over 4: element 2 owns cols 6-8.
+  const FallsSet s = partition2d_falls(Partition2D::kColumnBlocks, 4, 12, 4, 2);
+  std::set<std::int64_t> expected;
+  for (std::int64_t row = 0; row < 4; ++row)
+    for (std::int64_t col = 6; col <= 8; ++col) expected.insert(row * 12 + col);
+  EXPECT_EQ(byte_set(s), expected);
+}
+
+TEST(Partition2D, RejectsBadShapes) {
+  EXPECT_THROW(partition2d_falls(Partition2D::kRowBlocks, 10, 10, 4, 0),
+               std::invalid_argument);  // 4 does not divide 10
+  EXPECT_THROW(partition2d_falls(Partition2D::kSquareBlocks, 8, 8, 8, 0),
+               std::invalid_argument);  // 8 is not a perfect square
+  EXPECT_THROW(partition2d_falls(Partition2D::kSquareBlocks, 9, 8, 4, 0),
+               std::invalid_argument);  // grid 2 does not divide 9
+  EXPECT_THROW(partition2d_falls(Partition2D::kRowBlocks, 8, 8, 4, 4),
+               std::invalid_argument);  // element out of range
+}
+
+// The paper's headline identity (section 6.2): a view and a subfile with the
+// same parameters overlap perfectly, so row-block views on a row-block file
+// are the optimal physical distribution for that logical distribution.
+TEST(Partition2D, MatchingPartitionsAreIdentical) {
+  const auto phys = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  const auto logical = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(byte_set(phys[i]), byte_set(logical[i]));
+}
+
+}  // namespace
+}  // namespace pfm

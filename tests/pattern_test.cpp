@@ -1,0 +1,144 @@
+// Tests for the partitioning pattern and the parallel file model
+// (paper section 5).
+#include <gtest/gtest.h>
+
+#include "falls/print.h"
+#include "file_model/file.h"
+#include "file_model/pattern.h"
+#include "layout/partitions2d.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+// Paper figure 3: displacement 2, subfiles (0,1,6,1),(2,3,6,1),(4,5,6,1).
+PartitioningPattern figure3_pattern() {
+  return make_pattern({{make_falls(0, 1, 6, 1)},
+                       {make_falls(2, 3, 6, 1)},
+                       {make_falls(4, 5, 6, 1)}},
+                      2);
+}
+
+TEST(Pattern, Figure3Basics) {
+  const PartitioningPattern p = figure3_pattern();
+  EXPECT_EQ(p.size(), 6);
+  EXPECT_EQ(p.displacement(), 2);
+  EXPECT_EQ(p.element_count(), 3u);
+}
+
+TEST(Pattern, ElementOfFollowsTheTiling) {
+  const PartitioningPattern p = figure3_pattern();
+  // Bytes 2,3 -> subfile 0; 4,5 -> 1; 6,7 -> 2; 8,9 -> 0 again...
+  EXPECT_EQ(p.element_of(2), 0u);
+  EXPECT_EQ(p.element_of(4), 1u);
+  EXPECT_EQ(p.element_of(7), 2u);
+  EXPECT_EQ(p.element_of(8), 0u);
+  EXPECT_EQ(p.element_of(31), 2u);
+  EXPECT_THROW(p.element_of(1), std::domain_error);
+}
+
+TEST(Pattern, MapWrappersMatchPaperExample) {
+  const PartitioningPattern p = figure3_pattern();
+  EXPECT_EQ(p.map_to_element(1, 10), 2);
+  EXPECT_EQ(p.map_to_file(1, 2), 10);
+}
+
+TEST(Pattern, RejectsNonTilingPatterns) {
+  // Gap: {0,1} and {4,5} of a 4-byte... sizes sum to 4 but bytes 2,3 missing.
+  EXPECT_THROW(make_pattern({{make_falls(0, 1, 6, 1)}, {make_falls(4, 5, 6, 1)}}),
+               std::invalid_argument);
+  // Overlap.
+  EXPECT_THROW(make_pattern({{make_falls(0, 2, 6, 1)}, {make_falls(2, 4, 6, 1)}}),
+               std::invalid_argument);
+  // Empty.
+  EXPECT_THROW(make_pattern({}), std::invalid_argument);
+  EXPECT_THROW(make_pattern({{make_falls(0, 1, 2, 1)}}, -1), std::invalid_argument);
+}
+
+TEST(Pattern, AcceptsInterleavedElements) {
+  // Interleaved halves: {0,2} and {1,3} tile [0,4).
+  EXPECT_NO_THROW(make_pattern({{make_falls(0, 0, 2, 2)}, {make_falls(1, 1, 2, 2)}}));
+}
+
+TEST(Pattern, ElementBytesCountsPartialPeriods) {
+  const PartitioningPattern p = figure3_pattern();
+  // File of 11 bytes, displacement 2: usable span 9 = one full period (6)
+  // plus tail 3 (bytes 8,9,10 -> phases 0,1,2: subfile 0 gets 2, subfile 1
+  // gets 1, subfile 2 gets 0).
+  EXPECT_EQ(p.element_bytes(0, 11), 2 + 2);
+  EXPECT_EQ(p.element_bytes(1, 11), 2 + 1);
+  EXPECT_EQ(p.element_bytes(2, 11), 2 + 0);
+  EXPECT_EQ(p.element_bytes(0, 2), 0);  // nothing before the displacement
+}
+
+TEST(Pattern, FromLayoutBuilders) {
+  const auto elems = partition2d_all(Partition2D::kSquareBlocks, 8, 8, 4);
+  const PartitioningPattern p = make_pattern({elems.begin(), elems.end()});
+  EXPECT_EQ(p.size(), 64);
+  EXPECT_EQ(p.element_count(), 4u);
+}
+
+TEST(ParallelFile, SplitJoinRoundTrip) {
+  const auto elems = partition2d_all(Partition2D::kColumnBlocks, 8, 8, 4);
+  ParallelFile file(make_pattern({elems.begin(), elems.end()}), 64);
+  const Buffer image = make_pattern_buffer(64, 99);
+  const auto subfiles = file.split(image);
+  ASSERT_EQ(subfiles.size(), 4u);
+  for (const Buffer& s : subfiles) EXPECT_EQ(s.size(), 16u);
+  const Buffer back = file.join(subfiles);
+  EXPECT_TRUE(equal_bytes(back, image));
+}
+
+TEST(ParallelFile, SplitRespectsDisplacement) {
+  ParallelFile file(figure3_pattern(), 14);
+  Buffer image = make_pattern_buffer(14, 5);
+  const auto subfiles = file.split(image);
+  // Usable span 12 = 2 periods; each subfile holds 4 bytes.
+  ASSERT_EQ(subfiles.size(), 3u);
+  EXPECT_EQ(subfiles[0].size(), 4u);
+  // Subfile 1's bytes are file bytes 4,5,10,11.
+  EXPECT_EQ(subfiles[1][0], image[4]);
+  EXPECT_EQ(subfiles[1][1], image[5]);
+  EXPECT_EQ(subfiles[1][2], image[10]);
+  EXPECT_EQ(subfiles[1][3], image[11]);
+  // Join zero-fills the displacement bytes.
+  const Buffer back = file.join(subfiles);
+  EXPECT_EQ(back[0], std::byte{0});
+  EXPECT_EQ(back[1], std::byte{0});
+  for (std::size_t i = 2; i < 14; ++i) EXPECT_EQ(back[i], image[i]) << i;
+}
+
+TEST(ParallelFile, SplitJoinPropertyOnRandomPatterns) {
+  Rng rng(321);
+  for (int it = 0; it < 25; ++it) {
+    // Build a valid tiling by slicing [0, T) into consecutive chunks.
+    const std::int64_t T = rng.uniform(4, 40);
+    std::vector<FallsSet> elems;
+    std::int64_t cursor = 0;
+    while (cursor < T) {
+      const std::int64_t len = std::min<std::int64_t>(rng.uniform(1, 8), T - cursor);
+      elems.push_back({make_falls(cursor, cursor + len - 1, len, 1)});
+      cursor += len;
+    }
+    const std::int64_t file_size = rng.uniform(0, 3 * T);
+    ParallelFile file(make_pattern(std::move(elems)), file_size);
+    const Buffer image = make_pattern_buffer(static_cast<std::size_t>(file_size), 7);
+    const Buffer back = file.join(file.split(image));
+    EXPECT_TRUE(equal_bytes(back, image)) << "T=" << T << " size=" << file_size;
+  }
+}
+
+TEST(FileView, SizeForFileCountsVisibleBytes) {
+  const auto elems = partition2d_all(Partition2D::kRowBlocks, 8, 8, 4);
+  ParallelFile file(make_pattern({elems.begin(), elems.end()}), 64);
+  const FileView v = file.view(elems[1], 64);
+  EXPECT_EQ(v.size_for_file(64), 16);
+  EXPECT_EQ(v.size_for_file(0), 0);
+  // Half the file: rows 0-3 exist; view of rows 2-3 sees all its 16 bytes.
+  EXPECT_EQ(v.size_for_file(32), 16);
+  // A quarter: rows 0-1 only; the view sees nothing.
+  EXPECT_EQ(v.size_for_file(16), 0);
+}
+
+}  // namespace
+}  // namespace pfm

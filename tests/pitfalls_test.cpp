@@ -1,0 +1,94 @@
+// Tests for the PITFALLS processor-indexed representation.
+#include <gtest/gtest.h>
+
+#include "falls/pitfalls.h"
+#include "falls/print.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Pitfalls, ExpandShiftsPerProcessor) {
+  // BLOCK distribution of 12 bytes over 3 processors: proc i owns
+  // [4i, 4i+3]; as PITFALLS: (0,3,4,1,d=4,p=3).
+  Pitfalls pf{0, 3, 4, 1, 4, 3, {}};
+  EXPECT_EQ(byte_set({expand(pf, 0)}), (std::set<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(byte_set({expand(pf, 1)}), (std::set<std::int64_t>{4, 5, 6, 7}));
+  EXPECT_EQ(byte_set({expand(pf, 2)}), (std::set<std::int64_t>{8, 9, 10, 11}));
+  EXPECT_THROW(expand(pf, 3), std::out_of_range);
+  EXPECT_THROW(expand(pf, -1), std::out_of_range);
+}
+
+TEST(Pitfalls, CyclicDistribution) {
+  // CYCLIC over 3 procs, 4 rounds: proc i owns {i, i+3, i+6, i+9}.
+  Pitfalls pf{0, 0, 3, 4, 1, 3, {}};
+  EXPECT_EQ(byte_set({expand(pf, 0)}), (std::set<std::int64_t>{0, 3, 6, 9}));
+  EXPECT_EQ(byte_set({expand(pf, 1)}), (std::set<std::int64_t>{1, 4, 7, 10}));
+  EXPECT_EQ(byte_set({expand(pf, 2)}), (std::set<std::int64_t>{2, 5, 8, 11}));
+}
+
+TEST(Pitfalls, ExpandAllTilesTheSpace) {
+  Pitfalls pf{0, 1, 8, 2, 2, 4, {}};  // block-cyclic(2) over 4 procs
+  const auto all = expand_all({pf});
+  std::set<std::int64_t> u;
+  for (const FallsSet& s : all) {
+    for (std::int64_t b : byte_set(s)) {
+      EXPECT_TRUE(u.insert(b).second) << "overlap at " << b;
+    }
+  }
+  EXPECT_EQ(u.size(), 16u);
+  EXPECT_EQ(*u.begin(), 0);
+  EXPECT_EQ(*u.rbegin(), 15);
+}
+
+TEST(Pitfalls, NestedExpansion) {
+  // Outer indexed by processor, inner fixed (every proc selects even bytes
+  // of its block).
+  Pitfalls inner{0, 0, 2, 2, 0, 1, {}};
+  Pitfalls outer{0, 3, 8, 2, 4, 2, {inner}};
+  EXPECT_EQ(byte_set({expand(outer, 0)}), (std::set<std::int64_t>{0, 2, 8, 10}));
+  EXPECT_EQ(byte_set({expand(outer, 1)}), (std::set<std::int64_t>{4, 6, 12, 14}));
+}
+
+TEST(Pitfalls, ValidationCatchesBadShapes) {
+  EXPECT_THROW(validate_pitfalls(Pitfalls{0, 3, 4, 1, 4, 0, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_pitfalls(Pitfalls{0, 3, 4, 1, -1, 2, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_pitfalls(Pitfalls{3, 0, 4, 1, 4, 2, {}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(validate_pitfalls(Pitfalls{0, 3, 4, 1, 4, 3, {}}));
+}
+
+TEST(Pitfalls, FoldRecoversShiftRegularSets) {
+  Pitfalls pf{0, 1, 8, 2, 2, 4, {}};
+  const auto all = expand_all({pf});
+  const PitfallsSet folded = fold(all);
+  ASSERT_EQ(folded.size(), 1u);
+  EXPECT_EQ(folded[0].d, 2);
+  EXPECT_EQ(folded[0].p, 4);
+  // Folding then re-expanding is the identity on byte sets.
+  const auto again = expand_all(folded);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(byte_set(again[i]), byte_set(all[i]));
+}
+
+TEST(Pitfalls, FoldRejectsIrregularSets) {
+  std::vector<FallsSet> per_proc{{make_falls(0, 1, 4, 1)},
+                                 {make_falls(2, 3, 4, 1)},
+                                 {make_falls(5, 6, 7, 1)}};  // not a shift
+  EXPECT_TRUE(fold(per_proc).empty());
+}
+
+TEST(Pitfalls, FoldSingleProcessor) {
+  std::vector<FallsSet> per_proc{{make_falls(0, 3, 8, 2)}};
+  const PitfallsSet folded = fold(per_proc);
+  ASSERT_EQ(folded.size(), 1u);
+  EXPECT_EQ(folded[0].p, 1);
+  EXPECT_EQ(byte_set(expand(folded, 0)), byte_set(per_proc[0]));
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,291 @@
+// Parameterized cross-module property sweeps: for every random seed, build
+// random nested-FALLS patterns and check the full algebra against
+// brute-force byte-set oracles — sizes, ranks, mapping round trips, cuts,
+// intersections, projections, compression and end-to-end redistribution.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "falls/compress.h"
+#include "falls/print.h"
+#include "falls/set_ops.h"
+#include "file_model/file.h"
+#include "intersect/cut.h"
+#include "intersect/intersect.h"
+#include "intersect/project.h"
+#include "layout/array_layout.h"
+#include "layout/dist.h"
+#include "layout/partitions2d.h"
+#include "mapping/map.h"
+#include "redist/execute.h"
+#include "redist/naive.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+using ::pfm::testing::tiled_byte_set;
+
+class AlgebraProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 7919 + 17};
+};
+
+TEST_P(AlgebraProperty, SizeRankContainsAgree) {
+  for (int it = 0; it < 8; ++it) {
+    const int h = static_cast<int>(rng_.uniform(1, 4));  // up to height 4
+    const FallsSet s = pfm::testing::random_falls_set(rng_, 160, h);
+    const auto bytes = byte_set(s);
+    ASSERT_EQ(set_size(s), static_cast<std::int64_t>(bytes.size())) << to_string(s);
+    std::int64_t rank = 0;
+    for (std::int64_t x = 0; x < set_extent(s); ++x) {
+      ASSERT_EQ(set_contains(s, x), bytes.count(x) == 1) << to_string(s) << " " << x;
+      ASSERT_EQ(set_rank(s, x), rank) << to_string(s) << " " << x;
+      if (bytes.count(x)) ++rank;
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, MapRoundTripAndOrder) {
+  for (int it = 0; it < 6; ++it) {
+    const int h = static_cast<int>(rng_.uniform(1, 4));
+    const FallsSet s = pfm::testing::random_falls_set(rng_, 100, h);
+    const std::int64_t T = set_extent(s) + rng_.uniform(0, 12);
+    const std::int64_t d = rng_.uniform(0, 9);
+    const ElementRef e{&s, d, T};
+    const auto tiled = tiled_byte_set(s, T, d, d + 2 * T);
+    std::int64_t k = 0;
+    std::int64_t prev_file = -1;
+    for (std::int64_t x : tiled) {
+      ASSERT_EQ(map_to_element(e, x), k) << to_string(s);
+      ASSERT_EQ(map_to_file(e, k), x) << to_string(s);
+      ASSERT_GT(x, prev_file);  // MAP^-1 enumerates file offsets in order
+      prev_file = x;
+      ++k;
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, CutMatchesOracleAtAnyDepth) {
+  for (int it = 0; it < 8; ++it) {
+    const int h = static_cast<int>(rng_.uniform(1, 4));
+    const FallsSet s = pfm::testing::random_falls_set(rng_, 140, h);
+    const std::int64_t ext = set_extent(s);
+    const std::int64_t a = rng_.uniform(0, ext - 1);
+    const std::int64_t b = a + rng_.uniform(0, ext - a + 3);
+    const FallsSet cut = cut_set(s, a, b);
+    std::set<std::int64_t> expected;
+    for (std::int64_t x : byte_set(s))
+      if (x >= a && x <= b) expected.insert(x - a);
+    ASSERT_EQ(byte_set(cut), expected)
+        << to_string(s) << " [" << a << "," << b << "]";
+    EXPECT_NO_THROW(validate_falls_set(cut));
+  }
+}
+
+TEST_P(AlgebraProperty, IntersectionIsCommutativeAndExact) {
+  for (int it = 0; it < 5; ++it) {
+    const FallsSet s1 =
+        pfm::testing::random_falls_set(rng_, 70, static_cast<int>(rng_.uniform(1, 3)), 2);
+    const FallsSet s2 =
+        pfm::testing::random_falls_set(rng_, 70, static_cast<int>(rng_.uniform(1, 3)), 2);
+    const std::int64_t t1 = set_extent(s1) + rng_.uniform(0, 6);
+    const std::int64_t t2 = set_extent(s2) + rng_.uniform(0, 6);
+    PatternElement e1{s1, t1, 0};
+    PatternElement e2{s2, t2, 0};
+    const Intersection x12 = intersect_nested(e1, e2);
+    const Intersection x21 = intersect_nested(e2, e1);
+    ASSERT_EQ(byte_set(x12.falls), byte_set(x21.falls))
+        << to_string(s1) << " vs " << to_string(s2);
+
+    // Exactness against the tiled oracle.
+    const auto tiled1 = tiled_byte_set(s1, t1, 0, x12.period);
+    const auto tiled2 = tiled_byte_set(s2, t2, 0, x12.period);
+    std::set<std::int64_t> expected;
+    for (std::int64_t b : tiled1)
+      if (tiled2.count(b)) expected.insert(b);
+    ASSERT_EQ(byte_set(x12.falls), expected);
+
+    // The intersection is a subset of both elements' tilings.
+    for (std::int64_t b : byte_set(x12.falls)) {
+      ASSERT_TRUE(tiled1.count(b));
+      ASSERT_TRUE(tiled2.count(b));
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, SelfIntersectionIsIdentity) {
+  const FallsSet s =
+      pfm::testing::random_falls_set(rng_, 90, static_cast<int>(rng_.uniform(1, 3)));
+  const std::int64_t T = set_extent(s) + rng_.uniform(0, 5);
+  PatternElement e{s, T, 0};
+  const Intersection x = intersect_nested(e, e);
+  EXPECT_EQ(byte_set(x.falls), byte_set(s)) << to_string(s);
+  if (!x.falls.empty()) {
+    // Projection of the self-intersection is the full contiguous prefix.
+    const Projection p = project(x, e);
+    EXPECT_EQ(set_runs(p.falls),
+              (std::vector<LineSegment>{{0, set_size(s) - 1}}));
+  }
+}
+
+TEST_P(AlgebraProperty, ProjectionsPreserveSizeAndOrder) {
+  for (int it = 0; it < 4; ++it) {
+    const FallsSet s1 = pfm::testing::random_falls_set(rng_, 60, 2, 2);
+    const FallsSet s2 = pfm::testing::random_falls_set(rng_, 60, 2, 2);
+    PatternElement e1{s1, set_extent(s1) + rng_.uniform(0, 4), 0};
+    PatternElement e2{s2, set_extent(s2) + rng_.uniform(0, 4), 0};
+    const Intersection x = intersect_nested(e1, e2);
+    if (x.falls.empty()) continue;
+    const Projection p1 = project(x, e1);
+    const Projection p2 = project(x, e2);
+    ASSERT_EQ(set_size(p1.falls), set_size(x.falls));
+    ASSERT_EQ(set_size(p2.falls), set_size(x.falls));
+    // Same k-th byte: rank order matches across the two projections.
+    const auto b1 = set_bytes(p1.falls);
+    const auto b2 = set_bytes(p2.falls);
+    const ElementRef r1{&s1, 0, e1.pattern_size};
+    const ElementRef r2{&s2, 0, e2.pattern_size};
+    for (std::size_t k = 0; k < b1.size(); ++k) {
+      // Both projections' k-th members denote the same file byte.
+      ASSERT_EQ(map_to_file(r1, b1[k]), map_to_file(r2, b2[k]));
+    }
+  }
+}
+
+TEST_P(AlgebraProperty, RecompressIsByteSetIdentity) {
+  for (int it = 0; it < 8; ++it) {
+    const FallsSet s =
+        pfm::testing::random_falls_set(rng_, 180, static_cast<int>(rng_.uniform(1, 4)));
+    const FallsSet r = recompress(s);
+    ASSERT_EQ(byte_set(r), byte_set(s)) << to_string(s);
+    ASSERT_LE(node_count(r), std::max<std::int64_t>(node_count(s),
+                                                    static_cast<std::int64_t>(
+                                                        set_runs(s).size())));
+  }
+}
+
+TEST_P(AlgebraProperty, RebaseComposesLikeModularShift) {
+  const FallsSet s = pfm::testing::random_falls_set(rng_, 80, 2);
+  const std::int64_t T = set_extent(s) + rng_.uniform(0, 8);
+  const std::int64_t sh1 = rng_.uniform(0, T - 1);
+  const std::int64_t sh2 = rng_.uniform(0, T - 1);
+  // Rebase by sh1 then sh2 equals rebase by (sh1 + sh2) mod T.
+  const FallsSet once = rebase_period(rebase_period(s, sh1, T), sh2, T);
+  const FallsSet direct = rebase_period(s, (sh1 + sh2) % T, T);
+  EXPECT_EQ(byte_set(once), byte_set(direct))
+      << to_string(s) << " sh1=" << sh1 << " sh2=" << sh2 << " T=" << T;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperty, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+
+struct RedistCase {
+  std::int64_t n;
+  std::int64_t parts;
+  Partition2D from;
+  Partition2D to;
+};
+
+class RedistSweep : public ::testing::TestWithParam<RedistCase> {};
+
+TEST_P(RedistSweep, FallsAndNaiveAgreeWithReferenceSplit) {
+  const RedistCase& c = GetParam();
+  auto fe = partition2d_all(c.from, c.n, c.n, c.parts);
+  auto te = partition2d_all(c.to, c.n, c.n, c.parts);
+  const PartitioningPattern from({fe.begin(), fe.end()}, 0);
+  const PartitioningPattern to({te.begin(), te.end()}, 0);
+  const std::int64_t bytes = c.n * c.n;
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(bytes), 99);
+  const auto src = ParallelFile(from, bytes).split(image);
+  const auto expected = ParallelFile(to, bytes).split(image);
+
+  std::vector<Buffer> fast, slow;
+  redistribute(from, to, src, fast, bytes);
+  naive_redistribute(from, to, src, slow, bytes);
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_TRUE(equal_bytes(fast[j], expected[j])) << "falls, element " << j;
+    EXPECT_TRUE(equal_bytes(slow[j], expected[j])) << "naive, element " << j;
+  }
+}
+
+std::string redist_case_name(const ::testing::TestParamInfo<RedistCase>& info) {
+  const RedistCase& c = info.param;
+  std::string s = "N" + std::to_string(c.n) + "_p" + std::to_string(c.parts) + "_";
+  s += partition2d_char(c.from);
+  s += "_to_";
+  s += partition2d_char(c.to);
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RedistSweep,
+    ::testing::Values(
+        RedistCase{8, 4, Partition2D::kRowBlocks, Partition2D::kColumnBlocks},
+        RedistCase{8, 4, Partition2D::kColumnBlocks, Partition2D::kRowBlocks},
+        RedistCase{8, 4, Partition2D::kSquareBlocks, Partition2D::kColumnBlocks},
+        RedistCase{16, 4, Partition2D::kRowBlocks, Partition2D::kSquareBlocks},
+        RedistCase{16, 4, Partition2D::kColumnBlocks, Partition2D::kSquareBlocks},
+        RedistCase{16, 4, Partition2D::kSquareBlocks, Partition2D::kSquareBlocks},
+        RedistCase{16, 16, Partition2D::kRowBlocks, Partition2D::kColumnBlocks},
+        RedistCase{16, 16, Partition2D::kSquareBlocks, Partition2D::kRowBlocks},
+        RedistCase{32, 4, Partition2D::kColumnBlocks, Partition2D::kRowBlocks},
+        RedistCase{32, 16, Partition2D::kSquareBlocks, Partition2D::kColumnBlocks},
+        RedistCase{64, 4, Partition2D::kRowBlocks, Partition2D::kColumnBlocks}),
+    redist_case_name);
+
+// ---------------------------------------------------------------------------
+
+struct DistCase {
+  Dist dist;
+  std::int64_t extent;
+  std::int64_t procs;
+};
+
+class DistSweep : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistSweep, TilesExactlyAndAgreesWithOwner) {
+  const DistCase& c = GetParam();
+  std::set<std::int64_t> seen;
+  for (std::int64_t p = 0; p < c.procs; ++p) {
+    const FallsSet s = dist_falls(c.dist, c.extent, c.procs, p);
+    if (!s.empty()) {
+      EXPECT_NO_THROW(validate_falls_set(s));
+    }
+    for (std::int64_t b : byte_set(s)) {
+      EXPECT_TRUE(seen.insert(b).second) << b;
+      EXPECT_EQ(dist_owner(c.dist, c.extent, c.procs, b), p) << b;
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(c.extent));
+}
+
+std::string dist_case_name(const ::testing::TestParamInfo<DistCase>& info) {
+  const DistCase& c = info.param;
+  std::string s = to_string(c.dist);
+  for (char& ch : s)
+    if (ch == '(' || ch == ')' || ch == '*') ch = '_';
+  return s + "_e" + std::to_string(c.extent) + "_p" + std::to_string(c.procs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistSweep,
+    ::testing::Values(DistCase{Dist::block_dist(), 12, 4},
+                      DistCase{Dist::block_dist(), 13, 4},
+                      DistCase{Dist::block_dist(), 3, 4},
+                      DistCase{Dist::cyclic(), 12, 4},
+                      DistCase{Dist::cyclic(), 13, 4},
+                      DistCase{Dist::cyclic(), 2, 4},
+                      DistCase{Dist::block_cyclic(2), 16, 4},
+                      DistCase{Dist::block_cyclic(2), 17, 4},
+                      DistCase{Dist::block_cyclic(3), 19, 2},
+                      DistCase{Dist::block_cyclic(5), 7, 3},
+                      DistCase{Dist::block_cyclic(1), 9, 3},
+                      DistCase{Dist::block_cyclic(8), 64, 8}),
+    dist_case_name);
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,56 @@
+// Tests for the tuple-notation serialization of FALLS sets.
+#include <gtest/gtest.h>
+
+#include "falls/print.h"
+#include "falls/serialize.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+TEST(Serialize, TupleNotationMatchesPaper) {
+  EXPECT_EQ(to_string(make_falls(3, 5, 6, 5)), "(3,5,6,5)");
+  EXPECT_EQ(to_string(make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)})),
+            "(0,3,8,2,{(0,0,2,2)})");
+  EXPECT_EQ(to_string(FallsSet{make_falls(0, 1, 6, 1), make_falls(2, 3, 6, 1)}),
+            "{(0,1,6,1), (2,3,6,1)}");
+}
+
+TEST(Serialize, ParseAcceptsWhitespace) {
+  const FallsSet s = parse_falls_set(" { ( 0 , 3 , 8 , 2 , { (0,0,2,2) } ) } ");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)}));
+}
+
+TEST(Serialize, ParseEmptySet) {
+  EXPECT_TRUE(parse_falls_set("{}").empty());
+  EXPECT_TRUE(parse_falls_set("  {  }  ").empty());
+}
+
+TEST(Serialize, RoundTripProperty) {
+  Rng rng(4242);
+  for (int it = 0; it < 100; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 250, 3);
+    const FallsSet back = parse_falls_set(serialize(s));
+    EXPECT_EQ(back, s) << serialize(s);
+  }
+}
+
+TEST(Serialize, RejectsSyntaxErrors) {
+  EXPECT_THROW(parse_falls_set(""), std::invalid_argument);
+  EXPECT_THROW(parse_falls_set("("), std::invalid_argument);
+  EXPECT_THROW(parse_falls_set("{(1,2,3)}"), std::invalid_argument);
+  EXPECT_THROW(parse_falls_set("{(1,2,3,4)} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_falls_set("{(1,2,3,4),}"), std::invalid_argument);
+  EXPECT_THROW(parse_falls_set("{(a,2,3,4)}"), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsStructurallyInvalidFalls) {
+  // Parses syntactically but fails validation (l > r).
+  EXPECT_THROW(parse_falls_set("{(5,2,6,1)}"), std::invalid_argument);
+  // Overlapping set members.
+  EXPECT_THROW(parse_falls_set("{(0,3,8,2),(2,5,8,1)}"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,93 @@
+// Tests for membership / rank / contiguity queries over nested FALLS.
+#include <gtest/gtest.h>
+
+#include "falls/print.h"
+#include "falls/set_ops.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Contains, MatchesEnumerationOnPaperExamples) {
+  const Falls fig1 = make_falls(3, 5, 6, 5);
+  const auto bytes = byte_set({fig1});
+  for (std::int64_t x = 0; x < 35; ++x)
+    EXPECT_EQ(falls_contains(fig1, x), bytes.count(x) == 1) << x;
+
+  const Falls fig2 = make_nested(0, 3, 8, 2, {make_falls(0, 0, 2, 2)});
+  const auto bytes2 = byte_set({fig2});
+  for (std::int64_t x = 0; x < 16; ++x)
+    EXPECT_EQ(falls_contains(fig2, x), bytes2.count(x) == 1) << x;
+}
+
+TEST(Contains, PropertyMatchesOracle) {
+  Rng rng(101);
+  for (int it = 0; it < 60; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 200, 3);
+    const auto bytes = byte_set(s);
+    for (std::int64_t x = 0; x < set_extent(s) + 3; ++x)
+      EXPECT_EQ(set_contains(s, x), bytes.count(x) == 1)
+          << to_string(s) << " at " << x;
+  }
+}
+
+TEST(Rank, CountsBytesStrictlyBelow) {
+  Rng rng(202);
+  for (int it = 0; it < 60; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 200, 3);
+    const auto bytes = byte_set(s);
+    for (std::int64_t x = 0; x <= set_extent(s) + 2; ++x) {
+      const auto below = std::count_if(bytes.begin(), bytes.end(),
+                                       [&](std::int64_t b) { return b < x; });
+      EXPECT_EQ(set_rank(s, x), below) << to_string(s) << " at " << x;
+    }
+  }
+}
+
+TEST(SingleRun, DetectsContiguity) {
+  EXPECT_TRUE(is_single_run({}));
+  EXPECT_TRUE(is_single_run({make_falls(4, 9, 6, 1)}));
+  EXPECT_FALSE(is_single_run({make_falls(0, 1, 4, 2)}));
+  // Two adjacent members forming one run.
+  EXPECT_TRUE(is_single_run({make_falls(0, 3, 4, 1), make_falls(4, 7, 4, 1)}));
+}
+
+TEST(FirstLastByte, MatchOracle) {
+  Rng rng(303);
+  for (int it = 0; it < 40; ++it) {
+    const FallsSet s = pfm::testing::random_falls_set(rng, 150, 2);
+    const auto bytes = byte_set(s);
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(first_byte(s), *bytes.begin());
+    EXPECT_EQ(last_byte(s), *bytes.rbegin());
+  }
+  EXPECT_EQ(first_byte({}), std::nullopt);
+  EXPECT_EQ(last_byte({}), std::nullopt);
+}
+
+TEST(SameByteSet, IgnoresStructuralForm) {
+  // (0,3,8,2) == two adjacent halves per block.
+  const FallsSet a{make_falls(0, 3, 8, 2)};
+  const FallsSet b{make_falls(0, 1, 8, 2), make_falls(2, 3, 8, 2)};
+  EXPECT_TRUE(same_byte_set(a, b));
+  const FallsSet c{make_falls(0, 3, 8, 3)};
+  EXPECT_FALSE(same_byte_set(a, c));
+}
+
+TEST(SubsetOf, MatchesSetInclusion) {
+  Rng rng(404);
+  for (int it = 0; it < 60; ++it) {
+    const FallsSet big = pfm::testing::random_falls_set(rng, 150, 2);
+    const FallsSet small = pfm::testing::random_falls_set(rng, 150, 2);
+    const auto bb = byte_set(big);
+    const auto sb = byte_set(small);
+    const bool expect = std::includes(bb.begin(), bb.end(), sb.begin(), sb.end());
+    EXPECT_EQ(subset_of(small, big), expect)
+        << to_string(small) << " vs " << to_string(big);
+  }
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,92 @@
+// Tests for the subfile storage backends.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "clusterfile/storage.h"
+#include "util/buffer.h"
+
+namespace pfm {
+namespace {
+
+class StorageTest : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<SubfileStorage> make() {
+    if (GetParam()) {
+      dir_ = std::filesystem::temp_directory_path() / "pfm_storage_test";
+      std::filesystem::remove_all(dir_);
+      return make_storage(dir_, 0);
+    }
+    return make_storage({}, 0);
+  }
+
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(StorageTest, WriteReadRoundTrip) {
+  auto s = make();
+  const Buffer data = make_pattern_buffer(256, 1);
+  s->write(0, data);
+  EXPECT_EQ(s->size(), 256);
+  Buffer back(256);
+  s->read(0, back);
+  EXPECT_TRUE(equal_bytes(back, data));
+}
+
+TEST_P(StorageTest, SparseWritesZeroFillHoles) {
+  auto s = make();
+  const Buffer data = make_pattern_buffer(4, 2);
+  s->write(100, data);
+  EXPECT_EQ(s->size(), 104);
+  Buffer hole(4);
+  s->read(50, hole);
+  for (std::byte b : hole) EXPECT_EQ(b, std::byte{0});
+  Buffer back(4);
+  s->read(100, back);
+  EXPECT_TRUE(equal_bytes(back, data));
+}
+
+TEST_P(StorageTest, OverwriteInPlace) {
+  auto s = make();
+  s->write(0, make_pattern_buffer(64, 1));
+  const Buffer patch = make_pattern_buffer(16, 9);
+  s->write(8, patch);
+  Buffer back(16);
+  s->read(8, back);
+  EXPECT_TRUE(equal_bytes(back, patch));
+  EXPECT_EQ(s->size(), 64);
+}
+
+TEST_P(StorageTest, ReadBeyondEndThrows) {
+  auto s = make();
+  s->write(0, make_pattern_buffer(8, 3));
+  Buffer out(4);
+  EXPECT_THROW(s->read(6, out), std::out_of_range);
+  EXPECT_NO_THROW(s->read(4, out));
+}
+
+TEST_P(StorageTest, FlushSucceeds) {
+  auto s = make();
+  s->write(0, make_pattern_buffer(8, 4));
+  EXPECT_NO_THROW(s->flush());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StorageTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+TEST(Storage, KindNames) {
+  EXPECT_EQ(make_storage({}, 0)->kind(), "memory");
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_storage_kind";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(make_storage(dir, 1)->kind(), "file");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,159 @@
+// Concurrency and scale stress: many clients, many views, interleaved
+// operations, larger matrices — the file system must stay byte-exact under
+// arbitrary interleavings of disjoint writes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "clusterfile/fs.h"
+#include "file_model/file.h"
+#include "redist/execute.h"
+#include "layout/partitions2d.h"
+#include "tests/test_util.h"
+#include "workload/trace.h"
+
+namespace pfm {
+namespace {
+
+PartitioningPattern pattern2d(Partition2D p, std::int64_t n, std::int64_t parts) {
+  auto elems = partition2d_all(p, n, n, parts);
+  return make_pattern({elems.begin(), elems.end()});
+}
+
+TEST(Stress, ConcurrentClientsDisjointViews) {
+  // 8 compute nodes each own 1/8 of the rows and write them concurrently in
+  // small pieces; every byte must land.
+  const std::int64_t n = 64;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 8;
+  cfg.io_nodes = 4;
+  Clusterfile fs(cfg, pattern2d(Partition2D::kColumnBlocks, n, 4));
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(n * n), 71);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, n, n, 8);
+  const std::int64_t view_bytes = n * n / 8;
+
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 8; ++c) {
+    workers.emplace_back([&, c] {
+      auto& client = fs.client(c);
+      const std::int64_t vid =
+          client.set_view(views[static_cast<std::size_t>(c)], n * n);
+      const IndexSet idx(views[static_cast<std::size_t>(c)], n * n);
+      Buffer data(static_cast<std::size_t>(view_bytes));
+      gather(data, image, 0, n * n - 1, idx);
+      // Write in 7 unaligned pieces to force partial-interval paths.
+      const AccessTrace trace = make_sequential(view_bytes, view_bytes / 7 + 3);
+      replay_writes(client, vid, trace, data);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto phys_elems = partition2d_all(Partition2D::kColumnBlocks, n, n, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const IndexSet idx(phys_elems[i], n * n);
+    Buffer expected(static_cast<std::size_t>(idx.count_in(0, n * n - 1)));
+    gather(expected, image, 0, n * n - 1, idx);
+    Buffer got(expected.size());
+    fs.subfile_storage(i).read(0, got);
+    EXPECT_TRUE(equal_bytes(got, expected)) << "subfile " << i;
+  }
+}
+
+TEST(Stress, ManyViewsPerClient) {
+  // One client sets 32 views (8 view generations x 4 elements) and uses
+  // them interleaved; view state must not cross-contaminate.
+  const std::int64_t n = 32;
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kSquareBlocks, n, 4));
+  auto& client = fs.client(0);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, n, n, 4);
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(n * n), 72);
+
+  std::vector<std::int64_t> vids;
+  for (int gen = 0; gen < 8; ++gen)
+    for (const auto& v : views) vids.push_back(client.set_view(v, n * n));
+
+  // Write through the *last* generation, round-robin across elements.
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::int64_t vid = vids[28 + k];
+    const IndexSet idx(views[k], n * n);
+    Buffer data(static_cast<std::size_t>(idx.count_in(0, n * n - 1)));
+    gather(data, image, 0, n * n - 1, idx);
+    client.write(vid, 0, static_cast<std::int64_t>(data.size()) - 1, data);
+  }
+  // And read back through the *first* generation.
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::int64_t vid = vids[k];
+    const IndexSet idx(views[k], n * n);
+    Buffer expected(static_cast<std::size_t>(idx.count_in(0, n * n - 1)));
+    gather(expected, image, 0, n * n - 1, idx);
+    Buffer got(expected.size());
+    client.read(vid, 0, static_cast<std::int64_t>(got.size()) - 1, got);
+    EXPECT_TRUE(equal_bytes(got, expected)) << "view " << k;
+  }
+}
+
+TEST(Stress, LargeMatrixRedistributionSampledOracle) {
+  // 1024x1024 across 16 elements: full reference splits are cheap enough,
+  // but keep this as the big-shape guard.
+  const std::int64_t n = 1024;
+  const std::int64_t bytes = n * n;
+  const PartitioningPattern from = pattern2d(Partition2D::kSquareBlocks, n, 16);
+  const PartitioningPattern to = pattern2d(Partition2D::kColumnBlocks, n, 16);
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(bytes), 73);
+  const auto src = ParallelFile(from, bytes).split(image);
+  std::vector<Buffer> dst;
+  const RedistStats stats = redistribute(from, to, src, dst, bytes);
+  EXPECT_EQ(stats.bytes_moved, bytes);
+  const auto expected = ParallelFile(to, bytes).split(image);
+  for (std::size_t j = 0; j < dst.size(); ++j)
+    ASSERT_TRUE(equal_bytes(dst[j], expected[j])) << j;
+}
+
+TEST(Stress, InterleavedReadsAndWritesAcrossClients) {
+  const std::int64_t n = 32;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  Clusterfile fs(cfg, pattern2d(Partition2D::kColumnBlocks, n, 4));
+  const Buffer image = make_pattern_buffer(static_cast<std::size_t>(n * n), 74);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, n, n, 4);
+  const std::int64_t view_bytes = n * n / 4;
+
+  // Phase 1: everyone writes its rows.
+  std::vector<std::thread> writers;
+  for (int c = 0; c < 4; ++c) {
+    writers.emplace_back([&, c] {
+      auto& client = fs.client(c);
+      const std::int64_t vid =
+          client.set_view(views[static_cast<std::size_t>(c)], n * n);
+      const IndexSet idx(views[static_cast<std::size_t>(c)], n * n);
+      Buffer data(static_cast<std::size_t>(view_bytes));
+      gather(data, image, 0, n * n - 1, idx);
+      client.write(vid, 0, view_bytes - 1, data);
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  // Phase 2: everyone reads a *different* client's rows, concurrently.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int c = 0; c < 4; ++c) {
+    readers.emplace_back([&, c] {
+      const int target = (c + 2) % 4;
+      auto& client = fs.client(c);
+      const std::int64_t vid =
+          client.set_view(views[static_cast<std::size_t>(target)], n * n);
+      const IndexSet idx(views[static_cast<std::size_t>(target)], n * n);
+      Buffer expected(static_cast<std::size_t>(view_bytes));
+      gather(expected, image, 0, n * n - 1, idx);
+      Buffer got(static_cast<std::size_t>(view_bytes));
+      client.read(vid, 0, view_bytes - 1, got);
+      if (!equal_bytes(got, expected)) failures.fetch_add(1);
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,72 @@
+// Shared helpers for the pfm test suites: byte-set oracles and random
+// pattern generators used by the property tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "falls/falls.h"
+#include "util/rng.h"
+
+namespace pfm::testing {
+
+/// Byte set of a FALLS set as a std::set (brute-force oracle).
+inline std::set<std::int64_t> byte_set(const FallsSet& s) {
+  const auto v = set_bytes(s);
+  return {v.begin(), v.end()};
+}
+
+/// Byte set of the periodic tiling of `s` (period T, displacement d)
+/// restricted to file offsets [0, limit).
+inline std::set<std::int64_t> tiled_byte_set(const FallsSet& s, std::int64_t T,
+                                             std::int64_t d, std::int64_t limit) {
+  std::set<std::int64_t> out;
+  for (std::int64_t base = d; base < limit; base += T) {
+    for (std::int64_t x : set_bytes(s)) {
+      if (base + x < limit) out.insert(base + x);
+    }
+  }
+  return out;
+}
+
+/// Random valid flat FALLS with extent <= max_extent.
+inline Falls random_flat_falls(Rng& rng, std::int64_t max_extent) {
+  while (true) {
+    const std::int64_t l = rng.uniform(0, max_extent / 3);
+    const std::int64_t blen = rng.uniform(1, std::max<std::int64_t>(1, max_extent / 6));
+    const std::int64_t r = l + blen - 1;
+    const std::int64_t s = blen + rng.uniform(0, std::max<std::int64_t>(0, max_extent / 6));
+    const std::int64_t span_left = max_extent - (l + blen);
+    const std::int64_t n = 1 + (s > 0 ? rng.uniform(0, std::max<std::int64_t>(0, span_left / s)) : 0);
+    Falls f = make_falls(l, r, s, n);
+    if (falls_extent(f) <= max_extent) return f;
+  }
+}
+
+/// Random nested FALLS of the given height with extent <= max_extent.
+inline Falls random_nested_falls(Rng& rng, std::int64_t max_extent, int height) {
+  Falls f = random_flat_falls(rng, max_extent);
+  if (height <= 1 || f.block_len() < 2) return f;
+  Falls inner = random_nested_falls(rng, f.block_len(), height - 1);
+  f.inner.push_back(inner);
+  return f;
+}
+
+/// Random valid FALLS set (sorted, non-overlapping spans) within max_extent.
+inline FallsSet random_falls_set(Rng& rng, std::int64_t max_extent, int height,
+                                 int max_members = 3) {
+  FallsSet out;
+  std::int64_t cursor = 0;
+  const int members = static_cast<int>(rng.uniform(1, max_members));
+  for (int i = 0; i < members && cursor + 2 < max_extent; ++i) {
+    Falls f = random_nested_falls(rng, max_extent - cursor, height);
+    f = shift_falls(f, cursor);
+    cursor = falls_extent(f);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace pfm::testing

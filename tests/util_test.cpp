@@ -1,0 +1,96 @@
+// Tests for arithmetic, statistics and buffer utilities.
+#include <gtest/gtest.h>
+
+#include "util/arith.h"
+#include "util/buffer.h"
+#include "util/stats.h"
+
+namespace pfm {
+namespace {
+
+TEST(Arith, GcdLcmBasics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(1, 9), 9);
+  EXPECT_EQ(lcm64(0, 9), 0);
+  EXPECT_THROW(gcd64(-1, 3), std::invalid_argument);
+}
+
+TEST(Arith, LcmOverflowDetected) {
+  const std::int64_t big = (std::int64_t{1} << 62) + 1;
+  EXPECT_THROW(lcm64(big, big - 2), std::overflow_error);
+}
+
+TEST(Arith, FloorDivMod) {
+  EXPECT_EQ(div_floor(7, 2), 3);
+  EXPECT_EQ(div_floor(-7, 2), -4);
+  EXPECT_EQ(div_floor(-8, 2), -4);
+  EXPECT_EQ(mod_floor(7, 3), 1);
+  EXPECT_EQ(mod_floor(-7, 3), 2);
+  EXPECT_EQ(mod_floor(-9, 3), 0);
+  EXPECT_EQ(div_ceil(7, 2), 4);
+  EXPECT_EQ(div_ceil(8, 2), 4);
+  EXPECT_EQ(div_ceil(0, 5), 0);
+}
+
+TEST(Arith, FloorIdentity) {
+  for (std::int64_t a = -20; a <= 20; ++a)
+    for (std::int64_t b : {1, 2, 3, 7}) {
+      EXPECT_EQ(div_floor(a, b) * b + mod_floor(a, b), a) << a << "/" << b;
+      EXPECT_GE(mod_floor(a, b), 0);
+      EXPECT_LT(mod_floor(a, b), b);
+    }
+}
+
+TEST(Arith, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(4096), 12);
+  EXPECT_THROW(log2_exact(3), std::invalid_argument);
+}
+
+TEST(Stats, MeanStddev) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.rel_stddev(), 2.138 / 5.0, 1e-3);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Buffer, PatternIsDeterministicAndSeedSensitive) {
+  const Buffer a = make_pattern_buffer(64, 1);
+  const Buffer b = make_pattern_buffer(64, 1);
+  const Buffer c = make_pattern_buffer(64, 2);
+  EXPECT_TRUE(equal_bytes(a, b));
+  EXPECT_FALSE(equal_bytes(a, c));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], pattern_byte(i, 1));
+}
+
+TEST(Buffer, EqualBytesChecksSizes) {
+  const Buffer a = make_pattern_buffer(8, 3);
+  Buffer b = a;
+  EXPECT_TRUE(equal_bytes(a, b));
+  b.pop_back();
+  EXPECT_FALSE(equal_bytes(a, b));
+}
+
+}  // namespace
+}  // namespace pfm

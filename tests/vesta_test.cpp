@@ -1,0 +1,112 @@
+// Tests for the Vesta-style partitioning (paper section 2: nested FALLS
+// subsume Vesta's two-dimensional rectangular scheme).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "falls/print.h"
+#include "file_model/pattern.h"
+#include "layout/vesta.h"
+#include "tests/test_util.h"
+
+namespace pfm {
+namespace {
+
+using ::pfm::testing::byte_set;
+
+TEST(Vesta, SimpleCellPartition) {
+  // 4 cells of 2-byte BSUs, 2 records; one vertical group of 2 cells per
+  // sub-partition, whole record axis.
+  const VestaFile f{4, 2, 2};
+  const VestaPartition p{2, 2, 2, 1};
+  // Sub-partition (0,0): cells 0-1, all records.
+  const FallsSet s00 = vesta_falls(f, p, 0, 0);
+  std::set<std::int64_t> expected;
+  for (std::int64_t r = 0; r < 2; ++r)
+    for (std::int64_t c = 0; c < 2; ++c)
+      for (std::int64_t k = 0; k < 2; ++k)
+        expected.insert((r * 4 + c) * 2 + k);
+  EXPECT_EQ(byte_set(s00), expected) << to_string(s00);
+}
+
+TEST(Vesta, RoundRobinGroups) {
+  // 8 cells, vbs=2, vn=2: groups of 2 cells alternate between the two
+  // sub-partitions: vi=0 owns cells {0,1,4,5}, vi=1 owns {2,3,6,7}.
+  const VestaFile f{8, 1, 1};
+  const VestaPartition p{2, 2, 1, 1};
+  EXPECT_EQ(byte_set(vesta_falls(f, p, 0, 0)),
+            (std::set<std::int64_t>{0, 1, 4, 5}));
+  EXPECT_EQ(byte_set(vesta_falls(f, p, 1, 0)),
+            (std::set<std::int64_t>{2, 3, 6, 7}));
+}
+
+TEST(Vesta, RecordAxisGroups) {
+  // 2 cells, 8 records, hbs=2, hn=2: record groups alternate.
+  const VestaFile f{2, 1, 8};
+  const VestaPartition p{1, 1, 2, 2};
+  // hj=0 owns records {0,1,4,5} of both cells.
+  std::set<std::int64_t> expected;
+  for (std::int64_t r : {0, 1, 4, 5})
+    for (std::int64_t c = 0; c < 2; ++c) expected.insert(r * 2 + c);
+  EXPECT_EQ(byte_set(vesta_falls(f, p, 0, 0)), expected);
+}
+
+TEST(Vesta, AllSubPartitionsTileTheFile) {
+  const VestaFile f{6, 3, 8};
+  const VestaPartition p{2, 3, 2, 2};
+  const auto all = vesta_all(f, p);
+  ASSERT_EQ(all.size(), 6u);
+  std::set<std::int64_t> seen;
+  for (std::size_t idx = 0; idx < all.size(); ++idx) {
+    for (std::int64_t b : byte_set(all[idx])) {
+      EXPECT_TRUE(seen.insert(b).second) << "double ownership at " << b;
+      EXPECT_EQ(vesta_owner(f, p, b), static_cast<std::int64_t>(idx)) << b;
+    }
+    EXPECT_NO_THROW(validate_falls_set(all[idx]));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(f.bytes()));
+}
+
+TEST(Vesta, FormsAValidPartitioningPattern) {
+  // A Vesta partition is a partitioning pattern of the section 5 model.
+  const VestaFile f{4, 2, 4};
+  const VestaPartition p{1, 4, 2, 2};
+  const auto all = vesta_all(f, p);
+  EXPECT_NO_THROW(make_pattern({all.begin(), all.end()}));
+}
+
+TEST(Vesta, OwnershipOracleSweep) {
+  // Sweep several shapes; every byte owned exactly once and consistently.
+  struct Case {
+    VestaFile f;
+    VestaPartition p;
+  };
+  const Case cases[] = {
+      {{4, 1, 4}, {1, 2, 1, 2}},
+      {{9, 2, 6}, {3, 3, 2, 3}},
+      {{8, 4, 2}, {2, 2, 1, 2}},
+      {{5, 3, 7}, {1, 5, 7, 1}},
+  };
+  for (const Case& c : cases) {
+    const auto all = vesta_all(c.f, c.p);
+    std::set<std::int64_t> seen;
+    for (std::size_t idx = 0; idx < all.size(); ++idx)
+      for (std::int64_t b : byte_set(all[idx])) {
+        EXPECT_TRUE(seen.insert(b).second);
+        EXPECT_EQ(vesta_owner(c.f, c.p, b), static_cast<std::int64_t>(idx));
+      }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(c.f.bytes()));
+  }
+}
+
+TEST(Vesta, Validation) {
+  const VestaFile f{4, 2, 4};
+  EXPECT_THROW(validate_vesta({0, 1, 1}, {1, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(validate_vesta(f, {0, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(validate_vesta(f, {3, 2, 1, 1}), std::invalid_argument);  // 6 > 4 cells
+  EXPECT_THROW(validate_vesta(f, {1, 1, 3, 2}), std::invalid_argument);  // 6 > 4 records
+  EXPECT_THROW(vesta_falls(f, {1, 2, 1, 1}, 2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,97 @@
+// Tests for the access-trace generator and replay over Clusterfile.
+#include <gtest/gtest.h>
+
+#include "clusterfile/fs.h"
+#include "layout/partitions2d.h"
+#include "tests/test_util.h"
+#include "workload/trace.h"
+
+namespace pfm {
+namespace {
+
+TEST(Trace, SequentialCoversExactlyOnce) {
+  const AccessTrace t = make_sequential(100, 32);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].offset, 0);
+  EXPECT_EQ(t[3].offset, 96);
+  EXPECT_EQ(t[3].len, 4);  // short tail
+  EXPECT_EQ(trace_bytes(t), 100);
+  EXPECT_EQ(trace_span(t), 100);
+}
+
+TEST(Trace, StridedShape) {
+  const AccessTrace t = make_strided(4, 8, 32, 3);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1].offset, 36);
+  EXPECT_EQ(trace_bytes(t), 24);
+  EXPECT_EQ(trace_span(t), 4 + 2 * 32 + 8);
+  EXPECT_THROW(make_strided(0, 8, 4, 2), std::invalid_argument);  // overlap
+}
+
+TEST(Trace, NestedStridedShape) {
+  const AccessTrace t = make_nested_strided(0, 2, 8, 3, 64, 2);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[3].offset, 64);
+  EXPECT_EQ(t[5].offset, 64 + 16);
+  EXPECT_THROW(make_nested_strided(0, 2, 8, 3, 8, 2), std::invalid_argument);
+}
+
+TEST(Trace, RandomIsDisjointSortedAndSeeded) {
+  Rng a(9), b(9), c(10);
+  const AccessTrace t1 = make_random(a, 1024, 16, 20);
+  const AccessTrace t2 = make_random(b, 1024, 16, 20);
+  const AccessTrace t3 = make_random(c, 1024, 16, 20);
+  ASSERT_EQ(t1.size(), 20u);
+  for (std::size_t i = 1; i < t1.size(); ++i)
+    EXPECT_GE(t1[i].offset, t1[i - 1].offset + t1[i - 1].len);
+  // Deterministic per seed, different across seeds.
+  EXPECT_TRUE(std::equal(t1.begin(), t1.end(), t2.begin(),
+                         [](const AccessOp& x, const AccessOp& y) {
+                           return x.offset == y.offset && x.len == y.len;
+                         }));
+  EXPECT_FALSE(std::equal(t1.begin(), t1.end(), t3.begin(),
+                          [](const AccessOp& x, const AccessOp& y) {
+                            return x.offset == y.offset && x.len == y.len;
+                          }));
+  EXPECT_THROW(make_random(a, 64, 16, 5), std::invalid_argument);
+}
+
+TEST(Trace, ReplayWritesLandExactly) {
+  const std::int64_t n = 16;
+  auto elems = partition2d_all(Partition2D::kColumnBlocks, n, n, 4);
+  Clusterfile fs(ClusterConfig{}, PartitioningPattern({elems.begin(), elems.end()}, 0));
+  const auto views = partition2d_all(Partition2D::kRowBlocks, n, n, 4);
+  auto& client = fs.client(0);
+  const std::int64_t vid = client.set_view(views[0], n * n);
+
+  const Buffer data = make_pattern_buffer(static_cast<std::size_t>(n * n / 4), 61);
+  // A strided sub-trace of the view: every other 8-byte record.
+  const AccessTrace trace = make_strided(0, 8, 16, n * n / 4 / 16);
+  const ReplayStats s = replay_writes(client, vid, trace, data);
+  EXPECT_EQ(s.ops, static_cast<std::int64_t>(trace.size()));
+  EXPECT_EQ(s.bytes, trace_bytes(trace));
+  EXPECT_GT(s.messages, 0);
+
+  // Read back the same trace and compare bytes.
+  Buffer back(data.size());
+  replay_reads(client, vid, trace, back);
+  for (const AccessOp& op : trace)
+    for (std::int64_t k = op.offset; k < op.offset + op.len; ++k)
+      EXPECT_EQ(back[static_cast<std::size_t>(k)], data[static_cast<std::size_t>(k)])
+          << k;
+}
+
+TEST(Trace, ReplayValidatesBounds) {
+  const std::int64_t n = 8;
+  auto elems = partition2d_all(Partition2D::kRowBlocks, n, n, 4);
+  Clusterfile fs(ClusterConfig{}, PartitioningPattern({elems.begin(), elems.end()}, 0));
+  const auto views = partition2d_all(Partition2D::kRowBlocks, n, n, 4);
+  auto& client = fs.client(0);
+  const std::int64_t vid = client.set_view(views[0], n * n);
+  const Buffer data(8);
+  const AccessTrace bad{{4, 8}};
+  EXPECT_THROW(replay_writes(client, vid, bad, data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm

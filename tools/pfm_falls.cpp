@@ -1,0 +1,145 @@
+// pfm_falls: command-line FALLS calculator.
+//
+// A released library needs a way to poke at the representation without
+// writing C++; this tool parses the paper's tuple notation and exposes the
+// core operations:
+//
+//   pfm_falls render '<set>' [extent]            byte diagram
+//   pfm_falls size '<set>'                       SIZE and extent
+//   pfm_falls map '<set>' <T> <disp> <offset>    MAP (file -> element)
+//   pfm_falls unmap '<set>' <T> <disp> <rank>    MAP^-1 (element -> file)
+//   pfm_falls cut '<set>' <a> <b>                CUT between a and b
+//   pfm_falls intersect '<s1>' <T1> <d1> '<s2>' <T2> <d2>
+//                                                nested INTERSECT + PROJ
+//   pfm_falls compress '<l-r,l-r,...>'           run list -> FALLS
+//
+// Sets use the tuple notation of the paper, e.g. '{(0,3,8,2,{(0,0,2,2)})}'.
+// Exit status: 0 on success, 1 on usage errors, 2 on domain errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "falls/compress.h"
+#include "falls/print.h"
+#include "falls/serialize.h"
+#include "intersect/cut.h"
+#include "intersect/intersect.h"
+#include "intersect/project.h"
+#include "mapping/map.h"
+
+namespace {
+
+using namespace pfm;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: pfm_falls render|size|map|unmap|cut|intersect|compress ...\n"
+               "see the header of tools/pfm_falls.cpp for the full grammar\n");
+  std::exit(1);
+}
+
+std::int64_t parse_int(const char* s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "pfm_falls: not an integer: %s\n", s);
+    std::exit(1);
+  }
+  return v;
+}
+
+std::vector<LineSegment> parse_runs(const std::string& text) {
+  std::vector<LineSegment> runs;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find(',', pos);
+    if (next == std::string::npos) next = text.size();
+    const std::string item = text.substr(pos, next - pos);
+    const std::size_t dash = item.find('-');
+    if (dash == std::string::npos) {
+      const std::int64_t x = parse_int(item.c_str());
+      runs.push_back({x, x});
+    } else {
+      runs.push_back({parse_int(item.substr(0, dash).c_str()),
+                      parse_int(item.substr(dash + 1).c_str())});
+    }
+    pos = next + 1;
+  }
+  return runs;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "render") {
+    const FallsSet s = parse_falls_set(argv[2]);
+    const std::int64_t extent = argc > 3 ? parse_int(argv[3]) : -1;
+    std::fputs(render_bytes(s, extent).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "size") {
+    const FallsSet s = parse_falls_set(argv[2]);
+    std::printf("size %lld extent %lld height %d nodes %lld\n",
+                static_cast<long long>(set_size(s)),
+                static_cast<long long>(set_extent(s)), set_height(s),
+                static_cast<long long>(node_count(s)));
+    return 0;
+  }
+  if (cmd == "map" || cmd == "unmap") {
+    if (argc != 6) usage();
+    const FallsSet s = parse_falls_set(argv[2]);
+    const ElementRef ref{&s, parse_int(argv[4]), parse_int(argv[3])};
+    const std::int64_t x = parse_int(argv[5]);
+    if (cmd == "map") {
+      std::printf("%lld\n", static_cast<long long>(map_to_element(ref, x)));
+    } else {
+      std::printf("%lld\n", static_cast<long long>(map_to_file(ref, x)));
+    }
+    return 0;
+  }
+  if (cmd == "cut") {
+    if (argc != 5) usage();
+    const FallsSet s = parse_falls_set(argv[2]);
+    const FallsSet c = cut_set(s, parse_int(argv[3]), parse_int(argv[4]));
+    std::printf("%s\n", serialize(c).c_str());
+    return 0;
+  }
+  if (cmd == "intersect") {
+    if (argc != 8) usage();
+    const PatternElement e1{parse_falls_set(argv[2]), parse_int(argv[3]),
+                            parse_int(argv[4])};
+    const PatternElement e2{parse_falls_set(argv[5]), parse_int(argv[6]),
+                            parse_int(argv[7])};
+    const Intersection x = intersect_nested(e1, e2);
+    std::printf("intersection %s\n", serialize(x.falls).c_str());
+    std::printf("period %lld origin %lld bytes %lld\n",
+                static_cast<long long>(x.period), static_cast<long long>(x.origin),
+                static_cast<long long>(set_size(x.falls)));
+    if (!x.falls.empty()) {
+      std::printf("proj1 %s\n", serialize(project(x, e1).falls).c_str());
+      std::printf("proj2 %s\n", serialize(project(x, e2).falls).c_str());
+    }
+    return 0;
+  }
+  if (cmd == "compress") {
+    const auto runs = parse_runs(argv[2]);
+    const FallsSet s = compress_runs_nested(runs);
+    std::printf("%s\n", serialize(s).c_str());
+    return 0;
+  }
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pfm_falls: %s\n", e.what());
+    return 2;
+  }
+}
