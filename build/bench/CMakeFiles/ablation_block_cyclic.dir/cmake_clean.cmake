@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_cyclic.dir/ablation_block_cyclic.cpp.o"
+  "CMakeFiles/ablation_block_cyclic.dir/ablation_block_cyclic.cpp.o.d"
+  "ablation_block_cyclic"
+  "ablation_block_cyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_cyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intersection_scaling.dir/ablation_intersection_scaling.cpp.o"
+  "CMakeFiles/ablation_intersection_scaling.dir/ablation_intersection_scaling.cpp.o.d"
+  "ablation_intersection_scaling"
+  "ablation_intersection_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intersection_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_matching_degree.dir/ablation_matching_degree.cpp.o"
+  "CMakeFiles/ablation_matching_degree.dir/ablation_matching_degree.cpp.o.d"
+  "ablation_matching_degree"
+  "ablation_matching_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matching_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

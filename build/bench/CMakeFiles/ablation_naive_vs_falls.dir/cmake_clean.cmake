@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naive_vs_falls.dir/ablation_naive_vs_falls.cpp.o"
+  "CMakeFiles/ablation_naive_vs_falls.dir/ablation_naive_vs_falls.cpp.o.d"
+  "ablation_naive_vs_falls"
+  "ablation_naive_vs_falls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naive_vs_falls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strided_workload.dir/ablation_strided_workload.cpp.o"
+  "CMakeFiles/ablation_strided_workload.dir/ablation_strided_workload.cpp.o.d"
+  "ablation_strided_workload"
+  "ablation_strided_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strided_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_file_partitioning.dir/fig3_file_partitioning.cpp.o"
+  "CMakeFiles/fig3_file_partitioning.dir/fig3_file_partitioning.cpp.o.d"
+  "fig3_file_partitioning"
+  "fig3_file_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_file_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_intersection.dir/fig4_intersection.cpp.o"
+  "CMakeFiles/fig4_intersection.dir/fig4_intersection.cpp.o.d"
+  "fig4_intersection"
+  "fig4_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_write_operation.dir/fig5_write_operation.cpp.o"
+  "CMakeFiles/fig5_write_operation.dir/fig5_write_operation.cpp.o.d"
+  "fig5_write_operation"
+  "fig5_write_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_write_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

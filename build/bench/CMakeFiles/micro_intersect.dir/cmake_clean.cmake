@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_intersect.dir/micro_intersect.cpp.o"
+  "CMakeFiles/micro_intersect.dir/micro_intersect.cpp.o.d"
+  "micro_intersect"
+  "micro_intersect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_intersect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

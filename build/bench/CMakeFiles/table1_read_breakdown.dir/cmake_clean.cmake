@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_read_breakdown.dir/table1_read_breakdown.cpp.o"
+  "CMakeFiles/table1_read_breakdown.dir/table1_read_breakdown.cpp.o.d"
+  "table1_read_breakdown"
+  "table1_read_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_read_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

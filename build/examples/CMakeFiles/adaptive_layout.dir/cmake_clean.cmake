@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_layout.dir/adaptive_layout.cpp.o"
+  "CMakeFiles/adaptive_layout.dir/adaptive_layout.cpp.o.d"
+  "adaptive_layout"
+  "adaptive_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterfile_io.dir/clusterfile_io.cpp.o"
+  "CMakeFiles/clusterfile_io.dir/clusterfile_io.cpp.o.d"
+  "clusterfile_io"
+  "clusterfile_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterfile_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_redistribution.dir/hpf_redistribution.cpp.o"
+  "CMakeFiles/hpf_redistribution.dir/hpf_redistribution.cpp.o.d"
+  "hpf_redistribution"
+  "hpf_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_degree.dir/matching_degree.cpp.o"
+  "CMakeFiles/matching_degree.dir/matching_degree.cpp.o.d"
+  "matching_degree"
+  "matching_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noncontig_views.dir/noncontig_views.cpp.o"
+  "CMakeFiles/noncontig_views.dir/noncontig_views.cpp.o.d"
+  "noncontig_views"
+  "noncontig_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noncontig_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

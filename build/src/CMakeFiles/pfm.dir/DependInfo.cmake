@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/channel.cpp" "src/CMakeFiles/pfm.dir/cluster/channel.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/cluster/channel.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/CMakeFiles/pfm.dir/cluster/network.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/cluster/network.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/pfm.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/clusterfile/client.cpp" "src/CMakeFiles/pfm.dir/clusterfile/client.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/clusterfile/client.cpp.o.d"
+  "/root/repo/src/clusterfile/fs.cpp" "src/CMakeFiles/pfm.dir/clusterfile/fs.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/clusterfile/fs.cpp.o.d"
+  "/root/repo/src/clusterfile/io_server.cpp" "src/CMakeFiles/pfm.dir/clusterfile/io_server.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/clusterfile/io_server.cpp.o.d"
+  "/root/repo/src/clusterfile/metadata.cpp" "src/CMakeFiles/pfm.dir/clusterfile/metadata.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/clusterfile/metadata.cpp.o.d"
+  "/root/repo/src/clusterfile/storage.cpp" "src/CMakeFiles/pfm.dir/clusterfile/storage.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/clusterfile/storage.cpp.o.d"
+  "/root/repo/src/collective/two_phase.cpp" "src/CMakeFiles/pfm.dir/collective/two_phase.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/collective/two_phase.cpp.o.d"
+  "/root/repo/src/datatype/datatype.cpp" "src/CMakeFiles/pfm.dir/datatype/datatype.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/datatype/datatype.cpp.o.d"
+  "/root/repo/src/falls/compress.cpp" "src/CMakeFiles/pfm.dir/falls/compress.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/falls/compress.cpp.o.d"
+  "/root/repo/src/falls/falls.cpp" "src/CMakeFiles/pfm.dir/falls/falls.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/falls/falls.cpp.o.d"
+  "/root/repo/src/falls/pitfalls.cpp" "src/CMakeFiles/pfm.dir/falls/pitfalls.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/falls/pitfalls.cpp.o.d"
+  "/root/repo/src/falls/print.cpp" "src/CMakeFiles/pfm.dir/falls/print.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/falls/print.cpp.o.d"
+  "/root/repo/src/falls/serialize.cpp" "src/CMakeFiles/pfm.dir/falls/serialize.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/falls/serialize.cpp.o.d"
+  "/root/repo/src/falls/set_ops.cpp" "src/CMakeFiles/pfm.dir/falls/set_ops.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/falls/set_ops.cpp.o.d"
+  "/root/repo/src/file_model/file.cpp" "src/CMakeFiles/pfm.dir/file_model/file.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/file_model/file.cpp.o.d"
+  "/root/repo/src/file_model/pattern.cpp" "src/CMakeFiles/pfm.dir/file_model/pattern.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/file_model/pattern.cpp.o.d"
+  "/root/repo/src/intersect/cut.cpp" "src/CMakeFiles/pfm.dir/intersect/cut.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/intersect/cut.cpp.o.d"
+  "/root/repo/src/intersect/intersect.cpp" "src/CMakeFiles/pfm.dir/intersect/intersect.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/intersect/intersect.cpp.o.d"
+  "/root/repo/src/intersect/intersect_falls.cpp" "src/CMakeFiles/pfm.dir/intersect/intersect_falls.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/intersect/intersect_falls.cpp.o.d"
+  "/root/repo/src/intersect/project.cpp" "src/CMakeFiles/pfm.dir/intersect/project.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/intersect/project.cpp.o.d"
+  "/root/repo/src/layout/array_layout.cpp" "src/CMakeFiles/pfm.dir/layout/array_layout.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/layout/array_layout.cpp.o.d"
+  "/root/repo/src/layout/dist.cpp" "src/CMakeFiles/pfm.dir/layout/dist.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/layout/dist.cpp.o.d"
+  "/root/repo/src/layout/ncube.cpp" "src/CMakeFiles/pfm.dir/layout/ncube.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/layout/ncube.cpp.o.d"
+  "/root/repo/src/layout/partitions2d.cpp" "src/CMakeFiles/pfm.dir/layout/partitions2d.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/layout/partitions2d.cpp.o.d"
+  "/root/repo/src/layout/vesta.cpp" "src/CMakeFiles/pfm.dir/layout/vesta.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/layout/vesta.cpp.o.d"
+  "/root/repo/src/mapping/compose.cpp" "src/CMakeFiles/pfm.dir/mapping/compose.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/mapping/compose.cpp.o.d"
+  "/root/repo/src/mapping/map.cpp" "src/CMakeFiles/pfm.dir/mapping/map.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/mapping/map.cpp.o.d"
+  "/root/repo/src/mpiio/mpiio.cpp" "src/CMakeFiles/pfm.dir/mpiio/mpiio.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/mpiio/mpiio.cpp.o.d"
+  "/root/repo/src/redist/execute.cpp" "src/CMakeFiles/pfm.dir/redist/execute.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/redist/execute.cpp.o.d"
+  "/root/repo/src/redist/gather_scatter.cpp" "src/CMakeFiles/pfm.dir/redist/gather_scatter.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/redist/gather_scatter.cpp.o.d"
+  "/root/repo/src/redist/matching.cpp" "src/CMakeFiles/pfm.dir/redist/matching.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/redist/matching.cpp.o.d"
+  "/root/repo/src/redist/naive.cpp" "src/CMakeFiles/pfm.dir/redist/naive.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/redist/naive.cpp.o.d"
+  "/root/repo/src/redist/plan.cpp" "src/CMakeFiles/pfm.dir/redist/plan.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/redist/plan.cpp.o.d"
+  "/root/repo/src/util/arith.cpp" "src/CMakeFiles/pfm.dir/util/arith.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/util/arith.cpp.o.d"
+  "/root/repo/src/util/buffer.cpp" "src/CMakeFiles/pfm.dir/util/buffer.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/util/buffer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/pfm.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pfm.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/util/stats.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/pfm.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/pfm.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterfile_property_test.dir/clusterfile_property_test.cpp.o"
+  "CMakeFiles/clusterfile_property_test.dir/clusterfile_property_test.cpp.o.d"
+  "clusterfile_property_test"
+  "clusterfile_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterfile_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

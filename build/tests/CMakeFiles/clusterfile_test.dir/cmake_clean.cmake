@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterfile_test.dir/clusterfile_test.cpp.o"
+  "CMakeFiles/clusterfile_test.dir/clusterfile_test.cpp.o.d"
+  "clusterfile_test"
+  "clusterfile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatype_property_test.dir/datatype_property_test.cpp.o"
+  "CMakeFiles/datatype_property_test.dir/datatype_property_test.cpp.o.d"
+  "datatype_property_test"
+  "datatype_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatype_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

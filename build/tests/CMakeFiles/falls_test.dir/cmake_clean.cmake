@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falls_test.dir/falls_test.cpp.o"
+  "CMakeFiles/falls_test.dir/falls_test.cpp.o.d"
+  "falls_test"
+  "falls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

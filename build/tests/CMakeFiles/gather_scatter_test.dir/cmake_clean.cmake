@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_scatter_test.dir/gather_scatter_test.cpp.o"
+  "CMakeFiles/gather_scatter_test.dir/gather_scatter_test.cpp.o.d"
+  "gather_scatter_test"
+  "gather_scatter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_scatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

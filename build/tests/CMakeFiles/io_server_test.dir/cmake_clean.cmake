@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_server_test.dir/io_server_test.cpp.o"
+  "CMakeFiles/io_server_test.dir/io_server_test.cpp.o.d"
+  "io_server_test"
+  "io_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

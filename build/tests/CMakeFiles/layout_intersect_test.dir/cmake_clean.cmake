@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_intersect_test.dir/layout_intersect_test.cpp.o"
+  "CMakeFiles/layout_intersect_test.dir/layout_intersect_test.cpp.o.d"
+  "layout_intersect_test"
+  "layout_intersect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_intersect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

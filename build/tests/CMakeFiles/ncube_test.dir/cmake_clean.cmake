@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncube_test.dir/ncube_test.cpp.o"
+  "CMakeFiles/ncube_test.dir/ncube_test.cpp.o.d"
+  "ncube_test"
+  "ncube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitions2d_test.dir/partitions2d_test.cpp.o"
+  "CMakeFiles/partitions2d_test.dir/partitions2d_test.cpp.o.d"
+  "partitions2d_test"
+  "partitions2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitions2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pitfalls_test.dir/pitfalls_test.cpp.o"
+  "CMakeFiles/pitfalls_test.dir/pitfalls_test.cpp.o.d"
+  "pitfalls_test"
+  "pitfalls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pitfalls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vesta_test.dir/vesta_test.cpp.o"
+  "CMakeFiles/vesta_test.dir/vesta_test.cpp.o.d"
+  "vesta_test"
+  "vesta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vesta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_falls.dir/pfm_falls.cpp.o"
+  "CMakeFiles/pfm_falls.dir/pfm_falls.cpp.o.d"
+  "pfm_falls"
+  "pfm_falls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_falls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
