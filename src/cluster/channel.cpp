@@ -2,11 +2,41 @@
 
 namespace pfm {
 
+/// Counts the enclosing thread as a waiter while it blocks on a condition
+/// variable, and wakes the destructor's drain wait when the last waiter
+/// leaves a closed channel. Constructed and destroyed under mu_.
+class Channel::WaiterScope {
+ public:
+  explicit WaiterScope(Channel& ch) : ch_(ch) { ++ch_.waiters_; }
+  ~WaiterScope() {
+    if (--ch_.waiters_ == 0 && ch_.closed_) ch_.no_waiters_.notify_all();
+  }
+  WaiterScope(const WaiterScope&) = delete;
+  WaiterScope& operator=(const WaiterScope&) = delete;
+
+ private:
+  Channel& ch_;
+};
+
 Channel::Channel(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Channel::~Channel() {
+  std::unique_lock<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  // Senders and receivers woken by the close still re-lock mu_ and read
+  // state inside their predicate; destroying the synchronization objects
+  // under them would be a use-after-free. Wait until they have all left.
+  no_waiters_.wait(lock, [&] { return waiters_ == 0; });
+}
 
 bool Channel::send(Message msg) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  {
+    WaiterScope scope(*this);
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  }
   if (closed_) return false;
   queue_.push_back(std::move(msg));
   not_empty_.notify_one();
@@ -15,7 +45,10 @@ bool Channel::send(Message msg) {
 
 std::optional<Message> Channel::receive() {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  {
+    WaiterScope scope(*this);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  }
   if (queue_.empty()) return std::nullopt;  // closed and drained
   Message msg = std::move(queue_.front());
   queue_.pop_front();

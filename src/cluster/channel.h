@@ -17,6 +17,13 @@ class Channel {
  public:
   explicit Channel(std::size_t capacity = 1024);
 
+  /// Closes the channel and waits for every thread blocked in send/receive
+  /// to leave before the mutex and queue are destroyed. Without this drain a
+  /// sender blocked on a full channel races the owner's teardown: close()
+  /// wakes it, but it still touches the condition variable and mutex on its
+  /// way out (the destructor-vs-in-flight-send race TSan flags).
+  ~Channel();
+
   /// Blocks while the channel is full. Returns false if the channel was
   /// closed (message dropped).
   bool send(Message msg);
@@ -38,9 +45,14 @@ class Channel {
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
+  std::condition_variable no_waiters_;  ///< signals waiters_ reaching 0
   std::deque<Message> queue_;
   std::size_t capacity_;
+  std::size_t waiters_ = 0;  ///< threads blocked in send/receive
   bool closed_ = false;
+
+  /// RAII waiter count, held across a condition wait.
+  class WaiterScope;
 };
 
 }  // namespace pfm

@@ -24,10 +24,15 @@ void NodeLoop::run() {
 }
 
 void NodeLoop::stop() {
+  // Two threads racing through an unguarded joinable()/join() pair would
+  // both pass the check and one would join a thread already being joined.
+  std::lock_guard<std::mutex> lock(stop_mu_);
   if (thread_.joinable()) {
     Message bye;
     bye.kind = MsgKind::kShutdown;
     bye.dst_node = node_id_;
+    // A closed inbox drops the message, which is fine: the loop is already
+    // unblocked (receive returns nullopt) and exits on its own.
     net_.send(node_id_, std::move(bye));
     thread_.join();
   }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <thread>
 
 #include "cluster/network.h"
@@ -25,7 +26,7 @@ class NodeLoop {
   int node_id() const { return node_id_; }
 
   /// Sends a shutdown message to the loop and joins the thread; safe to call
-  /// more than once.
+  /// more than once and from concurrent threads (joining is serialized).
   void stop();
 
  private:
@@ -34,6 +35,7 @@ class NodeLoop {
   Network& net_;
   int node_id_;
   Handler handler_;
+  std::mutex stop_mu_;  ///< serializes joinable-check + join in stop()
   std::thread thread_;
 };
 

@@ -6,6 +6,7 @@
 #include "falls/serialize.h"
 #include "intersect/project.h"
 #include "mapping/compose.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace pfm {
@@ -21,6 +22,16 @@ ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
 std::int64_t ClusterfileClient::set_view(FallsSet falls,
                                          std::int64_t view_pattern_size) {
   const PartitioningPattern& phys = *meta_.physical;
+  // The view FALLS come straight from the application: reject malformed
+  // input here, where the error names the caller's mistake, instead of
+  // letting a bad set reach the intersection algebra (always on — a view is
+  // set once and amortized over every access, paper table 1).
+  PFM_CHECK(view_pattern_size >= 1, "set_view: view pattern size ",
+            view_pattern_size, " < 1");
+  validate_falls_set(falls);
+  PFM_CHECK(set_extent(falls) <= view_pattern_size,
+            "set_view: view FALLS extent ", set_extent(falls),
+            " exceeds the view pattern size ", view_pattern_size);
   ViewState state;
   state.falls = std::move(falls);
   state.pattern_size = view_pattern_size;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace pfm {
 
 Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
@@ -30,6 +32,12 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
   for (std::size_t i = 0; i < subfiles; ++i)
     meta_.io_nodes[i] =
         config_.compute_nodes + static_cast<int>(i) % config_.io_nodes;
+  if constexpr (kDcheckEnabled) {
+    for (std::size_t i = 0; i < subfiles; ++i)
+      PFM_DCHECK(meta_.io_nodes[i] >= config_.compute_nodes &&
+                     meta_.io_nodes[i] < net_->node_count(),
+                 "subfile ", i, " assigned to non-I/O node ", meta_.io_nodes[i]);
+  }
 
   start_servers(nullptr);
 
@@ -95,6 +103,7 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
     throw std::invalid_argument("Clusterfile::relayout: element count changed");
   if (new_physical.displacement() != old.displacement())
     throw std::invalid_argument("Clusterfile::relayout: displacement changed");
+  PFM_CHECK(file_size >= 0, "relayout: negative file size ", file_size);
 
   // Collect current subfile contents (unwritten tails read as zeros).
   std::vector<Buffer> src(old.element_count());
@@ -109,6 +118,12 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
 
   std::vector<Buffer> dst;
   const RedistStats stats = redistribute(old, new_physical, src, dst, file_size);
+  // Every file byte past the displacement has exactly one source and one
+  // destination element, so the relayout must move all of them.
+  PFM_DCHECK(stats.bytes_moved ==
+                 std::max<std::int64_t>(0, file_size - old.displacement()),
+             "relayout moved ", stats.bytes_moved, " of ",
+             file_size - old.displacement(), " bytes");
 
   // Swap in the new layout: fresh storage, restarted servers, new clients
   // (the old pattern pointer stays alive for any stale references).

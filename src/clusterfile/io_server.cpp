@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "falls/serialize.h"
+#include "util/check.h"
 #include "util/log.h"
 
 namespace pfm {
@@ -94,7 +95,15 @@ const IndexSet& IoServer::projection_for(Subfile& sub, const Message& msg) {
 void IoServer::handle_set_view(Message&& msg) {
   Subfile& sub = subfile_for(msg);
   // meta carries the serialized PROJ_S^{V∩S}; v carries its period.
+  // parse_falls_set revalidates the set structurally after the wire
+  // crossing; the IndexSet constructor then confines it to the period. What
+  // neither can see is an empty projection: a client never ships one (it
+  // skips subfiles with an empty intersection), so receiving it means the
+  // view protocol itself went wrong.
+  PFM_CHECK(!msg.meta.empty(), "IoServer: set-view without a projection");
   IndexSet proj(parse_falls_set(msg.meta), msg.v);
+  PFM_CHECK(proj.size() > 0, "IoServer: empty projection for subfile ",
+            msg.subfile, ", view ", msg.view_id);
   {
     std::lock_guard<std::mutex> lock(mu_);
     sub.projections.insert_or_assign({msg.src_node, msg.view_id}, std::move(proj));
@@ -110,6 +119,12 @@ void IoServer::handle_write(Message&& msg) {
   // that PROJ_V was contiguous (no gather happened there); the payload is
   // the common bytes in file order either way, but contiguity in view space
   // does not imply contiguity in subfile space.
+  // The payload must hold exactly the member bytes of [vS, wS]: a mismatch
+  // would silently shear every later run of the scatter loop.
+  PFM_CHECK(static_cast<std::int64_t>(msg.payload.size()) ==
+                proj.count_in(msg.v, msg.w),
+            "IoServer: write payload of ", msg.payload.size(),
+            " bytes, projection selects ", proj.count_in(msg.v, msg.w));
   {
     Timer t;
     if (proj.contiguous_in(msg.v, msg.w)) {

@@ -3,20 +3,31 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/arith.h"
+#include "util/check.h"
 
 namespace pfm {
 
 Falls make_falls(std::int64_t l, std::int64_t r, std::int64_t s, std::int64_t n) {
-  return Falls{l, r, s, n, {}};
+  Falls f{l, r, s, n, {}};
+  if constexpr (kDcheckEnabled) validate_falls(f);
+  return f;
 }
 
 Falls make_nested(std::int64_t l, std::int64_t r, std::int64_t s, std::int64_t n,
                   FallsSet inner) {
-  return Falls{l, r, s, n, std::move(inner)};
+  Falls f{l, r, s, n, std::move(inner)};
+  if constexpr (kDcheckEnabled) validate_falls(f);
+  return f;
 }
 
 Falls from_segment(const LineSegment& seg) {
-  return Falls{seg.l, seg.r, seg.r - seg.l + 1, 1, {}};
+  Falls f{seg.l, seg.r, seg.r - seg.l + 1, 1, {}};
+  if constexpr (kDcheckEnabled) validate_falls(f);
+  return f;
 }
 
 std::int64_t falls_size(const Falls& f) {
@@ -67,25 +78,54 @@ void validate_falls(const Falls& f) {
   if (f.n < 1) fail(f, "n < 1");
   if (f.s < 1) fail(f, "s < 1");
   if (f.n > 1 && f.s < f.block_len()) fail(f, "blocks overlap (s < r-l+1)");
+  // The extent l + (n-1)*s + (r-l+1) must be representable: a hostile
+  // serialized FALLS with huge l/s/n would otherwise wrap falls_extent and
+  // defeat every downstream bounds check.
+  try {
+    add_checked(affine_checked(f.l, f.n - 1, f.s), f.block_len());
+  } catch (const std::overflow_error&) {
+    fail(f, "extent overflows int64");
+  }
   if (!f.inner.empty()) {
+    validate_falls_set(f.inner);
     if (set_extent(f.inner) > f.block_len())
       fail(f, "inner FALLS exceed the outer block");
-    validate_falls_set(f.inner);
   }
 }
 
 void validate_falls_set(const FallsSet& set) {
+  // Members must be sorted by first byte and byte-disjoint. Span-disjoint
+  // members (the common case for hand-written patterns) satisfy that
+  // trivially; intersection and projection results legitimately interleave
+  // spans with a common stride, so on span overlap fall back to an exact
+  // run-level disjointness check.
   std::int64_t prev_end = 0;  // one past the previous member's span
+  std::int64_t prev_l = 0;
   bool first = true;
+  bool interleaved = false;
   for (const Falls& f : set) {
     validate_falls(f);
-    if (!first && f.l < prev_end) {
+    if (!first && f.l <= prev_l) {
       std::ostringstream os;
       os << "FALLS set members overlap or are unsorted near l=" << f.l;
       throw std::invalid_argument(os.str());
     }
-    prev_end = falls_extent(f);
+    if (!first && f.l < prev_end) interleaved = true;
+    prev_end = std::max(prev_end, falls_extent(f));
+    prev_l = f.l;
     first = false;
+  }
+  if (!interleaved) return;
+  std::vector<std::pair<std::int64_t, std::int64_t>> runs;
+  for (const Falls& f : set)
+    for_each_run(f, [&](std::int64_t a, std::int64_t b) { runs.emplace_back(a, b); });
+  std::sort(runs.begin(), runs.end());
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].first <= runs[i - 1].second) {
+      std::ostringstream os;
+      os << "FALLS set members overlap near byte " << runs[i].first;
+      throw std::invalid_argument(os.str());
+    }
   }
 }
 

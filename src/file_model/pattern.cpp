@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "falls/set_ops.h"
+#include "util/check.h"
 
 namespace pfm {
 
@@ -59,7 +60,8 @@ std::size_t PartitioningPattern::element_of(std::int64_t file_off) const {
   const std::int64_t phase = (file_off - displacement_) % size_;
   for (std::size_t i = 0; i < elements_.size(); ++i)
     if (set_contains(elements_[i], phase)) return i;
-  throw std::logic_error("element_of: tiling invariant violated");
+  // The constructor proved the elements tile [0, size_) exactly.
+  PFM_UNREACHABLE("element_of: no element owns phase ", phase);
 }
 
 std::int64_t PartitioningPattern::map_to_element(std::size_t i,

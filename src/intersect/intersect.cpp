@@ -6,6 +6,7 @@
 #include "intersect/cut.h"
 #include "intersect/intersect_falls.h"
 #include "util/arith.h"
+#include "util/check.h"
 
 namespace pfm {
 
@@ -84,6 +85,13 @@ FallsSet preprocess(const PatternElement& e, std::int64_t origin,
 Intersection intersect_nested(const PatternElement& e1, const PatternElement& e2) {
   if (e1.pattern_size < 1 || e2.pattern_size < 1)
     throw std::invalid_argument("intersect_nested: pattern size < 1");
+  // Full recursive validation of both inputs: every algebraic step below
+  // (cutting, rebasing, height equalization) assumes sorted non-overlapping
+  // members with inner sets confined to their blocks.
+  if constexpr (kDcheckEnabled) {
+    validate_falls_set(e1.falls);
+    validate_falls_set(e2.falls);
+  }
   if (set_extent(e1.falls) > e1.pattern_size ||
       set_extent(e2.falls) > e2.pattern_size)
     throw std::invalid_argument("intersect_nested: element exceeds its pattern");
@@ -103,6 +111,11 @@ Intersection intersect_nested(const PatternElement& e1, const PatternElement& e2
   s2 = equalize_height(s2, h);
 
   out.falls = intersect_aux(s1, 0, out.period - 1, s2, 0, out.period - 1);
+  if constexpr (kDcheckEnabled) {
+    validate_falls_set(out.falls);
+    PFM_DCHECK(set_extent(out.falls) <= out.period,
+               "intersection escapes the common period");
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "falls/compress.h"
 #include "falls/set_ops.h"
+#include "util/check.h"
 
 namespace pfm {
 
@@ -68,6 +69,31 @@ bool project_structural(const Falls& f, const ElementRef& ref,
 
 }  // namespace
 
+namespace {
+
+/// Post-conditions common to both projection paths (paper section 7): the
+/// projection is a valid index set of exactly the intersection's size — the
+/// property that makes the gather and scatter sides of a transfer agree.
+/// Only when the element sits at the intersection origin is the projection
+/// confined to the element's share of one common period; an element at a
+/// smaller displacement sees origin-shifted indices that may legitimately
+/// reach past it (redistribution plans never hit that case — build_plan
+/// requires equal displacements).
+void dcheck_projection(const Projection& p, const Intersection& x,
+                       const PatternElement& e) {
+  if constexpr (kDcheckEnabled) {
+    validate_falls_set(p.falls);
+    PFM_DCHECK(set_size(p.falls) == set_size(x.falls),
+               "projection has ", set_size(p.falls), " bytes, intersection has ",
+               set_size(x.falls));
+    if (e.displacement == x.origin)
+      PFM_DCHECK(set_extent(p.falls) <= p.period,
+                 "projection escapes its period ", p.period);
+  }
+}
+
+}  // namespace
+
 Projection project(const Intersection& x, const PatternElement& e) {
   Projection out;
   out.period = set_size(e.falls) * (x.period / e.pattern_size);
@@ -106,6 +132,7 @@ Projection project(const Intersection& x, const PatternElement& e) {
       if (ok && prev_end > out.period) ok = false;
       if (ok) {
         out.falls = std::move(structural);
+        dcheck_projection(out, x, e);
         return out;
       }
     }
@@ -127,6 +154,7 @@ Projection project(const Intersection& x, const PatternElement& e) {
     }
   }
   out.falls = compress_runs_nested(mapped);
+  dcheck_projection(out, x, e);
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "falls/set_ops.h"
 #include "util/arith.h"
+#include "util/check.h"
 
 namespace pfm {
 
@@ -162,7 +163,13 @@ std::int64_t map_to_element(const ElementRef& e, std::int64_t file_off, Round ro
   const std::int64_t T = e.pattern_size;
   const std::int64_t period = rel / T;
   const std::int64_t phase = rel % T;
-  return period * e.element_period() + map_aux(*e.falls, phase);
+  const std::int64_t rank = map_aux(*e.falls, phase);
+  // MAP-AUX^-1 ∘ MAP-AUX must be the identity on member bytes (paper
+  // section 6) — checked here at the aux level so the two directions do not
+  // recurse into each other's checks.
+  PFM_DCHECK(map_aux_inverse(*e.falls, rank) == phase,
+             "MAP not invertible at file offset ", x);
+  return period * e.element_period() + rank;
 }
 
 std::int64_t map_to_file(const ElementRef& e, std::int64_t elem_off) {
@@ -173,7 +180,10 @@ std::int64_t map_to_file(const ElementRef& e, std::int64_t elem_off) {
   if (sz == 0) throw std::domain_error("map_to_file: empty partition element");
   const std::int64_t period = elem_off / sz;
   const std::int64_t within = elem_off % sz;
-  return e.displacement + period * e.pattern_size + map_aux_inverse(*e.falls, within);
+  const std::int64_t phase = map_aux_inverse(*e.falls, within);
+  PFM_DCHECK(set_contains(*e.falls, phase),
+             "MAP^-1 produced a non-member byte for element offset ", elem_off);
+  return e.displacement + period * e.pattern_size + phase;
 }
 
 }  // namespace pfm

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace pfm {
 
 RedistStats execute_redist(const RedistPlan& plan, const PartitioningPattern& from,
@@ -10,6 +12,11 @@ RedistStats execute_redist(const RedistPlan& plan, const PartitioningPattern& fr
                            std::int64_t file_size) {
   if (from.displacement() != to.displacement())
     throw std::invalid_argument("execute_redist: displacements must match");
+  if (file_size < 0)
+    throw std::invalid_argument("execute_redist: negative file size");
+  // A plan not built from these patterns would scatter bytes to wrong
+  // offsets without any visible failure; revalidate it in checked builds.
+  if constexpr (kDcheckEnabled) validate_plan(plan, from, to);
   if (src.size() != from.element_count())
     throw std::invalid_argument("execute_redist: source buffer count mismatch");
   for (std::size_t i = 0; i < src.size(); ++i)
@@ -37,8 +44,10 @@ RedistStats execute_redist(const RedistPlan& plan, const PartitioningPattern& fr
         gather(wire, src[t.src_elem], 0, src_limit - 1, t.src_idx);
     const std::int64_t scattered =
         scatter(dst[t.dst_elem], wire, 0, dst_limit - 1, t.dst_idx);
-    if (gathered != n || scattered != n)
-      throw std::logic_error("execute_redist: byte count mismatch");
+    PFM_CHECK(gathered == n && scattered == n,
+              "execute_redist: transfer ", t.src_elem, "->", t.dst_elem,
+              " gathered ", gathered, " and scattered ", scattered,
+              " of ", n, " bytes");
     stats.bytes_moved += n;
     stats.messages += 1;
     std::int64_t runs = 0;

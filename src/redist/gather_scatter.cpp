@@ -5,12 +5,16 @@
 
 #include "falls/set_ops.h"
 #include "util/arith.h"
+#include "util/check.h"
 
 namespace pfm {
 
 IndexSet::IndexSet(FallsSet falls, std::int64_t period)
     : falls_(std::move(falls)), period_(period) {
   if (period_ < 1) throw std::invalid_argument("IndexSet: period < 1");
+  // A malformed (unsorted / overlapping) index set would double-copy some
+  // bytes and drop others in gather/scatter; catch it where the set enters.
+  if constexpr (kDcheckEnabled) validate_falls_set(falls_);
   if (set_extent(falls_) > period_)
     throw std::invalid_argument("IndexSet: set extent exceeds period");
   size_ = set_size(falls_);
@@ -56,6 +60,9 @@ std::int64_t gather(std::span<std::byte> dest, std::span<const std::byte> src,
                 static_cast<std::size_t>(len));
     out += len;
   });
+  PFM_DCHECK(out == idx.count_in(v, w),
+             "gather copied ", out, " bytes, rank arithmetic says ",
+             idx.count_in(v, w));
   return out;
 }
 
@@ -73,6 +80,9 @@ std::int64_t scatter(std::span<std::byte> dest, std::span<const std::byte> src,
                 static_cast<std::size_t>(len));
     in += len;
   });
+  PFM_DCHECK(in == idx.count_in(v, w),
+             "scatter copied ", in, " bytes, rank arithmetic says ",
+             idx.count_in(v, w));
   return in;
 }
 

@@ -46,7 +46,26 @@ struct RedistPlan {
 };
 
 /// Builds the full pairwise plan. Cost: one nested intersection and two
-/// projections per element pair with overlapping data.
+/// projections per element pair with overlapping data. In checked builds
+/// (PFM_DCHECK_ENABLED) the result is passed through validate_plan.
 RedistPlan build_plan(const PartitioningPattern& from, const PartitioningPattern& to);
+
+/// Structural invariants of a plan against the two patterns it was built
+/// from (paper section 7: the projections of every intersection are
+/// equal-sized index sets inside their elements' linear spaces):
+///  - period == lcm of the pattern sizes, origin == max displacement;
+///  - element indices in range, transfers unique per (src, dst) pair;
+///  - per transfer: gather and scatter index sets are structurally valid,
+///    fit inside one projection period, and their sizes both equal
+///    bytes_per_period (gather total == scatter total);
+///  - per source element, the gather index sets of its transfers are
+///    pairwise disjoint (each source byte has one destination); likewise
+///    per destination element for the scatter sets;
+///  - when the patterns share a displacement, the transfers together move
+///    exactly `period` bytes (every file byte has a source and a
+///    destination).
+/// Throws ContractViolation (util/check.h) describing the first violation.
+void validate_plan(const RedistPlan& plan, const PartitioningPattern& from,
+                   const PartitioningPattern& to);
 
 }  // namespace pfm

@@ -21,6 +21,24 @@ std::int64_t mul_checked(std::int64_t a, std::int64_t b) {
   return out;
 }
 
+std::int64_t add_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    throw std::overflow_error("add_checked: int64 overflow");
+  return out;
+}
+
+std::int64_t sub_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out))
+    throw std::overflow_error("sub_checked: int64 overflow");
+  return out;
+}
+
+std::int64_t affine_checked(std::int64_t l, std::int64_t k, std::int64_t s) {
+  return add_checked(l, mul_checked(k, s));
+}
+
 std::int64_t lcm64(std::int64_t a, std::int64_t b) {
   if (a == 0 || b == 0) return 0;
   const std::int64_t g = gcd64(a, b);

@@ -39,6 +39,15 @@ constexpr std::int64_t div_ceil(std::int64_t a, std::int64_t b) {
 /// Checked multiplication; throws std::overflow_error on overflow.
 std::int64_t mul_checked(std::int64_t a, std::int64_t b);
 
+/// Checked addition / subtraction; throw std::overflow_error on overflow.
+std::int64_t add_checked(std::int64_t a, std::int64_t b);
+std::int64_t sub_checked(std::int64_t a, std::int64_t b);
+
+/// l + k*s with every step overflow-checked: the FALLS block-advance
+/// expression, used by the validators so that a hostile serialized FALLS
+/// (huge l/s/n from parse_falls_set) cannot make extent computations wrap.
+std::int64_t affine_checked(std::int64_t l, std::int64_t k, std::int64_t s);
+
 /// True when x is a power of two (x > 0).
 constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
 

@@ -1,0 +1,13 @@
+#include "util/check.h"
+
+namespace pfm::detail {
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " (" << file << ":" << line << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace pfm::detail

@@ -1,0 +1,90 @@
+// Contract-checking macros for the FALLS algebra and the cluster substrate.
+//
+// The paper's correctness argument is algebraic — FALLS sets stay sorted and
+// non-overlapping, MAP_S / MAP_S^-1 are inverses on the element's byte set,
+// intersection projections have equal sizes on both sides — and a violated
+// invariant otherwise surfaces only as silently wrong redistributed bytes.
+// These macros make the invariants executable:
+//
+//   PFM_CHECK(cond, ...)   always-on precondition; throws ContractViolation
+//                          with the failed expression, location and an
+//                          optional streamed message.
+//   PFM_DCHECK(cond, ...)  debug-build invariant; identical to PFM_CHECK when
+//                          PFM_DCHECK_ENABLED is 1 (the asan-ubsan / tsan
+//                          presets), compiled to a no-op that does not
+//                          evaluate `cond` otherwise.
+//   PFM_UNREACHABLE(...)   marks control flow the surrounding logic excludes.
+//
+// Failures throw rather than abort so that the I/O server's per-request
+// error handling and the tests can observe them; ContractViolation derives
+// from std::logic_error because a failed contract is a programming error,
+// not an environmental condition.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pfm {
+
+/// Thrown on a failed PFM_CHECK / PFM_DCHECK / PFM_UNREACHABLE.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// True when PFM_DCHECK compiles to a real check (CMake -DPFM_DCHECKS=ON,
+/// default in Debug builds). Tests branch on this to assert either the throw
+/// or the no-op behaviour.
+#if defined(PFM_DCHECK_ENABLED) && PFM_DCHECK_ENABLED
+inline constexpr bool kDcheckEnabled = true;
+#else
+inline constexpr bool kDcheckEnabled = false;
+#endif
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg);
+
+template <typename... Ts>
+std::string check_cat(const Ts&... parts) {
+  if constexpr (sizeof...(parts) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace pfm
+
+#define PFM_CHECK(cond, ...)                                               \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]]                                              \
+      ::pfm::detail::check_failed("PFM_CHECK", #cond, __FILE__, __LINE__,  \
+                                  ::pfm::detail::check_cat(__VA_ARGS__));  \
+  } while (0)
+
+#if defined(PFM_DCHECK_ENABLED) && PFM_DCHECK_ENABLED
+#define PFM_DCHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]]                                              \
+      ::pfm::detail::check_failed("PFM_DCHECK", #cond, __FILE__, __LINE__, \
+                                  ::pfm::detail::check_cat(__VA_ARGS__));  \
+  } while (0)
+#else
+// The condition must still parse (so checked expressions cannot rot) but is
+// never evaluated: sizeof is an unevaluated context.
+#define PFM_DCHECK(cond, ...) \
+  do {                        \
+    (void)sizeof(!(cond));    \
+  } while (0)
+#endif
+
+#define PFM_UNREACHABLE(...)                                          \
+  ::pfm::detail::check_failed("PFM_UNREACHABLE", "reached", __FILE__, \
+                              __LINE__, ::pfm::detail::check_cat(__VA_ARGS__))

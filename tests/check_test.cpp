@@ -1,0 +1,264 @@
+// The contract layer: PFM_CHECK / PFM_DCHECK / PFM_UNREACHABLE semantics,
+// overflow-checked arithmetic, the FALLS validators on malformed sets, and
+// validate_plan on corrupted redistribution plans.
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "falls/falls.h"
+#include "falls/serialize.h"
+#include "file_model/pattern.h"
+#include "redist/gather_scatter.h"
+#include "redist/plan.h"
+#include "util/arith.h"
+#include "util/check.h"
+
+namespace pfm {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PFM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PFM_CHECK(true, "never printed ", 42));
+}
+
+TEST(Check, FailingCheckThrowsWithContext) {
+  try {
+    PFM_CHECK(2 + 2 == 5, "arithmetic is ", "broken");
+    FAIL() << "PFM_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ContractViolationIsALogicError) {
+  // Callers catching std::logic_error (the pre-contract convention for
+  // internal errors) keep working.
+  EXPECT_THROW(PFM_CHECK(false), std::logic_error);
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+  if (kDcheckEnabled) {
+    EXPECT_THROW(PFM_DCHECK(false, "checked build"), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(PFM_DCHECK(false, "unchecked build"));
+  }
+}
+
+TEST(Check, DcheckNeverEvaluatesInUncheckedBuilds) {
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return true;
+  };
+  PFM_DCHECK(touch());
+  EXPECT_EQ(evaluations, kDcheckEnabled ? 1 : 0);
+}
+
+TEST(Check, UnreachableAlwaysThrows) {
+  EXPECT_THROW(PFM_UNREACHABLE(), ContractViolation);
+  try {
+    PFM_UNREACHABLE("switch arm for kind ", 7);
+    FAIL() << "PFM_UNREACHABLE did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("switch arm for kind 7"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckedArith, AddChecked) {
+  EXPECT_EQ(add_checked(2, 3), 5);
+  EXPECT_EQ(add_checked(kMax - 1, 1), kMax);
+  EXPECT_EQ(add_checked(kMin, kMax), -1);
+  EXPECT_THROW(add_checked(kMax, 1), std::overflow_error);
+  EXPECT_THROW(add_checked(kMin, -1), std::overflow_error);
+}
+
+TEST(CheckedArith, SubChecked) {
+  EXPECT_EQ(sub_checked(5, 3), 2);
+  EXPECT_EQ(sub_checked(kMin + 1, 1), kMin);
+  EXPECT_THROW(sub_checked(kMin, 1), std::overflow_error);
+  EXPECT_THROW(sub_checked(0, kMin), std::overflow_error);
+}
+
+TEST(CheckedArith, MulChecked) {
+  EXPECT_EQ(mul_checked(1LL << 31, 1LL << 31), 1LL << 62);
+  EXPECT_THROW(mul_checked(1LL << 32, 1LL << 31), std::overflow_error);
+  EXPECT_THROW(mul_checked(kMax, 2), std::overflow_error);
+}
+
+TEST(CheckedArith, AffineChecked) {
+  // The FALLS block-advance expression l + k*s.
+  EXPECT_EQ(affine_checked(10, 3, 7), 31);
+  EXPECT_THROW(affine_checked(1, kMax / 2, 3), std::overflow_error);
+  EXPECT_THROW(affine_checked(kMax, 1, 1), std::overflow_error);
+}
+
+// Malformed FALLS are built with aggregate initialization: in checked builds
+// make_falls itself would reject them before the validator under test runs.
+
+TEST(ValidateFalls, RejectsZeroOrNegativeStride) {
+  EXPECT_THROW(validate_falls(Falls{0, 3, 0, 2, {}}), std::invalid_argument);
+  EXPECT_THROW(validate_falls(Falls{0, 3, -4, 2, {}}), std::invalid_argument);
+}
+
+TEST(ValidateFalls, RejectsNonPositiveCountAndInvertedBlock) {
+  EXPECT_THROW(validate_falls(Falls{0, 3, 8, 0, {}}), std::invalid_argument);
+  EXPECT_THROW(validate_falls(Falls{0, 3, 8, -1, {}}), std::invalid_argument);
+  EXPECT_THROW(validate_falls(Falls{5, 2, 8, 1, {}}), std::invalid_argument);
+  EXPECT_THROW(validate_falls(Falls{-1, 3, 8, 1, {}}), std::invalid_argument);
+}
+
+TEST(ValidateFalls, RejectsOverlappingBlocks) {
+  // Stride 3 cannot space blocks of length 4.
+  EXPECT_THROW(validate_falls(Falls{0, 3, 3, 2, {}}), std::invalid_argument);
+  EXPECT_NO_THROW(validate_falls(Falls{0, 3, 4, 2, {}}));
+}
+
+TEST(ValidateFalls, RejectsInnerEscapingTheBlock) {
+  // Block [0, 7] but inner FALLS reaching byte 9.
+  Falls f{0, 7, 16, 2, {Falls{6, 9, 4, 1, {}}}};
+  EXPECT_THROW(validate_falls(f), std::invalid_argument);
+  Falls ok{0, 7, 16, 2, {Falls{4, 7, 4, 1, {}}}};
+  EXPECT_NO_THROW(validate_falls(ok));
+}
+
+TEST(ValidateFalls, RejectsExtentOverflow) {
+  // l + (n-1)*s wraps int64; without checked arithmetic this would pass
+  // validation with a negative extent and defeat every bounds check.
+  Falls f{kMax - 10, kMax - 3, kMax / 2, 3, {}};
+  EXPECT_THROW(validate_falls(f), std::invalid_argument);
+}
+
+TEST(ValidateFallsSet, RejectsOverlapAndDisorder) {
+  const Falls a{0, 3, 4, 1, {}};
+  const Falls b{2, 5, 4, 1, {}};
+  EXPECT_THROW(validate_falls_set({a, b}), std::invalid_argument);  // overlap
+  const Falls c{8, 11, 4, 1, {}};
+  EXPECT_THROW(validate_falls_set({c, a}), std::invalid_argument);  // unsorted
+  EXPECT_NO_THROW(validate_falls_set({a, c}));
+}
+
+TEST(ValidateFallsSet, AcceptsInterleavedByteDisjointMembers) {
+  // Intersection and projection results legitimately interleave member
+  // spans over a common stride; the invariant is byte-disjointness, not
+  // span-disjointness.
+  const Falls a{0, 0, 4, 2, {}};  // bytes {0, 4}
+  const Falls b{2, 2, 4, 2, {}};  // bytes {2, 6}
+  EXPECT_NO_THROW(validate_falls_set({a, b}));
+  const Falls clash{4, 4, 8, 1, {}};  // byte {4} collides with a
+  EXPECT_THROW(validate_falls_set({a, clash}), std::invalid_argument);
+}
+
+TEST(ValidateFallsSet, ParseRejectsMalformedSerializedSets) {
+  // The deserialization boundary runs the same validator.
+  EXPECT_THROW(parse_falls_set("{(0,3,0,2)}"), std::invalid_argument);
+  EXPECT_THROW(parse_falls_set("{(0,3,4,1),(2,5,4,1)}"), std::invalid_argument);
+  EXPECT_THROW(
+      parse_falls_set("{(9223372036854775797,9223372036854775800,"
+                      "4611686018427387903,3)}"),
+      std::invalid_argument);
+  EXPECT_NO_THROW(parse_falls_set("{(0,3,4,1),(8,11,4,1)}"));
+}
+
+TEST(IndexSetContract, RejectsBadPeriodAndEscapingSet) {
+  EXPECT_THROW(IndexSet({make_falls(0, 3, 4, 1)}, 0), std::invalid_argument);
+  EXPECT_THROW(IndexSet({make_falls(0, 3, 8, 4)}, 16), std::invalid_argument);
+}
+
+class ValidatePlanTest : public ::testing::Test {
+ protected:
+  // Block layout -> cyclic layout over an 8-byte period, two elements each.
+  ValidatePlanTest()
+      : from_(make_pattern({{make_falls(0, 3, 4, 1)}, {make_falls(4, 7, 4, 1)}})),
+        to_(make_pattern({{make_falls(0, 1, 4, 2)}, {make_falls(2, 3, 4, 2)}})),
+        plan_(build_plan(from_, to_)) {}
+
+  PartitioningPattern from_;
+  PartitioningPattern to_;
+  RedistPlan plan_;
+};
+
+TEST_F(ValidatePlanTest, FreshPlanPasses) {
+  ASSERT_FALSE(plan_.transfers.empty());
+  EXPECT_NO_THROW(validate_plan(plan_, from_, to_));
+}
+
+TEST_F(ValidatePlanTest, RejectsWrongPeriodOrOrigin) {
+  RedistPlan bad = plan_;
+  bad.period *= 2;
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+  bad = plan_;
+  bad.origin += 1;
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+TEST_F(ValidatePlanTest, RejectsOutOfRangeElements) {
+  RedistPlan bad = plan_;
+  bad.transfers[0].src_elem = from_.element_count();
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+  bad = plan_;
+  bad.transfers[0].dst_elem = to_.element_count();
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+TEST_F(ValidatePlanTest, RejectsGatherScatterSizeMismatch) {
+  RedistPlan bad = plan_;
+  Transfer& t = bad.transfers[0];
+  // Shrink the gather side only: totals no longer agree.
+  t.src_idx = IndexSet({make_falls(0, 0, 1, 1)}, t.src_idx.period());
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+TEST_F(ValidatePlanTest, RejectsInflatedByteCount) {
+  RedistPlan bad = plan_;
+  bad.transfers[0].bytes_per_period += 1;
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+TEST_F(ValidatePlanTest, RejectsDuplicateTransferPair) {
+  RedistPlan bad = plan_;
+  bad.transfers.push_back(bad.transfers[0]);
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+TEST_F(ValidatePlanTest, RejectsOverlappingGatherSets) {
+  // Point two transfers of the same source element at the same bytes: some
+  // source bytes would be shipped twice (and the total no longer matches).
+  RedistPlan bad = plan_;
+  ASSERT_GE(bad.transfers.size(), 2u);
+  Transfer* first = nullptr;
+  Transfer* second = nullptr;
+  for (Transfer& t : bad.transfers) {
+    if (first == nullptr) {
+      first = &t;
+    } else if (t.src_elem == first->src_elem) {
+      second = &t;
+      break;
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  second->dst_idx = first->dst_idx;
+  second->src_idx = first->src_idx;
+  second->common = first->common;
+  second->bytes_per_period = first->bytes_per_period;
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+TEST_F(ValidatePlanTest, RejectsWrongIndexSetPeriod) {
+  RedistPlan bad = plan_;
+  Transfer& t = bad.transfers[0];
+  t.src_idx = IndexSet(t.src_idx.falls(), t.src_idx.period() * 2);
+  EXPECT_THROW(validate_plan(bad, from_, to_), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pfm

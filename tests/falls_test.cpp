@@ -66,7 +66,10 @@ TEST(FallsValidate, RejectsMalformedFalls) {
 }
 
 TEST(FallsValidate, RejectsInnerExceedingBlock) {
-  Falls f = make_nested(0, 3, 8, 2, {make_falls(0, 4, 5, 1)});
+  // Built by mutation: make_nested itself validates in checked builds and
+  // would throw before the validator under test gets to run.
+  Falls f = make_falls(0, 3, 8, 2);
+  f.inner.push_back(make_falls(0, 4, 5, 1));
   EXPECT_THROW(validate_falls(f), std::invalid_argument);
 }
 
