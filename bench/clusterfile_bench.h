@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "clusterfile/fs.h"
 #include "layout/partitions2d.h"
 #include "util/buffer.h"
@@ -38,7 +39,15 @@ struct CellResult {
   Stats t_g;                 ///< gather per write (us)
   Stats t_w;                 ///< send -> last ack per write (us)
   Stats t_s;                 ///< scatter per write at the I/O node (us)
+  std::int64_t bytes = 0;       ///< payload bytes moved across all accesses
+  std::int64_t plan_hits = 0;   ///< access-plan cache hits across all accesses
+  std::int64_t plan_misses = 0; ///< access-plan cache misses (plan builds)
 };
+
+inline double hit_rate(std::int64_t hits, std::int64_t misses) {
+  const std::int64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
 
 /// Runs one cell: every compute node sets a row-block view and writes its
 /// whole view range, concurrently, kRepetitions times.
@@ -69,6 +78,7 @@ inline CellResult run_cell(std::int64_t n, Partition2D phys,
 
     struct PerClient {
       double t_i = 0, t_m = 0, t_g = 0, t_w = 0;
+      std::int64_t bytes = 0, hits = 0, misses = 0;
     };
     std::vector<PerClient> out(kNodes);
 
@@ -87,6 +97,9 @@ inline CellResult run_cell(std::int64_t n, Partition2D phys,
         out[static_cast<std::size_t>(c)].t_m = t.t_m_us;
         out[static_cast<std::size_t>(c)].t_g = t.t_g_us;
         out[static_cast<std::size_t>(c)].t_w = t.t_w_us;
+        out[static_cast<std::size_t>(c)].bytes = t.bytes;
+        out[static_cast<std::size_t>(c)].hits = t.plan_hits;
+        out[static_cast<std::size_t>(c)].misses = t.plan_misses;
       });
     }
     for (auto& w : workers) w.join();
@@ -96,10 +109,33 @@ inline CellResult run_cell(std::int64_t n, Partition2D phys,
       cell.t_m.add(pc.t_m);
       cell.t_g.add(pc.t_g);
       cell.t_w.add(pc.t_w);
+      cell.bytes += pc.bytes;
+      cell.plan_hits += pc.hits;
+      cell.plan_misses += pc.misses;
     }
     cell.t_s.add(fs.mean_server_scatter_us());
   }
   return cell;
+}
+
+/// One cell as a JSON object for the BENCH_*.json artifacts: per-phase
+/// summaries (median/p95 µs), bytes moved and the plan-cache hit rate.
+inline Json cell_json(const CellResult& cell) {
+  Json j = Json::object();
+  j.set("n", Json::integer(cell.n));
+  j.set("phys", Json::string(std::string(1, cell.phys)));
+  j.set("logical", Json::string(std::string(1, cell.logical)));
+  j.set("backend", Json::string(cell.backend));
+  j.set("t_i_us", Json::summary(cell.t_i));
+  j.set("t_m_us", Json::summary(cell.t_m));
+  j.set("t_g_us", Json::summary(cell.t_g));
+  j.set("t_w_us", Json::summary(cell.t_w));
+  if (cell.t_s.count() > 0) j.set("t_s_us", Json::summary(cell.t_s));
+  j.set("bytes", Json::integer(cell.bytes));
+  j.set("plan_hits", Json::integer(cell.plan_hits));
+  j.set("plan_misses", Json::integer(cell.plan_misses));
+  j.set("cache_hit_rate", Json::number(hit_rate(cell.plan_hits, cell.plan_misses)));
+  return j;
 }
 
 /// The paper's size sweep. PFM_BENCH_QUICK=1 trims it for smoke runs.

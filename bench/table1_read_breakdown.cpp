@@ -41,6 +41,7 @@ CellResult run_read_cell(std::int64_t n, Partition2D phys,
 
     struct PerClient {
       double t_i = 0, t_m = 0, t_g = 0, t_w = 0;
+      std::int64_t bytes = 0, hits = 0, misses = 0;
     };
     std::vector<PerClient> out(kNodes);
     std::vector<std::thread> workers;
@@ -55,6 +56,9 @@ CellResult run_read_cell(std::int64_t n, Partition2D phys,
         out[static_cast<std::size_t>(c)].t_m = t.t_m_us;
         out[static_cast<std::size_t>(c)].t_g = t.t_g_us;
         out[static_cast<std::size_t>(c)].t_w = t.t_w_us;
+        out[static_cast<std::size_t>(c)].bytes = t.bytes;
+        out[static_cast<std::size_t>(c)].hits = t.plan_hits;
+        out[static_cast<std::size_t>(c)].misses = t.plan_misses;
       });
     }
     for (auto& w : workers) w.join();
@@ -63,6 +67,9 @@ CellResult run_read_cell(std::int64_t n, Partition2D phys,
       cell.t_m.add(pc.t_m);
       cell.t_g.add(pc.t_g);
       cell.t_w.add(pc.t_w);
+      cell.bytes += pc.bytes;
+      cell.plan_hits += pc.hits;
+      cell.plan_misses += pc.misses;
     }
   }
   return cell;
@@ -79,6 +86,7 @@ int main() {
               kRepetitions);
   std::printf("%6s %4s %4s %10s %10s %10s %10s %10s\n", "Size", "Ph.", "Lo.",
               "t_i", "t_m", "t_scat", "t_r^bc", "t_r^disk");
+  Json cells = Json::array();
   for (const std::int64_t n : matrix_sizes()) {
     for (const Partition2D phys : physical_partitions()) {
       const CellResult mem = run_read_cell(n, phys, {});
@@ -87,9 +95,17 @@ int main() {
                   static_cast<long long>(n), mem.phys, mem.logical,
                   mem.t_i.mean(), mem.t_m.mean(), mem.t_g.mean(),
                   mem.t_w.mean(), disk.t_w.mean());
+      cells.push(cell_json(mem));
+      cells.push(cell_json(disk));
     }
   }
   std::filesystem::remove_all(dir);
+
+  Json root = Json::object();
+  root.set("bench", Json::string("table1_read_breakdown"));
+  root.set("repetitions", Json::integer(kRepetitions));
+  root.set("cells", std::move(cells));
+  write_bench_json("table1_read_breakdown", root);
 
   std::printf("\nExpected shape: symmetric to the write table — t_i and t_m\n"
               "identical by construction, client-side scatter mirrors t_g\n"

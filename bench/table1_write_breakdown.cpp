@@ -56,6 +56,18 @@ int main() {
   }
   std::printf("\nworst relative stddev across cells: %.1f%%\n", worst * 100.0);
 
+  Json cells = Json::array();
+  for (const Row& row : rows) {
+    cells.push(cell_json(row.mem));
+    cells.push(cell_json(row.disk));
+  }
+  Json root = Json::object();
+  root.set("bench", Json::string("table1_write_breakdown"));
+  root.set("repetitions", Json::integer(kRepetitions));
+  root.set("worst_rel_stddev", Json::number(worst));
+  root.set("cells", std::move(cells));
+  write_bench_json("table1_write_breakdown", root);
+
   std::printf(
       "\nExpected shape (paper): t_i roughly size-independent and ordered c > b > r;\n"
       "t_m tiny (0 for the r/r perfect overlap); t_g grows with size, 0 for r/r,\n"

@@ -1,12 +1,15 @@
 #include "clusterfile/client.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "falls/serialize.h"
 #include "intersect/project.h"
 #include "mapping/compose.h"
+#include "util/arith.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pfm {
@@ -37,31 +40,62 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
   state.pattern_size = view_pattern_size;
   const PatternElement view_elem{state.falls, view_pattern_size,
                                  phys.displacement()};
+  const std::int64_t new_view_id = static_cast<std::int64_t>(views_.size());
+
+  // Replay geometry for the plan cache: over one joint file period
+  // F = lcm(view period, physical period) the view advances by
+  // `replay_period` bytes and subfile j by `sub_period[j]` bytes, after
+  // which every intersection repeats exactly. Overflow (gigantic coprime
+  // periods) simply disables caching for this view.
+  const std::size_t count = phys.element_count();
+  std::vector<std::int64_t> sub_period(count, 0);
+  try {
+    const std::int64_t joint = lcm64(view_pattern_size, phys.size());
+    state.replay_period =
+        mul_checked(set_size(state.falls), joint / view_pattern_size);
+    for (std::size_t j = 0; j < count; ++j)
+      sub_period[j] = mul_checked(set_size(phys.element(j)), joint / phys.size());
+  } catch (const std::overflow_error&) {
+    state.replay_period = 0;
+  }
 
   Timer total;
   std::vector<Message> to_send;
   {
-    // t_i: intersections and projections only (paper table 1).
+    // t_i: intersections and projections only (paper table 1). Each
+    // subfile's V∩S is independent of every other's, so the loop fans out
+    // over the shared pool; the serial merge below restores ascending
+    // subfile order for deterministic target/message ordering.
     Timer t;
-    for (std::size_t j = 0; j < phys.element_count(); ++j) {
+    struct Slot {
+      bool used = false;
+      SubTarget target;
+      Message msg;
+    };
+    std::vector<Slot> slots(count);
+    ThreadPool::shared().parallel_for(count, [&](std::size_t j) {
       const Intersection x = intersect_nested(view_elem, phys.pattern_element(j));
-      if (x.empty()) continue;
+      if (x.empty()) return;
       const Projection pv = project(x, view_elem);
       const Projection ps = project(x, phys.pattern_element(j));
-      SubTarget target;
-      target.subfile = j;
-      target.io_node = meta_.io_nodes[j];
-      target.proj_v = IndexSet(pv.falls, pv.period);
-      state.targets.push_back(std::move(target));
+      Slot& s = slots[j];
+      s.target.subfile = j;
+      s.target.io_node = meta_.io_nodes[j];
+      s.target.proj_v = IndexSet(pv.falls, pv.period);
+      s.target.sub_period_bytes = state.replay_period > 0 ? sub_period[j] : 0;
 
-      Message msg;
-      msg.kind = MsgKind::kSetView;
-      msg.dst_node = meta_.io_nodes[j];
-      msg.subfile = static_cast<int>(j);
-      msg.view_id = static_cast<std::int64_t>(views_.size());
-      msg.meta = serialize(ps.falls);
-      msg.v = ps.period;
-      to_send.push_back(std::move(msg));
+      s.msg.kind = MsgKind::kSetView;
+      s.msg.dst_node = meta_.io_nodes[j];
+      s.msg.subfile = static_cast<int>(j);
+      s.msg.view_id = new_view_id;
+      s.msg.meta = serialize(ps.falls);
+      s.msg.v = ps.period;
+      s.used = true;
+    });
+    for (Slot& s : slots) {
+      if (!s.used) continue;
+      state.targets.push_back(std::move(s.target));
+      to_send.push_back(std::move(s.msg));
     }
     t_i_us_ = t.elapsed_us();
   }
@@ -70,7 +104,10 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
   t_view_total_us_ = total.elapsed_us();
 
   views_.push_back(std::move(state));
-  return static_cast<std::int64_t>(views_.size()) - 1;
+  // Conservative invalidation: cached plans never outlive the view set
+  // they were derived under (DESIGN.md, "The access-plan layer").
+  invalidate_plans();
+  return new_view_id;
 }
 
 const ClusterfileClient::ViewState& ClusterfileClient::view_state(
@@ -78,6 +115,61 @@ const ClusterfileClient::ViewState& ClusterfileClient::view_state(
   if (view_id < 0 || view_id >= static_cast<std::int64_t>(views_.size()))
     throw std::out_of_range("ClusterfileClient: bad view id");
   return views_[static_cast<std::size_t>(view_id)];
+}
+
+ClusterfileClient::AccessPlan ClusterfileClient::build_plan(
+    const ViewState& state, std::int64_t v, std::int64_t w) const {
+  const PartitioningPattern& phys = *meta_.physical;
+  const ElementRef view_ref{&state.falls, phys.displacement(),
+                            state.pattern_size};
+  AccessPlan plan;
+  plan.base_v = v;
+  plan.length = w - v + 1;
+  for (std::size_t k = 0; k < state.targets.size(); ++k) {
+    const SubTarget& target = state.targets[k];
+    // ONE traversal per target: runs, byte count and contiguity together
+    // (formerly count_in + contiguous_in + separate run walks for the
+    // gather and the fast path's lo hunt).
+    RunList rl = target.proj_v.materialize_in(v, w);
+    if (rl.bytes == 0) continue;
+    const auto iv =
+        map_interval(view_ref, phys.element_ref(target.subfile), v, w);
+    if (!iv.has_value()) continue;
+    PlanTarget pt;
+    pt.target_index = k;
+    pt.subfile = static_cast<int>(target.subfile);
+    pt.io_node = target.io_node;
+    pt.base_vs = iv->lo;
+    pt.base_ws = iv->hi;
+    pt.sub_period_bytes = target.sub_period_bytes;
+    pt.runs = std::move(rl);
+    plan.targets.push_back(std::move(pt));
+  }
+  return plan;
+}
+
+std::shared_ptr<const ClusterfileClient::AccessPlan>
+ClusterfileClient::acquire_plan(const ViewState& state, std::int64_t view_id,
+                                std::int64_t v, std::int64_t w,
+                                std::int64_t& shift_periods, AccessTimings& t) {
+  shift_periods = 0;
+  const bool cacheable = state.replay_period > 0 && v >= 0;
+  PlanKey key;
+  if (cacheable) {
+    key = PlanKey{view_id, v % state.replay_period, w - v};
+    if (auto* cached = plan_cache_.get(key)) {
+      const std::shared_ptr<const AccessPlan> plan = *cached;
+      shift_periods = (v - plan->base_v) / state.replay_period;
+      ++plan_hits_;
+      t.plan_hits = 1;
+      return plan;
+    }
+  }
+  auto plan = std::make_shared<const AccessPlan>(build_plan(state, v, w));
+  ++plan_misses_;
+  t.plan_misses = 1;
+  if (cacheable) plan_cache_.put(key, plan);
+  return plan;
 }
 
 void ClusterfileClient::send_or_throw(Message msg) {
@@ -110,65 +202,40 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
   if (static_cast<std::int64_t>(data.size()) < w - v + 1)
     throw std::invalid_argument("ClusterfileClient::write: short buffer");
   const ViewState& state = view_state(view_id);
-  const PartitioningPattern& phys = *meta_.physical;
-  const ElementRef view_ref{&state.falls, phys.displacement(), state.pattern_size};
 
   AccessTimings out;
-  struct Pending {
-    const SubTarget* target;
-    std::int64_t v_s, w_s;
-    std::int64_t bytes;
-    bool contiguous;
-  };
-  std::vector<Pending> pending;
+  std::shared_ptr<const AccessPlan> plan;
+  std::int64_t shift = 0;
   {
-    // t_m: map the access interval extremities onto each subfile (lines 3-4
-    // of the paper's pseudocode).
+    // t_m: acquire the access plan — a cache replay on the paper's
+    // repeated strided workloads, the full mapping pass otherwise.
     Timer t;
-    for (const SubTarget& target : state.targets) {
-      const std::int64_t n = target.proj_v.count_in(v, w);
-      if (n == 0) continue;
-      const auto iv = map_interval(view_ref, phys.element_ref(target.subfile), v, w);
-      if (!iv.has_value()) continue;
-      Pending p;
-      p.target = &target;
-      p.v_s = iv->lo;
-      p.w_s = iv->hi;
-      p.bytes = n;
-      p.contiguous = target.proj_v.contiguous_in(v, w);
-      pending.push_back(p);
-    }
+    plan = acquire_plan(state, view_id, v, w, shift, out);
     out.t_m_us = t.elapsed_us();
   }
 
-  // Build the messages; gathering is the t_g phase (zero on the contiguous
-  // fast path, which sends the relevant slice of `data` as-is).
+  // Build the messages; gathering is the t_g phase (a single untimed
+  // memcpy on the contiguous fast path, as in the paper).
   std::vector<Message> msgs;
-  msgs.reserve(pending.size());
-  for (const Pending& p : pending) {
+  msgs.reserve(plan->targets.size());
+  for (const PlanTarget& pt : plan->targets) {
     Message msg;
     msg.kind = MsgKind::kWrite;
-    msg.dst_node = p.target->io_node;
-    msg.subfile = static_cast<int>(p.target->subfile);
+    msg.dst_node = pt.io_node;
+    msg.subfile = pt.subfile;
     msg.view_id = view_id;
-    msg.v = p.v_s;
-    msg.w = p.w_s;
-    msg.contiguous = p.contiguous;
-    msg.payload.resize(static_cast<std::size_t>(p.bytes));
-    if (p.contiguous) {
-      // One run: locate it and slice the caller's buffer directly.
-      std::int64_t lo = -1;
-      p.target->proj_v.for_each_run_in(v, w, [&](std::int64_t a, std::int64_t) {
-        if (lo < 0) lo = a;
-      });
-      std::memcpy(msg.payload.data(), data.data() + (lo - v),
-                  static_cast<std::size_t>(p.bytes));
+    msg.v = pt.base_vs + shift * pt.sub_period_bytes;
+    msg.w = pt.base_ws + shift * pt.sub_period_bytes;
+    msg.contiguous = pt.runs.contiguous;
+    msg.payload.resize(static_cast<std::size_t>(pt.runs.bytes));
+    if (pt.runs.contiguous) {
+      gather_runs(msg.payload, data, pt.runs);
     } else {
       Timer t;
-      gather(msg.payload, data, v, w, p.target->proj_v);
+      gather_runs(msg.payload, data, pt.runs);
       out.t_g_us += t.elapsed_us();
     }
-    out.bytes += p.bytes;
+    out.bytes += pt.runs.bytes;
     msgs.push_back(std::move(msg));
   }
 
@@ -190,27 +257,27 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
   if (static_cast<std::int64_t>(out_buf.size()) < w - v + 1)
     throw std::invalid_argument("ClusterfileClient::read: short buffer");
   const ViewState& state = view_state(view_id);
-  const PartitioningPattern& phys = *meta_.physical;
-  const ElementRef view_ref{&state.falls, phys.displacement(), state.pattern_size};
 
   AccessTimings out;
-  std::vector<Message> msgs;
+  std::shared_ptr<const AccessPlan> plan;
+  std::int64_t shift = 0;
   {
     Timer t;
-    for (const SubTarget& target : state.targets) {
-      if (target.proj_v.count_in(v, w) == 0) continue;
-      const auto iv = map_interval(view_ref, phys.element_ref(target.subfile), v, w);
-      if (!iv.has_value()) continue;
-      Message msg;
-      msg.kind = MsgKind::kRead;
-      msg.dst_node = target.io_node;
-      msg.subfile = static_cast<int>(target.subfile);
-      msg.view_id = view_id;
-      msg.v = iv->lo;
-      msg.w = iv->hi;
-      msgs.push_back(std::move(msg));
-    }
+    plan = acquire_plan(state, view_id, v, w, shift, out);
     out.t_m_us = t.elapsed_us();
+  }
+
+  std::vector<Message> msgs;
+  msgs.reserve(plan->targets.size());
+  for (const PlanTarget& pt : plan->targets) {
+    Message msg;
+    msg.kind = MsgKind::kRead;
+    msg.dst_node = pt.io_node;
+    msg.subfile = pt.subfile;
+    msg.view_id = view_id;
+    msg.v = pt.base_vs + shift * pt.sub_period_bytes;
+    msg.w = pt.base_ws + shift * pt.sub_period_bytes;
+    msgs.push_back(std::move(msg));
   }
 
   std::vector<Message> replies;
@@ -221,27 +288,29 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     out.t_w_us = t.elapsed_us();
   }
 
-  // Scatter every reply into the caller's buffer through PROJ_V (the t_g
-  // analog on the read path). Replies may arrive in any server order; match
-  // them to targets by subfile id.
+  // Scatter every reply into the caller's buffer through the plan's run
+  // lists (the t_g analog on the read path). Replies may arrive in any
+  // server order; the plan targets are sorted by subfile id, so each reply
+  // resolves by binary search instead of the former O(targets) scan per
+  // reply.
   for (const Message& reply : replies) {
-    const SubTarget* target = nullptr;
-    for (const SubTarget& t : state.targets)
-      if (static_cast<int>(t.subfile) == reply.subfile) target = &t;
-    if (target == nullptr)
+    const auto it = std::lower_bound(
+        plan->targets.begin(), plan->targets.end(), reply.subfile,
+        [](const PlanTarget& pt, int subfile) { return pt.subfile < subfile; });
+    if (it == plan->targets.end() || it->subfile != reply.subfile)
       throw std::logic_error("ClusterfileClient::read: reply from unknown node");
-    if (target->proj_v.contiguous_in(v, w)) {
-      // Mirror of the write fast path: one run, one copy, no scatter cost.
-      std::int64_t lo = -1;
-      target->proj_v.for_each_run_in(v, w, [&](std::int64_t a, std::int64_t) {
-        if (lo < 0) lo = a;
-      });
-      if (lo >= 0 && !reply.payload.empty())
-        std::memcpy(out_buf.data() + (lo - v), reply.payload.data(),
-                    reply.payload.size());
+    const PlanTarget& pt = *it;
+    PFM_DCHECK(static_cast<std::int64_t>(reply.payload.size()) == pt.runs.bytes,
+               "read: subfile ", reply.subfile, " returned ",
+               reply.payload.size(), " bytes, plan expects ", pt.runs.bytes);
+    if (pt.runs.contiguous) {
+      // Fast path mirror of the write: one copy, no scatter cost.
+      scatter_runs(out_buf.subspan(0, static_cast<std::size_t>(w - v + 1)),
+                   reply.payload, pt.runs);
     } else {
       Timer t;
-      scatter(out_buf, reply.payload, v, w, target->proj_v);
+      scatter_runs(out_buf.subspan(0, static_cast<std::size_t>(w - v + 1)),
+                   reply.payload, pt.runs);
       out.t_g_us += t.elapsed_us();
     }
     out.bytes += static_cast<std::int64_t>(reply.payload.size());

@@ -2,11 +2,17 @@
 // fragment and figure 5).
 //
 // set_view computes, for every subfile, the intersection V∩S and its two
-// projections (the t_i phase of Table 1), keeps PROJ_V^{V∩S} locally and
-// ships PROJ_S^{V∩S} to the subfile's I/O server. write maps the access
-// interval extremities onto each subfile (t_m), gathers non-contiguous view
-// data into a wire buffer (t_g) — or sends directly on the contiguous fast
-// path — and waits for all acknowledgments (t_w).
+// projections (the t_i phase of Table 1) — in parallel over the subfiles,
+// since each intersection is independent — keeps PROJ_V^{V∩S} locally and
+// ships PROJ_S^{V∩S} to the subfile's I/O server.
+//
+// read/write go through the access-plan layer (DESIGN.md): one
+// materialization traversal per target yields an AccessPlan holding each
+// target's mapped subfile interval, run list, byte count and contiguity
+// flag; a bounded LRU keyed by (view_id, v mod replay period, w - v) lets
+// the paper's repeated strided workloads replay plans with zero FALLS
+// algebra. t_m is the plan-acquisition time (near zero on a hit), t_g the
+// gather/scatter time, t_w first request sent -> last acknowledgment.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include "cluster/network.h"
 #include "file_model/pattern.h"
 #include "redist/gather_scatter.h"
+#include "util/lru.h"
 
 namespace pfm {
 
@@ -34,15 +41,18 @@ class ClusterfileClient {
 
   /// Phase timings of one data operation, microseconds (Table 1 columns).
   struct AccessTimings {
-    double t_m_us = 0;  ///< mapping the interval extremities onto subfiles
+    double t_m_us = 0;  ///< access-plan acquisition (mapping / cache lookup)
     double t_g_us = 0;  ///< gather (writes) / scatter (reads) at the client
     double t_w_us = 0;  ///< first request sent -> last acknowledgment
     std::int64_t bytes = 0;
     std::int64_t messages = 0;
+    std::int64_t plan_hits = 0;    ///< 1 when this access replayed a plan
+    std::int64_t plan_misses = 0;  ///< 1 when this access built its plan
   };
 
   /// Sets a view described by one element pattern. Returns the view id.
-  /// last_view_set_us() reports t_i (intersections + projections).
+  /// Invalidates all cached access plans (conservative: plans never outlive
+  /// the view set they were derived under). last_view_set_us() reports t_i.
   std::int64_t set_view(FallsSet falls, std::int64_t view_pattern_size);
 
   /// t_i of the most recent set_view: pure computation time.
@@ -60,19 +70,93 @@ class ClusterfileClient {
   AccessTimings read(std::int64_t view_id, std::int64_t v, std::int64_t w,
                      std::span<std::byte> out);
 
+  /// Plan-cache observability: cumulative counters across all accesses.
+  std::int64_t plan_cache_hits() const { return plan_hits_; }
+  std::int64_t plan_cache_misses() const { return plan_misses_; }
+  std::int64_t plan_cache_evictions() const { return plan_cache_.evictions(); }
+  std::size_t plan_cache_size() const { return plan_cache_.size(); }
+
+  /// Drops every cached plan (set_view does this implicitly; exposed for
+  /// callers that mutate state behind the client's back, e.g. tests).
+  void invalidate_plans() { plan_cache_.clear(); }
+  /// Rebounds the cache (drops LRU entries when shrinking). Default
+  /// capacity kDefaultPlanCacheCapacity; 0 disables caching.
+  void set_plan_cache_capacity(std::size_t capacity) {
+    plan_cache_.set_capacity(capacity);
+  }
+
+  static constexpr std::size_t kDefaultPlanCacheCapacity = 64;
+
  private:
   struct SubTarget {
     std::size_t subfile = 0;
     int io_node = -1;
     IndexSet proj_v;  ///< PROJ_V^{V∩S} in view space
+    /// Subfile bytes per view replay period (see ViewState::replay_period):
+    /// shifting an access by one replay period shifts its subfile interval
+    /// by exactly this many bytes.
+    std::int64_t sub_period_bytes = 0;
   };
   struct ViewState {
     FallsSet falls;
     std::int64_t pattern_size = 0;
-    std::vector<SubTarget> targets;
+    std::vector<SubTarget> targets;  ///< ascending subfile order
+    /// View-space period after which every target's member set and subfile
+    /// mapping repeat: the view bytes per lcm(view period, physical period)
+    /// of file space. 0 when the lcm overflows — plans then bypass the
+    /// cache (correct, just unamortized).
+    std::int64_t replay_period = 0;
+  };
+
+  /// One target's slice of a materialized access plan.
+  struct PlanTarget {
+    std::size_t target_index = 0;  ///< into ViewState::targets
+    int subfile = 0;
+    int io_node = -1;
+    std::int64_t base_vs = 0;  ///< subfile interval at the plan's base_v
+    std::int64_t base_ws = 0;
+    std::int64_t sub_period_bytes = 0;
+    RunList runs;  ///< run positions relative to base_v
+  };
+  /// Everything an access needs, computed in ONE materialization traversal
+  /// per target: replayable at any v' ≡ base_v (mod replay_period) with the
+  /// same length by shifting each target's subfile interval.
+  struct AccessPlan {
+    std::int64_t base_v = 0;
+    std::int64_t length = 0;
+    std::vector<PlanTarget> targets;  ///< ascending subfile order
+  };
+
+  struct PlanKey {
+    std::int64_t view_id = 0;
+    std::int64_t phase = 0;  ///< v mod replay_period
+    std::int64_t length = 0;
+    bool operator==(const PlanKey&) const = default;
+  };
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const {
+      std::size_t h = std::hash<std::int64_t>{}(k.view_id);
+      h ^= std::hash<std::int64_t>{}(k.phase) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      h ^= std::hash<std::int64_t>{}(k.length) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      return h;
+    }
   };
 
   const ViewState& view_state(std::int64_t view_id) const;
+  /// Cache lookup -> build on miss -> insert. Returns the plan plus the
+  /// period shift to replay it at `v`; updates the hit/miss counters of
+  /// both the client and `t`.
+  std::shared_ptr<const AccessPlan> acquire_plan(const ViewState& state,
+                                                 std::int64_t view_id,
+                                                 std::int64_t v, std::int64_t w,
+                                                 std::int64_t& shift_periods,
+                                                 AccessTimings& t);
+  /// The single materialization traversal per target (replaces the former
+  /// count_in / map_interval / contiguous_in / for_each_run_in passes).
+  AccessPlan build_plan(const ViewState& state, std::int64_t v,
+                        std::int64_t w) const;
   /// Blocks until `n` messages of `kind` arrive; returns them. Throws when
   /// the network closes or a server replies with an error.
   std::vector<Message> await(MsgKind kind, std::size_t n);
@@ -84,6 +168,10 @@ class ClusterfileClient {
   int node_id_;
   FileMeta meta_;
   std::vector<ViewState> views_;
+  LruCache<PlanKey, std::shared_ptr<const AccessPlan>, PlanKeyHash>
+      plan_cache_{kDefaultPlanCacheCapacity};
+  std::int64_t plan_hits_ = 0;
+  std::int64_t plan_misses_ = 0;
   double t_i_us_ = 0;
   double t_view_total_us_ = 0;
 };

@@ -1,7 +1,10 @@
 #include "collective/two_phase.h"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pfm {
@@ -18,6 +21,41 @@ void check_inputs(const Clusterfile& fs, const PartitioningPattern& logical,
       throw std::invalid_argument("collective I/O: view buffer size mismatch");
   if (logical.displacement() != fs.physical().displacement())
     throw std::invalid_argument("collective I/O: displacement mismatch");
+}
+
+/// Runs fn(i) for every element index with a non-empty buffer, fanned out
+/// over the compute nodes: indices are grouped by the client that serves
+/// them (i mod compute_nodes) and the groups run in parallel on the shared
+/// pool — a client is single-threaded, but distinct clients are independent,
+/// exactly like the paper's per-node phases. Returns summed request/byte
+/// counts from fn.
+struct IoCounts {
+  std::int64_t requests = 0;
+  std::int64_t bytes = 0;
+};
+template <typename Fn>
+IoCounts for_each_element_by_client(
+    Clusterfile& fs, std::size_t element_count,
+    const std::function<bool(std::size_t)>& skip, const Fn& fn) {
+  const std::size_t clients =
+      static_cast<std::size_t>(std::max(1, fs.compute_nodes()));
+  std::vector<std::vector<std::size_t>> by_client(clients);
+  for (std::size_t i = 0; i < element_count; ++i)
+    if (!skip(i)) by_client[i % clients].push_back(i);
+  std::vector<IoCounts> acc(clients);
+  ThreadPool::shared().parallel_for(clients, [&](std::size_t c) {
+    for (const std::size_t i : by_client[c]) {
+      const IoCounts one = fn(static_cast<int>(c), i);
+      acc[c].requests += one.requests;
+      acc[c].bytes += one.bytes;
+    }
+  });
+  IoCounts total;
+  for (const IoCounts& a : acc) {
+    total.requests += a.requests;
+    total.bytes += a.bytes;
+  }
+  return total;
 }
 
 }  // namespace
@@ -39,18 +77,21 @@ CollectiveStats collective_write(Clusterfile& fs,
   }
 
   // Phase 2: every aggregator writes its piece through a view identical to
-  // its subfile — the optimal-overlap case, one contiguous request each.
+  // its subfile — the optimal-overlap case, one contiguous request each —
+  // with the aggregators running concurrently, one task per client.
   {
     Timer t;
-    for (std::size_t i = 0; i < phys.element_count(); ++i) {
-      if (agg[i].empty()) continue;
-      auto& client = fs.client(static_cast<int>(i) % fs.compute_nodes());
-      const std::int64_t vid = client.set_view(phys.element(i), phys.size());
-      const auto w = client.write(
-          vid, 0, static_cast<std::int64_t>(agg[i].size()) - 1, agg[i]);
-      out.requests += w.messages;
-      out.bytes += w.bytes;
-    }
+    const IoCounts io = for_each_element_by_client(
+        fs, phys.element_count(), [&](std::size_t i) { return agg[i].empty(); },
+        [&](int c, std::size_t i) {
+          auto& client = fs.client(c);
+          const std::int64_t vid = client.set_view(phys.element(i), phys.size());
+          const auto w = client.write(
+              vid, 0, static_cast<std::int64_t>(agg[i].size()) - 1, agg[i]);
+          return IoCounts{w.messages, w.bytes};
+        });
+    out.requests += io.requests;
+    out.bytes += io.bytes;
     out.io_us = t.elapsed_us();
   }
   return out;
@@ -83,20 +124,24 @@ CollectiveStats collective_read(Clusterfile& fs,
   const PartitioningPattern& phys = fs.physical();
   CollectiveStats out;
 
-  // Phase 1: aggregators read conforming pieces (contiguous fast path).
+  // Phase 1: aggregators read conforming pieces (contiguous fast path),
+  // concurrently — one task per client, as in the write direction.
   std::vector<Buffer> agg(phys.element_count());
   {
     Timer t;
-    for (std::size_t i = 0; i < phys.element_count(); ++i) {
+    for (std::size_t i = 0; i < phys.element_count(); ++i)
       agg[i].resize(static_cast<std::size_t>(phys.element_bytes(i, file_size)));
-      if (agg[i].empty()) continue;
-      auto& client = fs.client(static_cast<int>(i) % fs.compute_nodes());
-      const std::int64_t vid = client.set_view(phys.element(i), phys.size());
-      const auto r = client.read(
-          vid, 0, static_cast<std::int64_t>(agg[i].size()) - 1, agg[i]);
-      out.requests += r.messages;
-      out.bytes += r.bytes;
-    }
+    const IoCounts io = for_each_element_by_client(
+        fs, phys.element_count(), [&](std::size_t i) { return agg[i].empty(); },
+        [&](int c, std::size_t i) {
+          auto& client = fs.client(c);
+          const std::int64_t vid = client.set_view(phys.element(i), phys.size());
+          const auto r = client.read(
+              vid, 0, static_cast<std::int64_t>(agg[i].size()) - 1, agg[i]);
+          return IoCounts{r.messages, r.bytes};
+        });
+    out.requests += io.requests;
+    out.bytes += io.bytes;
     out.io_us = t.elapsed_us();
   }
 

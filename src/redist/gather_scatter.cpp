@@ -46,6 +46,51 @@ bool IndexSet::contiguous_in(std::int64_t v, std::int64_t w) const {
   return contiguous;
 }
 
+RunList IndexSet::materialize_in(std::int64_t v, std::int64_t w) const {
+  RunList rl;
+  for_each_run_in(v, w, [&](std::int64_t lo, std::int64_t hi) {
+    const std::int64_t len = hi - lo + 1;
+    if (!rl.runs.empty() &&
+        lo != v + rl.runs.back().rel_lo + rl.runs.back().len)
+      rl.contiguous = false;
+    rl.runs.push_back({lo - v, len, rl.bytes});
+    rl.bytes += len;
+  });
+  return rl;
+}
+
+void gather_runs(std::span<std::byte> dest, std::span<const std::byte> src,
+                 const RunList& rl) {
+  if (rl.bytes == 0) return;
+  PFM_CHECK(static_cast<std::int64_t>(dest.size()) >= rl.bytes,
+            "gather_runs: dest holds ", dest.size(), " of ", rl.bytes,
+            " bytes");
+  if (rl.contiguous) {
+    std::memcpy(dest.data(), src.data() + rl.runs.front().rel_lo,
+                static_cast<std::size_t>(rl.bytes));
+    return;
+  }
+  for (const MaterializedRun& run : rl.runs)
+    std::memcpy(dest.data() + run.dest_off, src.data() + run.rel_lo,
+                static_cast<std::size_t>(run.len));
+}
+
+void scatter_runs(std::span<std::byte> dest, std::span<const std::byte> src,
+                  const RunList& rl) {
+  if (rl.bytes == 0) return;
+  PFM_CHECK(static_cast<std::int64_t>(src.size()) >= rl.bytes,
+            "scatter_runs: src holds ", src.size(), " of ", rl.bytes,
+            " bytes");
+  if (rl.contiguous) {
+    std::memcpy(dest.data() + rl.runs.front().rel_lo, src.data(),
+                static_cast<std::size_t>(rl.bytes));
+    return;
+  }
+  for (const MaterializedRun& run : rl.runs)
+    std::memcpy(dest.data() + run.rel_lo, src.data() + run.dest_off,
+                static_cast<std::size_t>(run.len));
+}
+
 std::int64_t gather(std::span<std::byte> dest, std::span<const std::byte> src,
                     std::int64_t v, std::int64_t w, const IndexSet& idx) {
   if (v > w) throw std::invalid_argument("gather: v > w");

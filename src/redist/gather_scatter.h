@@ -13,6 +13,28 @@
 
 namespace pfm {
 
+/// One maximal member run of an access interval [v, w], in coordinates an
+/// access plan can replay at any congruent position: `rel_lo` is the run
+/// start relative to v, `dest_off` the cumulative byte offset of the run in
+/// the gathered (wire) buffer.
+struct MaterializedRun {
+  std::int64_t rel_lo = 0;
+  std::int64_t len = 0;
+  std::int64_t dest_off = 0;
+
+  bool operator==(const MaterializedRun&) const = default;
+};
+
+/// The product of one materialization traversal of an IndexSet over an
+/// access interval: every run, the total byte count, and whether the runs
+/// form one contiguous region (the paper's fast path — a single memcpy
+/// instead of a gather/scatter walk).
+struct RunList {
+  std::vector<MaterializedRun> runs;
+  std::int64_t bytes = 0;
+  bool contiguous = true;  ///< vacuously true when empty
+};
+
 /// A periodic index set: the FALLS pattern tiled with `period` (>= extent of
 /// the set). `runs` caches the maximal runs of one period — the paper's
 /// "set of indices computed at view setting", reused by every access.
@@ -51,6 +73,12 @@ class IndexSet {
   /// Clusterfile fast path that skips gather/scatter entirely).
   bool contiguous_in(std::int64_t v, std::int64_t w) const;
 
+  /// One materialization traversal over [v, w]: the run list with
+  /// positions relative to v, the member byte count, and the contiguity
+  /// flag — everything count_in + contiguous_in + two for_each_run_in
+  /// passes used to compute separately on the access hot path.
+  RunList materialize_in(std::int64_t v, std::int64_t w) const;
+
  private:
   FallsSet falls_;
   std::int64_t period_ = 1;
@@ -70,5 +98,16 @@ std::int64_t gather(std::span<std::byte> dest, std::span<const std::byte> src,
 /// copied.
 std::int64_t scatter(std::span<std::byte> dest, std::span<const std::byte> src,
                      std::int64_t v, std::int64_t w, const IndexSet& idx);
+
+/// GATHER replayed from a materialized run list: copies rl.bytes bytes from
+/// `src` (src[0] is the access interval's lower extremity — rel_lo 0) into
+/// the contiguous `dest`. The contiguous case degenerates to one memcpy.
+void gather_runs(std::span<std::byte> dest, std::span<const std::byte> src,
+                 const RunList& rl);
+
+/// SCATTER replayed from a materialized run list: the reverse copy, from
+/// contiguous `src` into `dest` at the runs' relative positions.
+void scatter_runs(std::span<std::byte> dest, std::span<const std::byte> src,
+                  const RunList& rl);
 
 }  // namespace pfm

@@ -36,4 +36,17 @@ double Stats::rel_stddev() const {
   return m == 0.0 ? 0.0 : stddev() / m;
 }
 
+double Stats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("Stats::percentile: p outside [0, 100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 }  // namespace pfm

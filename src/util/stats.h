@@ -23,6 +23,12 @@ class Stats {
   /// stddev / mean, or 0 when the mean is 0.
   double rel_stddev() const;
 
+  /// The p-th percentile (p in [0, 100]) with linear interpolation between
+  /// order statistics; 0 for an empty sample set. percentile(50) is the
+  /// median — the robust center the bench JSON reports alongside p95.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
   const std::vector<double>& samples() const { return samples_; }
 
  private:

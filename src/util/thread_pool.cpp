@@ -1,0 +1,125 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace pfm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Tasks left in the queue are parallel_for stragglers whose loop the
+  // respective caller already drained (the shared counter is exhausted);
+  // dropping them is harmless.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;  // shutting down: the caller-participation rule
+                        // guarantees the loop completes without us
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Per-call state, shared between the caller and the helper tasks. The
+  // caller blocks until done == n, so `fn` outlives every use; the
+  // shared_ptr only keeps the counters alive for stragglers that wake
+  // after the counter is exhausted.
+  struct ForCtx {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> cancelled{false};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr err;
+  };
+  auto ctx = std::make_shared<ForCtx>();
+  ctx->n = n;
+  ctx->fn = &fn;
+
+  auto run = [ctx] {
+    for (;;) {
+      const std::size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ctx->n) break;
+      if (!ctx->cancelled.load(std::memory_order_relaxed)) {
+        try {
+          (*ctx->fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(ctx->mu);
+          if (!ctx->err) ctx->err = std::current_exception();
+          ctx->cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      // acq_rel chain: the body's writes happen-before the caller's
+      // acquire load of `done` observing the final count.
+      if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 == ctx->n) {
+        std::lock_guard<std::mutex> lk(ctx->mu);
+        ctx->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(run);
+  run();  // the caller claims indices too — see header contract (1)
+
+  std::unique_lock<std::mutex> lk(ctx->mu);
+  ctx->cv.wait(lk, [&] {
+    return ctx->done.load(std::memory_order_acquire) == ctx->n;
+  });
+  if (ctx->err) std::rethrow_exception(ctx->err);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("PFM_POOL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 0 && v <= 64) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(std::clamp(hw, 2u, 8u));
+  }());
+  return pool;
+}
+
+}  // namespace pfm

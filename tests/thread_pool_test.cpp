@@ -1,0 +1,179 @@
+// ThreadPool and LruCache unit tests. Run under the tsan preset in CI: the
+// pool's caller-participation contract and the concurrent parallel_for use
+// (four bench clients over one shared pool) are exactly the shapes TSan can
+// falsify.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/lru.h"
+#include "util/thread_pool.h"
+
+namespace pfm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroWorkersRunInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.parallel_for(64, [&](std::size_t) {
+    // No workers: everything must execute on the calling thread, so plain
+    // (unsynchronized) state is safe here by construction.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 64u);
+}
+
+TEST(ThreadPool, EmptyAndSingletonLoops) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "n=0 must not invoke"; });
+  std::atomic<int> ran{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndLoopQuiesces) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(256,
+                        [&](std::size_t i) {
+                          ran.fetch_add(1);
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Remaining indices may be skipped after the exception, but nothing runs
+  // after parallel_for returned; the counter is stable now.
+  const int after = ran.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(ran.load(), after);
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr std::size_t kN = 512;
+  std::vector<std::atomic<std::int64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(kN, [&](std::size_t i) {
+        sums[c].fetch_add(static_cast<std::int64_t>(i) + 1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c)
+    EXPECT_EQ(sums[c].load(), static_cast<std::int64_t>(kN) * (kN + 1) / 2);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // set_view inside the collective layer nests parallel_for inside a pool
+  // task; caller participation keeps that deadlock-free even when every
+  // worker is busy with the outer loop.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ThreadPool, SharedPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> ran{0};
+  a.parallel_for(32, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> lru(2);
+  lru.put(1, "one");
+  lru.put(2, "two");
+  ASSERT_NE(lru.get(1), nullptr);  // refresh 1; 2 is now LRU
+  lru.put(3, "three");             // evicts 2
+  EXPECT_EQ(lru.get(2), nullptr);
+  ASSERT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(*lru.get(1), "one");
+  ASSERT_NE(lru.get(3), nullptr);
+  EXPECT_EQ(lru.evictions(), 1);
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruCache, OverwriteRefreshesWithoutEviction) {
+  LruCache<int, int> lru(2);
+  lru.put(1, 10);
+  lru.put(2, 20);
+  lru.put(1, 11);  // overwrite, no eviction, 1 most recent
+  EXPECT_EQ(lru.evictions(), 0);
+  lru.put(3, 30);  // evicts 2
+  EXPECT_EQ(lru.get(2), nullptr);
+  ASSERT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(*lru.get(1), 11);
+}
+
+TEST(LruCache, ZeroCapacityDisablesCaching) {
+  LruCache<int, int> lru(0);
+  lru.put(1, 10);
+  EXPECT_EQ(lru.get(1), nullptr);
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruCache, SetCapacityShrinksFromLruEnd) {
+  LruCache<int, int> lru(4);
+  for (int k = 1; k <= 4; ++k) lru.put(k, k);
+  lru.set_capacity(2);
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.evictions(), 2);
+  EXPECT_EQ(lru.get(1), nullptr);
+  EXPECT_EQ(lru.get(2), nullptr);
+  ASSERT_NE(lru.get(3), nullptr);
+  ASSERT_NE(lru.get(4), nullptr);
+  lru.clear();
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruCache, HammeredThroughPoolUnderExternalLock) {
+  // The client owns its cache single-threaded; a shared cache requires an
+  // external lock. This is the locked pattern, hammered through the pool so
+  // TSan checks the claim that LruCache itself needs no internal state.
+  LruCache<int, int> lru(8);
+  std::mutex mu;
+  ThreadPool pool(4);
+  pool.parallel_for(2000, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    const int key = static_cast<int>(i % 16);
+    if (int* hit = lru.get(key)) {
+      EXPECT_EQ(*hit, key * 3);
+    } else {
+      lru.put(key, key * 3);
+    }
+  });
+  EXPECT_LE(lru.size(), 8u);
+  EXPECT_GT(lru.evictions(), 0);
+}
+
+}  // namespace
+}  // namespace pfm
