@@ -56,6 +56,20 @@ std::optional<Message> Channel::receive() {
   return msg;
 }
 
+std::optional<Message> Channel::receive_for(std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  {
+    WaiterScope scope(*this);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !queue_.empty(); });
+  }
+  if (queue_.empty()) return std::nullopt;  // timed out, or closed and drained
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return msg;
+}
+
 std::optional<Message> Channel::try_receive() {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return std::nullopt;

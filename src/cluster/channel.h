@@ -3,6 +3,7 @@
 // (back-pressure stands in for finite network buffers).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -31,6 +32,13 @@ class Channel {
   /// Blocks until a message arrives or the channel is closed and drained;
   /// nullopt on closed-and-empty.
   std::optional<Message> receive();
+
+  /// receive() with a deadline: nullopt when `timeout` elapses with the
+  /// channel still empty, or when it is closed and drained (callers that
+  /// need to distinguish the two check closed()). The reliable Clusterfile
+  /// request layer blocks here instead of in receive(), so a lost reply
+  /// surfaces as a timeout to retry rather than a hang.
+  std::optional<Message> receive_for(std::chrono::nanoseconds timeout);
 
   /// Non-blocking receive; nullopt when empty (even if open).
   std::optional<Message> try_receive();

@@ -1,0 +1,97 @@
+// Deterministic fault injection for the simulated interconnect (DESIGN.md
+// "Failure model"). A FaultInjector installed on a Network intercepts every
+// send and — driven by a seeded RNG and a programmable rule list — drops,
+// duplicates, corrupts (payload/meta bit flips) or delays messages (delayed
+// delivery slips a message past later sends, producing real reordering on
+// the receiving channel), plus scripted link cuts and node isolation for
+// partition and crash scenarios. With no injector installed Network::send
+// pays one relaxed atomic load; the reliability layer above (req_ids,
+// checksums, retransmits, idempotent replay) is what every fault-soak test
+// validates against this hostile wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cluster/message.h"
+#include "util/rng.h"
+
+namespace pfm {
+
+/// One programmable fault rule. Default-constructed fields match every
+/// message and inject nothing; the first rule matching a message applies.
+struct FaultRule {
+  int src = -1;                 ///< -1: any source endpoint
+  int dst = -1;                 ///< -1: any destination endpoint
+  std::optional<MsgKind> kind;  ///< nullopt: any message kind
+  double drop = 0.0;            ///< P(message silently lost)
+  double duplicate = 0.0;       ///< P(message delivered twice)
+  double corrupt = 0.0;         ///< P(one meta/payload bit flipped)
+  double delay = 0.0;           ///< P(delivery deferred past later sends)
+  int delay_depth = 3;          ///< sends a delayed message slips past
+  double delay_model_us = 50.0; ///< modeled extra wire time when delayed
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Called by Network::send once per offered message (kShutdown never
+  /// reaches here — control traffic is immune). Returns the messages to
+  /// deliver now, in order: matured delayed messages, then the offered
+  /// message and/or its duplicate — or neither when dropped/delayed.
+  std::vector<Message> process(Message msg);
+
+  /// Scripted partitions: an isolated node loses every message to or from
+  /// it (crash simulation: isolate, then stop the server); a cut link loses
+  /// messages between the pair in both directions.
+  void isolate(int node);
+  void restore(int node);
+  void cut(int a, int b);
+  void heal(int a, int b);
+  bool delivers(int src, int dst) const;
+
+  struct Counters {
+    std::int64_t dropped = 0;            ///< lost to a probabilistic rule
+    std::int64_t duplicated = 0;
+    std::int64_t corrupted = 0;          ///< bit flips actually applied
+    std::int64_t delayed = 0;
+    std::int64_t partition_dropped = 0;  ///< lost to isolate()/cut()
+  };
+  Counters counters() const;
+  void reset_counters();
+
+  /// Messages currently held for delayed delivery.
+  std::size_t in_limbo() const;
+  /// Modeled extra wire time charged to delayed messages so far.
+  double modeled_delay_us() const;
+
+ private:
+  const FaultRule* match(const Message& msg) const;
+  void flip_random_bit(Message& msg);
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::set<int> isolated_;
+  std::set<std::pair<int, int>> cuts_;  ///< normalized (min, max) pairs
+  struct Delayed {
+    Message msg;
+    int remaining;  ///< deliveries left to slip past
+  };
+  std::vector<Delayed> limbo_;
+  Counters counters_;
+  double modeled_delay_us_ = 0.0;
+};
+
+}  // namespace pfm

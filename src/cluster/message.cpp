@@ -1,0 +1,45 @@
+#include "cluster/message.h"
+
+#include "util/crc32.h"
+
+namespace pfm {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kSetView: return "SET_VIEW";
+    case MsgKind::kWrite: return "WRITE";
+    case MsgKind::kRead: return "READ";
+    case MsgKind::kReadReply: return "READ_REPLY";
+    case MsgKind::kAck: return "ACK";
+    case MsgKind::kError: return "ERROR";
+    case MsgKind::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char* to_string(ErrCode e) {
+  switch (e) {
+    case ErrCode::kNone: return "NONE";
+    case ErrCode::kUnknownView: return "UNKNOWN_VIEW";
+    case ErrCode::kUnknownSubfile: return "UNKNOWN_SUBFILE";
+    case ErrCode::kBadChecksum: return "BAD_CHECKSUM";
+    case ErrCode::kMalformed: return "MALFORMED";
+  }
+  return "?";
+}
+
+std::uint32_t message_checksum(const Message& m) {
+  std::uint32_t c = crc32(m.meta.data(), m.meta.size());
+  return crc32(m.payload.data(), m.payload.size(), c);
+}
+
+void stamp_checksum(Message& m) {
+  m.checksummed = true;
+  m.checksum = message_checksum(m);
+}
+
+bool verify_checksum(const Message& m) {
+  return !m.checksummed || m.checksum == message_checksum(m);
+}
+
+}  // namespace pfm

@@ -1,9 +1,19 @@
 // Message types for the simulated cluster. The Clusterfile protocol (paper
 // section 8) runs between compute-node clients and I/O-node servers over
 // these messages; the payload carries serialized FALLS sets or raw data.
+//
+// Reliability fields (DESIGN.md "Failure model"): every client request
+// carries a globally unique req_id that replies echo, so clients match
+// replies instead of trusting arrival order, servers deduplicate
+// retransmits by (client, req_id), and stale or duplicated replies are
+// discarded instead of crashing the await loop. When the network has
+// checksums enabled (any installed fault plan enables them), meta and
+// payload are covered by a CRC-32 so injected bit flips are detected at the
+// receiver rather than silently scattered into subfiles.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "util/buffer.h"
@@ -17,10 +27,36 @@ enum class MsgKind : std::uint8_t {
   kReadReply,    ///< server -> client: data for a read
   kAck,          ///< server -> client: write/view acknowledgment
   kError,        ///< server -> client: request failed; meta holds the reason
-  kShutdown,     ///< stop the server loop
+  kShutdown,     ///< stop the server loop (immune to fault injection)
 };
 
 const char* to_string(MsgKind k);
+
+/// Structured reason on a kError reply: the client's reliable request layer
+/// dispatches on the code (re-install the view, resend the request, or give
+/// up) instead of parsing the human-readable meta string.
+enum class ErrCode : std::uint8_t {
+  kNone = 0,
+  kUnknownView,     ///< access for a (client, view) with no registered
+                    ///< projection — recoverable: re-install and resend
+  kUnknownSubfile,  ///< request routed to a node not serving that subfile
+  kBadChecksum,     ///< request arrived corrupted — recoverable: resend
+  kMalformed,       ///< request failed validation; not retryable
+};
+
+const char* to_string(ErrCode e);
+
+/// Server-side protocol failure that should travel back to the client as a
+/// kError reply with a structured code (IoServer catches these per request).
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
+};
 
 struct Message {
   MsgKind kind = MsgKind::kAck;
@@ -34,11 +70,26 @@ struct Message {
   std::string meta;           ///< serialized FALLS for kSetView
   Buffer payload;             ///< data bytes for kWrite / kReadReply
 
+  /// Request id, unique across the process; replies echo it. 0 means "no
+  /// reliability protocol" (raw test traffic) — servers skip dedup for it.
+  std::uint64_t req_id = 0;
+  /// CRC-32 over meta then payload; valid only when `checksummed` is set.
+  std::uint32_t checksum = 0;
+  bool checksummed = false;
+  ErrCode err = ErrCode::kNone;  ///< reason on kError replies
+
   /// Bytes this message occupies on the simulated wire (header + meta +
   /// payload), used by the network cost model.
   std::int64_t wire_bytes() const {
     return 64 + static_cast<std::int64_t>(meta.size() + payload.size());
   }
 };
+
+/// CRC-32 over the message's meta and payload bytes.
+std::uint32_t message_checksum(const Message& m);
+/// Computes and stores the checksum, marking the message checksummed.
+void stamp_checksum(Message& m);
+/// True when the message is not checksummed or its checksum matches.
+bool verify_checksum(const Message& m);
 
 }  // namespace pfm

@@ -4,19 +4,6 @@
 
 namespace pfm {
 
-const char* to_string(MsgKind k) {
-  switch (k) {
-    case MsgKind::kSetView: return "SET_VIEW";
-    case MsgKind::kWrite: return "WRITE";
-    case MsgKind::kRead: return "READ";
-    case MsgKind::kReadReply: return "READ_REPLY";
-    case MsgKind::kAck: return "ACK";
-    case MsgKind::kError: return "ERROR";
-    case MsgKind::kShutdown: return "SHUTDOWN";
-  }
-  return "?";
-}
-
 Network::Network(int node_count, NetParams params) : params_(params) {
   if (node_count < 1) throw std::invalid_argument("Network: node_count < 1");
   inboxes_.reserve(static_cast<std::size_t>(node_count));
@@ -41,6 +28,14 @@ int Network::machine_of(int node) const {
 
 Network::~Network() { close_all(); }
 
+void Network::install_faults(std::shared_ptr<FaultInjector> injector) {
+  // Publish ownership before the raw pointer so a concurrent send() that
+  // loads the pointer always sees a live object.
+  fault_.store(nullptr, std::memory_order_release);
+  fault_owner_ = std::move(injector);
+  fault_.store(fault_owner_.get(), std::memory_order_release);
+}
+
 bool Network::send(int src, Message msg) {
   if (msg.dst_node < 0 || msg.dst_node >= node_count())
     throw std::out_of_range("Network::send: bad destination node");
@@ -57,6 +52,21 @@ bool Network::send(int src, Message msg) {
     wire_ns_.fetch_add(
         static_cast<std::int64_t>(params_.wire_time_us(wire) * 1000.0),
         std::memory_order_relaxed);
+
+  FaultInjector* inj = fault_.load(std::memory_order_acquire);
+  if (inj != nullptr && msg.kind != MsgKind::kShutdown) {
+    const int dst = msg.dst_node;
+    std::vector<Message> deliver = inj->process(std::move(msg));
+    bool ok = true;
+    for (Message& m : deliver) {
+      const int d = m.dst_node;
+      const bool sent = inboxes_[static_cast<std::size_t>(d)]->send(std::move(m));
+      // Only the offered message's fate is reported; matured delayed
+      // messages for closed inboxes are simply lost (the node is gone).
+      if (d == dst) ok = ok && sent;
+    }
+    return ok;
+  }
   return inboxes_[static_cast<std::size_t>(msg.dst_node)]->send(std::move(msg));
 }
 
@@ -67,13 +77,18 @@ Channel& Network::inbox(int node) {
 }
 
 double Network::simulated_wire_us() const {
-  return static_cast<double>(wire_ns_.load()) / 1000.0;
+  double us = static_cast<double>(wire_ns_.load()) / 1000.0;
+  if (const FaultInjector* inj = fault_.load(std::memory_order_acquire))
+    us += inj->modeled_delay_us();
+  return us;
 }
 
 void Network::reset_accounting() {
   messages_.store(0);
   bytes_.store(0);
   wire_ns_.store(0);
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire))
+    inj->reset_counters();
 }
 
 void Network::close_all() {

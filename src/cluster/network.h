@@ -4,6 +4,12 @@
 // paper measures (intersection, mapping, gather/scatter) stay real, while
 // per-message latency and bandwidth are charged to a simulated clock that
 // benchmarks may report alongside measured time.
+//
+// A FaultInjector (cluster/fault.h) can be installed to make delivery
+// hostile on demand: drops, duplicates, corruption, delayed reordering and
+// scripted partitions. With none installed, send() pays one relaxed atomic
+// load over the fault-free path. Installing an injector also enables
+// per-message checksums (checksums_enabled) so corruption is detectable.
 #pragma once
 
 #include <atomic>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "cluster/channel.h"
+#include "cluster/fault.h"
 
 namespace pfm {
 
@@ -42,15 +49,37 @@ class Network {
   int machine_of(int node) const;
 
   /// Delivers msg to its dst_node inbox; stamps src. Returns false when the
-  /// destination inbox is closed. Accumulates modeled wire time.
+  /// destination inbox is closed. Accumulates modeled wire time. With a
+  /// fault injector installed the message may instead be dropped (returns
+  /// true — silent loss is the point), duplicated, corrupted or delayed;
+  /// kShutdown messages are immune so teardown always completes.
   bool send(int src, Message msg);
 
   /// The inbox of one node (servers block on it).
   Channel& inbox(int node);
 
-  /// Total modeled wire time across all messages so far, in microseconds.
+  /// Installs (or replaces) a fault injector; nullptr uninstalls. Not safe
+  /// to call concurrently with itself, but safe against in-flight send()s.
+  void install_faults(std::shared_ptr<FaultInjector> injector);
+  /// The installed injector, or nullptr.
+  FaultInjector* faults() const {
+    return fault_.load(std::memory_order_acquire);
+  }
+  /// Force checksums on even without an injector (benchmarks measuring the
+  /// checksum overhead in isolation).
+  void set_checksums(bool enabled) { explicit_checksums_.store(enabled); }
+  /// Senders stamp and receivers verify CRC-32 checksums when true: an
+  /// injector is installed or set_checksums(true) was called.
+  bool checksums_enabled() const {
+    return explicit_checksums_.load(std::memory_order_relaxed) ||
+           fault_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Total modeled wire time across all messages so far, in microseconds
+  /// (includes the modeled penalty of injector-delayed messages).
   double simulated_wire_us() const;
-  /// Messages and payload bytes carried (for the benchmark reports).
+  /// Messages and payload bytes offered to the wire (for the benchmark
+  /// reports; fault-injected duplicates and drops do not change the count).
   std::int64_t messages_sent() const { return messages_.load(); }
   std::int64_t bytes_sent() const { return bytes_.load(); }
   void reset_accounting();
@@ -65,6 +94,9 @@ class Network {
   std::atomic<std::int64_t> messages_{0};
   std::atomic<std::int64_t> bytes_{0};
   std::atomic<std::int64_t> wire_ns_{0};  ///< modeled, in nanoseconds
+  std::shared_ptr<FaultInjector> fault_owner_;
+  std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<bool> explicit_checksums_{false};
 };
 
 }  // namespace pfm

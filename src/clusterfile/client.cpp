@@ -1,8 +1,11 @@
 #include "clusterfile/client.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "falls/serialize.h"
 #include "intersect/project.h"
@@ -13,6 +16,18 @@
 #include "util/timer.h"
 
 namespace pfm {
+
+namespace {
+
+/// Request ids are unique across the whole process, so a reply can never be
+/// matched to the wrong request even across client restarts or relayouts
+/// that reuse node ids.
+std::uint64_t next_req_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
     : net_(net), node_id_(node_id), meta_(std::move(meta)) {
@@ -83,12 +98,14 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
       s.target.io_node = meta_.io_nodes[j];
       s.target.proj_v = IndexSet(pv.falls, pv.period);
       s.target.sub_period_bytes = state.replay_period > 0 ? sub_period[j] : 0;
+      s.target.proj_meta = serialize(ps.falls);
+      s.target.proj_period = ps.period;
 
       s.msg.kind = MsgKind::kSetView;
       s.msg.dst_node = meta_.io_nodes[j];
       s.msg.subfile = static_cast<int>(j);
       s.msg.view_id = new_view_id;
-      s.msg.meta = serialize(ps.falls);
+      s.msg.meta = s.target.proj_meta;
       s.msg.v = ps.period;
       s.used = true;
     });
@@ -99,8 +116,27 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
     }
     t_i_us_ = t.elapsed_us();
   }
-  for (Message& msg : to_send) send_or_throw(std::move(msg));
-  await(MsgKind::kAck, to_send.size());
+  {
+    // Ship the projections through the reliable layer: a lost or corrupted
+    // kSetView retransmits until acknowledged (servers re-install
+    // idempotently), so a view is never half-set.
+    const std::vector<SubTarget>& targets = state.targets;
+    AccessTimings vt;
+    transact(
+        std::move(to_send), MsgKind::kAck,
+        /*rebuild=*/
+        [&](std::size_t i) {
+          Message msg;
+          msg.kind = MsgKind::kSetView;
+          msg.dst_node = targets[i].io_node;
+          msg.subfile = static_cast<int>(targets[i].subfile);
+          msg.view_id = new_view_id;
+          msg.meta = targets[i].proj_meta;
+          msg.v = targets[i].proj_period;
+          return msg;
+        },
+        /*reinstall=*/[](std::size_t) { return std::nullopt; }, vt, nullptr);
+  }
   t_view_total_us_ = total.elapsed_us();
 
   views_.push_back(std::move(state));
@@ -179,20 +215,243 @@ void ClusterfileClient::send_or_throw(Message msg) {
                              std::to_string(dst) + " is unreachable");
 }
 
-std::vector<Message> ClusterfileClient::await(MsgKind kind, std::size_t n) {
-  std::vector<Message> out;
-  Channel& inbox = net_.inbox(node_id_);
-  while (out.size() < n) {
-    auto msg = inbox.receive();
-    if (!msg.has_value())
-      throw std::runtime_error("ClusterfileClient: network closed while waiting");
-    if (msg->kind == MsgKind::kError)
-      throw std::runtime_error("ClusterfileClient: server reported: " + msg->meta);
-    if (msg->kind != kind)
-      throw std::logic_error("ClusterfileClient: unexpected message kind");
-    out.push_back(std::move(*msg));
+void ClusterfileClient::seal(Message& msg, std::uint64_t req_id) {
+  msg.req_id = req_id;
+  if (net_.checksums_enabled()) stamp_checksum(msg);
+}
+
+void ClusterfileClient::transact(
+    std::vector<Message> initial, MsgKind expected,
+    const std::function<Message(std::size_t)>& rebuild,
+    const std::function<std::optional<Message>(std::size_t)>& reinstall,
+    AccessTimings& t, std::vector<Message>* replies) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t n = initial.size();
+  if (replies != nullptr) replies->assign(n, Message{});
+  t.per_subfile.assign(n, SubfileAccess{});
+
+  /// In-flight request bookkeeping, keyed by req_id. An `aux` entry is a
+  /// kSetView re-install launched to recover a primary request from
+  /// kUnknownView; its `partner` is the paused primary's req_id (and vice
+  /// versa while the primary waits).
+  struct Pend {
+    std::size_t index = 0;
+    bool is_aux = false;
+    bool waiting_view = false;
+    std::uint64_t partner = 0;
+    int attempts = 1;
+    int io_node = -1;
+    clock::time_point deadline;
+  };
+  std::unordered_map<std::uint64_t, Pend> pend;
+  pend.reserve(n);
+
+  const auto timeout_for = [&](int attempt) {
+    double ms = static_cast<double>(policy_.base_timeout.count()) *
+                std::pow(policy_.backoff, attempt - 1);
+    ms = std::min(ms, static_cast<double>(policy_.max_timeout.count()));
+    return std::chrono::nanoseconds(
+        static_cast<std::int64_t>(std::max(0.1, ms) * 1e6));
+  };
+  const auto make_request = [&](const Pend& p) {
+    if (!p.is_aux) return rebuild(p.index);
+    std::optional<Message> m = reinstall(p.index);
+    PFM_CHECK(m.has_value(), "transact: lost re-install template");
+    return std::move(*m);
+  };
+  const auto fail_primary = [&](std::uint64_t id, const std::string& why,
+                                bool timed_out) {
+    const auto it = pend.find(id);
+    if (it == pend.end()) return;
+    SubfileAccess& s = t.per_subfile[it->second.index];
+    s.status = AccessStatus::kFailed;
+    s.attempts = it->second.attempts;
+    s.timed_out = timed_out;
+    s.error = why;
+    ++t.rel.failures;
+    pend.erase(it);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Message msg = std::move(initial[i]);
+    const std::uint64_t id = next_req_id();
+    Pend p;
+    p.index = i;
+    p.io_node = msg.dst_node;
+    p.deadline = clock::now() + timeout_for(1);
+    t.per_subfile[i].subfile = msg.subfile;
+    t.per_subfile[i].io_node = msg.dst_node;
+    seal(msg, id);
+    pend.emplace(id, p);
+    send_or_throw(std::move(msg));
   }
-  return out;
+
+  Channel& inbox = net_.inbox(node_id_);
+  while (!pend.empty()) {
+    // The next actionable deadline; primaries paused behind a view
+    // re-install are driven by their aux request's deadline instead.
+    clock::time_point next = clock::time_point::max();
+    for (const auto& [id, p] : pend)
+      if (!p.waiting_view) next = std::min(next, p.deadline);
+    const clock::time_point now = clock::now();
+
+    if (next <= now) {
+      std::vector<std::uint64_t> expired;
+      for (const auto& [id, p] : pend)
+        if (!p.waiting_view && p.deadline <= now) expired.push_back(id);
+      for (const std::uint64_t id : expired) {
+        const auto it = pend.find(id);
+        if (it == pend.end()) continue;
+        Pend& p = it->second;
+        ++t.rel.timeouts;
+        if (p.attempts >= policy_.max_attempts) {
+          const std::string why =
+              "I/O node " + std::to_string(p.io_node) + " unresponsive after " +
+              std::to_string(p.attempts) + " attempts";
+          if (p.is_aux) {
+            const std::uint64_t parent = p.partner;
+            pend.erase(it);
+            fail_primary(parent, why, /*timed_out=*/true);
+          } else {
+            fail_primary(id, why, /*timed_out=*/true);
+          }
+          continue;
+        }
+        ++p.attempts;
+        ++t.rel.retries;
+        Message msg = make_request(p);
+        seal(msg, id);  // same req_id: the server replays, never re-applies
+        p.deadline = clock::now() + timeout_for(p.attempts);
+        send_or_throw(std::move(msg));
+      }
+      continue;
+    }
+
+    auto msg = inbox.receive_for(next - now);
+    if (!msg.has_value()) {
+      if (inbox.closed())
+        throw std::runtime_error(
+            "ClusterfileClient: network closed while waiting");
+      continue;  // deadline pass happens at the top of the loop
+    }
+
+    if (!verify_checksum(*msg)) {
+      // A corrupted reply: the request itself succeeded server-side, so
+      // resend right away (idempotent) instead of waiting out the timer.
+      ++t.rel.corruptions_detected;
+      const auto it = pend.find(msg->req_id);
+      if (it != pend.end() && !it->second.waiting_view &&
+          it->second.attempts < policy_.max_attempts) {
+        Pend& p = it->second;
+        ++p.attempts;
+        ++t.rel.retries;
+        Message resend = make_request(p);
+        seal(resend, msg->req_id);
+        p.deadline = clock::now() + timeout_for(p.attempts);
+        send_or_throw(std::move(resend));
+      }
+      continue;
+    }
+
+    const auto it = pend.find(msg->req_id);
+    if (it == pend.end()) {
+      // Duplicate or late reply for a request already completed (or one we
+      // never sent): discard. This used to be a fatal logic_error.
+      ++t.rel.stale_replies;
+      continue;
+    }
+    Pend& p = it->second;
+
+    if (msg->kind == MsgKind::kError) {
+      if (msg->err == ErrCode::kUnknownView && !p.is_aux && !p.waiting_view &&
+          p.attempts < policy_.max_attempts) {
+        // The server lost its projections (crash/restart): re-install the
+        // view, then resend the request once the re-install is acked.
+        std::optional<Message> setv = reinstall(p.index);
+        if (setv.has_value()) {
+          ++t.rel.view_reinstalls;
+          const std::uint64_t aux_id = next_req_id();
+          Pend aux;
+          aux.index = p.index;
+          aux.is_aux = true;
+          aux.partner = msg->req_id;
+          aux.io_node = setv->dst_node;
+          aux.deadline = clock::now() + timeout_for(1);
+          p.waiting_view = true;
+          p.partner = aux_id;
+          Message m = std::move(*setv);
+          seal(m, aux_id);
+          pend.emplace(aux_id, aux);
+          send_or_throw(std::move(m));
+          continue;
+        }
+      }
+      if (msg->err == ErrCode::kBadChecksum &&
+          p.attempts < policy_.max_attempts) {
+        // The server caught a corrupted request: resend it.
+        ++t.rel.corruptions_detected;
+        ++p.attempts;
+        ++t.rel.retries;
+        Message resend = make_request(p);
+        seal(resend, msg->req_id);
+        p.deadline = clock::now() + timeout_for(p.attempts);
+        send_or_throw(std::move(resend));
+        continue;
+      }
+      const std::string why = "server reported: " + msg->meta;
+      if (p.is_aux) {
+        const std::uint64_t parent = p.partner;
+        pend.erase(it);
+        fail_primary(parent, why, /*timed_out=*/false);
+      } else {
+        fail_primary(msg->req_id, why, /*timed_out=*/false);
+      }
+      continue;
+    }
+
+    if (p.is_aux) {
+      if (msg->kind != MsgKind::kAck) {
+        ++t.rel.stale_replies;
+        continue;
+      }
+      // View re-installed: resume the paused primary with a fresh attempt.
+      const std::uint64_t parent = p.partner;
+      pend.erase(it);
+      const auto pit = pend.find(parent);
+      if (pit == pend.end()) continue;
+      Pend& pri = pit->second;
+      pri.waiting_view = false;
+      ++pri.attempts;
+      ++t.rel.retries;
+      Message resend = make_request(pri);
+      seal(resend, parent);
+      pri.deadline = clock::now() + timeout_for(pri.attempts);
+      send_or_throw(std::move(resend));
+      continue;
+    }
+
+    if (msg->kind != expected) {
+      ++t.rel.stale_replies;
+      continue;
+    }
+    SubfileAccess& s = t.per_subfile[p.index];
+    s.attempts = p.attempts;
+    s.status = p.attempts > 1 ? AccessStatus::kRetried : AccessStatus::kOk;
+    if (replies != nullptr) (*replies)[p.index] = std::move(*msg);
+    pend.erase(it);
+  }
+
+  rel_ += t.rel;
+  if (!allow_partial_) {
+    for (const SubfileAccess& s : t.per_subfile) {
+      if (s.status != AccessStatus::kFailed) continue;
+      const std::string what =
+          "ClusterfileClient: subfile " + std::to_string(s.subfile) + ": " +
+          s.error;
+      if (s.timed_out) throw TimeoutError(what);
+      throw std::runtime_error(what);
+    }
+  }
 }
 
 ClusterfileClient::AccessTimings ClusterfileClient::write(
@@ -214,11 +473,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     out.t_m_us = t.elapsed_us();
   }
 
-  // Build the messages; gathering is the t_g phase (a single untimed
-  // memcpy on the contiguous fast path, as in the paper).
-  std::vector<Message> msgs;
-  msgs.reserve(plan->targets.size());
-  for (const PlanTarget& pt : plan->targets) {
+  const auto make_write = [&](const PlanTarget& pt) {
     Message msg;
     msg.kind = MsgKind::kWrite;
     msg.dst_node = pt.io_node;
@@ -228,6 +483,15 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     msg.w = pt.base_ws + shift * pt.sub_period_bytes;
     msg.contiguous = pt.runs.contiguous;
     msg.payload.resize(static_cast<std::size_t>(pt.runs.bytes));
+    return msg;
+  };
+
+  // Build the messages; gathering is the t_g phase (a single untimed
+  // memcpy on the contiguous fast path, as in the paper).
+  std::vector<Message> msgs;
+  msgs.reserve(plan->targets.size());
+  for (const PlanTarget& pt : plan->targets) {
+    Message msg = make_write(pt);
     if (pt.runs.contiguous) {
       gather_runs(msg.payload, data, pt.runs);
     } else {
@@ -238,15 +502,37 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     out.bytes += pt.runs.bytes;
     msgs.push_back(std::move(msg));
   }
+  out.messages = static_cast<std::int64_t>(msgs.size());
 
   {
-    // t_w: first request sent -> last acknowledgment received.
+    // t_w: first request sent -> last acknowledgment received. Retransmits
+    // re-gather from the caller's buffer (still live for the whole call) so
+    // the fault-free path never copies a payload it doesn't have to.
     Timer t;
-    for (Message& msg : msgs) send_or_throw(std::move(msg));
-    await(MsgKind::kAck, msgs.size());
+    transact(
+        std::move(msgs), MsgKind::kAck,
+        /*rebuild=*/
+        [&](std::size_t i) {
+          const PlanTarget& pt = plan->targets[i];
+          Message msg = make_write(pt);
+          gather_runs(msg.payload, data, pt.runs);
+          return msg;
+        },
+        /*reinstall=*/
+        [&](std::size_t i) -> std::optional<Message> {
+          const SubTarget& st = state.targets[plan->targets[i].target_index];
+          Message msg;
+          msg.kind = MsgKind::kSetView;
+          msg.dst_node = st.io_node;
+          msg.subfile = static_cast<int>(st.subfile);
+          msg.view_id = view_id;
+          msg.meta = st.proj_meta;
+          msg.v = st.proj_period;
+          return msg;
+        },
+        out, nullptr);
     out.t_w_us = t.elapsed_us();
   }
-  out.messages = static_cast<std::int64_t>(msgs.size());
   return out;
 }
 
@@ -267,9 +553,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     out.t_m_us = t.elapsed_us();
   }
 
-  std::vector<Message> msgs;
-  msgs.reserve(plan->targets.size());
-  for (const PlanTarget& pt : plan->targets) {
+  const auto make_read = [&](const PlanTarget& pt) {
     Message msg;
     msg.kind = MsgKind::kRead;
     msg.dst_node = pt.io_node;
@@ -277,29 +561,45 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     msg.view_id = view_id;
     msg.v = pt.base_vs + shift * pt.sub_period_bytes;
     msg.w = pt.base_ws + shift * pt.sub_period_bytes;
-    msgs.push_back(std::move(msg));
-  }
+    return msg;
+  };
+
+  std::vector<Message> msgs;
+  msgs.reserve(plan->targets.size());
+  for (const PlanTarget& pt : plan->targets) msgs.push_back(make_read(pt));
+  out.messages = static_cast<std::int64_t>(msgs.size());
 
   std::vector<Message> replies;
   {
     Timer t;
-    for (Message& msg : msgs) send_or_throw(std::move(msg));
-    replies = await(MsgKind::kReadReply, msgs.size());
+    transact(
+        std::move(msgs), MsgKind::kReadReply,
+        /*rebuild=*/
+        [&](std::size_t i) { return make_read(plan->targets[i]); },
+        /*reinstall=*/
+        [&](std::size_t i) -> std::optional<Message> {
+          const SubTarget& st = state.targets[plan->targets[i].target_index];
+          Message msg;
+          msg.kind = MsgKind::kSetView;
+          msg.dst_node = st.io_node;
+          msg.subfile = static_cast<int>(st.subfile);
+          msg.view_id = view_id;
+          msg.meta = st.proj_meta;
+          msg.v = st.proj_period;
+          return msg;
+        },
+        out, &replies);
     out.t_w_us = t.elapsed_us();
   }
 
   // Scatter every reply into the caller's buffer through the plan's run
-  // lists (the t_g analog on the read path). Replies may arrive in any
-  // server order; the plan targets are sorted by subfile id, so each reply
-  // resolves by binary search instead of the former O(targets) scan per
-  // reply.
-  for (const Message& reply : replies) {
-    const auto it = std::lower_bound(
-        plan->targets.begin(), plan->targets.end(), reply.subfile,
-        [](const PlanTarget& pt, int subfile) { return pt.subfile < subfile; });
-    if (it == plan->targets.end() || it->subfile != reply.subfile)
-      throw std::logic_error("ClusterfileClient::read: reply from unknown node");
-    const PlanTarget& pt = *it;
+  // lists (the t_g analog on the read path). transact returns replies in
+  // request order, so reply i belongs to plan target i; failed targets
+  // (allow-partial mode) are skipped and leave their bytes untouched.
+  for (std::size_t i = 0; i < plan->targets.size(); ++i) {
+    if (out.per_subfile[i].status == AccessStatus::kFailed) continue;
+    const PlanTarget& pt = plan->targets[i];
+    const Message& reply = replies[i];
     PFM_DCHECK(static_cast<std::int64_t>(reply.payload.size()) == pt.runs.bytes,
                "read: subfile ", reply.subfile, " returned ",
                reply.payload.size(), " bytes, plan expects ", pt.runs.bytes);
@@ -315,7 +615,6 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     }
     out.bytes += static_cast<std::int64_t>(reply.payload.size());
   }
-  out.messages = static_cast<std::int64_t>(msgs.size());
   return out;
 }
 

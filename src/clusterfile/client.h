@@ -13,16 +13,34 @@
 // the paper's repeated strided workloads replay plans with zero FALLS
 // algebra. t_m is the plan-acquisition time (near zero on a hit), t_g the
 // gather/scatter time, t_w first request sent -> last acknowledgment.
+//
+// All request/reply traffic rides the reliable transact() layer (DESIGN.md
+// "Failure model"): every request carries a unique req_id that the reply
+// must echo, replies are matched by id (stale duplicates and late replies
+// are counted and discarded, never fatal), lost messages surface as
+// receive_for timeouts and are retransmitted with bounded exponential
+// backoff, corrupted traffic is caught by checksums and resent, and a
+// server that lost its projections (crash/restart) answers kUnknownView,
+// which transparently re-installs the view and resends. A target that
+// stays unresponsive past RetryPolicy::max_attempts either fails the
+// access with a TimeoutError naming the node (default) or, with
+// set_allow_partial(true), degrades to a per-subfile kFailed status.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/network.h"
 #include "file_model/pattern.h"
 #include "redist/gather_scatter.h"
 #include "util/lru.h"
+#include "util/stats.h"
 
 namespace pfm {
 
@@ -33,13 +51,46 @@ struct FileMeta {
   std::vector<int> io_nodes;  ///< io_nodes[i] serves subfile i
 };
 
+/// Thrown when an I/O node stays unresponsive after every retry: the
+/// message names the node so operators see *where* the cluster is failing.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Client-side retransmission policy: per-request timeout with bounded
+/// exponential backoff, and a cap on total delivery attempts.
+struct RetryPolicy {
+  std::chrono::milliseconds base_timeout{250};
+  std::chrono::milliseconds max_timeout{2000};
+  double backoff = 2.0;
+  int max_attempts = 5;
+};
+
+/// Outcome of one subfile's part of an access.
+enum class AccessStatus : std::uint8_t {
+  kOk,       ///< first attempt succeeded
+  kRetried,  ///< succeeded after at least one retransmit or recovery
+  kFailed,   ///< gave up after max_attempts (see SubfileAccess::error)
+};
+
+struct SubfileAccess {
+  int subfile = 0;
+  int io_node = -1;
+  AccessStatus status = AccessStatus::kOk;
+  int attempts = 1;
+  bool timed_out = false;  ///< kFailed because the node stopped answering
+  std::string error;       ///< empty unless kFailed
+};
+
 class ClusterfileClient {
  public:
   ClusterfileClient(Network& net, int node_id, FileMeta meta);
 
   int node_id() const { return node_id_; }
 
-  /// Phase timings of one data operation, microseconds (Table 1 columns).
+  /// Phase timings of one data operation, microseconds (Table 1 columns),
+  /// plus the reliability outcome of every subfile target.
   struct AccessTimings {
     double t_m_us = 0;  ///< access-plan acquisition (mapping / cache lookup)
     double t_g_us = 0;  ///< gather (writes) / scatter (reads) at the client
@@ -48,6 +99,14 @@ class ClusterfileClient {
     std::int64_t messages = 0;
     std::int64_t plan_hits = 0;    ///< 1 when this access replayed a plan
     std::int64_t plan_misses = 0;  ///< 1 when this access built its plan
+    ReliabilityCounters rel;       ///< this access's share of the counters
+    std::vector<SubfileAccess> per_subfile;  ///< ascending subfile order
+
+    bool ok() const {
+      for (const SubfileAccess& s : per_subfile)
+        if (s.status == AccessStatus::kFailed) return false;
+      return true;
+    }
   };
 
   /// Sets a view described by one element pattern. Returns the view id.
@@ -76,6 +135,15 @@ class ClusterfileClient {
   std::int64_t plan_cache_evictions() const { return plan_cache_.evictions(); }
   std::size_t plan_cache_size() const { return plan_cache_.size(); }
 
+  /// Cumulative reliability counters across every access of this client.
+  const ReliabilityCounters& reliability() const { return rel_; }
+
+  void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
+  /// When true, an access with targets that failed after all retries
+  /// returns (statuses record the failures) instead of throwing.
+  void set_allow_partial(bool allow) { allow_partial_ = allow; }
+
   /// Drops every cached plan (set_view does this implicitly; exposed for
   /// callers that mutate state behind the client's back, e.g. tests).
   void invalidate_plans() { plan_cache_.clear(); }
@@ -96,6 +164,10 @@ class ClusterfileClient {
     /// shifting an access by one replay period shifts its subfile interval
     /// by exactly this many bytes.
     std::int64_t sub_period_bytes = 0;
+    /// Serialized PROJ_S^{V∩S} and its period, kept so the view can be
+    /// re-installed when a restarted server answers kUnknownView.
+    std::string proj_meta;
+    std::int64_t proj_period = 0;
   };
   struct ViewState {
     FallsSet falls;
@@ -157,12 +229,24 @@ class ClusterfileClient {
   /// count_in / map_interval / contiguous_in / for_each_run_in passes).
   AccessPlan build_plan(const ViewState& state, std::int64_t v,
                         std::int64_t w) const;
-  /// Blocks until `n` messages of `kind` arrive; returns them. Throws when
-  /// the network closes or a server replies with an error.
-  std::vector<Message> await(MsgKind kind, std::size_t n);
+
+  /// The reliable request engine. Sends `initial` (already built — payload
+  /// gathering stays outside the t_w window), matches replies of kind
+  /// `expected` by req_id, retransmits on timeout via `rebuild(i)` (which
+  /// regenerates request i, payload included), recovers from kUnknownView
+  /// via `reinstall(i)` (a fresh kSetView for request i's target, or
+  /// nullopt when not applicable), and fills `t.per_subfile` with one
+  /// status per request. Throws TimeoutError / runtime_error on failure
+  /// unless allow_partial is set; always throws if the network closes.
+  void transact(std::vector<Message> initial, MsgKind expected,
+                const std::function<Message(std::size_t)>& rebuild,
+                const std::function<std::optional<Message>(std::size_t)>& reinstall,
+                AccessTimings& t, std::vector<Message>* replies);
   /// Sends one message; throws std::runtime_error if the destination inbox
   /// is closed (a silently dropped request would hang the reply wait).
   void send_or_throw(Message msg);
+  /// Stamps req_id (and the checksum when the network asks for it).
+  void seal(Message& msg, std::uint64_t req_id);
 
   Network& net_;
   int node_id_;
@@ -174,6 +258,9 @@ class ClusterfileClient {
   std::int64_t plan_misses_ = 0;
   double t_i_us_ = 0;
   double t_view_total_us_ = 0;
+  RetryPolicy policy_;
+  bool allow_partial_ = false;
+  ReliabilityCounters rel_;
 };
 
 }  // namespace pfm

@@ -86,6 +86,48 @@ const SubfileStorage& Clusterfile::subfile_storage(std::size_t subfile) {
   return server_for(subfile).storage(static_cast<int>(subfile));
 }
 
+FaultInjector& Clusterfile::faults() {
+  if (net_->faults() == nullptr)
+    net_->install_faults(std::make_shared<FaultInjector>(FaultPlan{}));
+  return *net_->faults();
+}
+
+void Clusterfile::install_faults(FaultPlan plan) {
+  net_->install_faults(std::make_shared<FaultInjector>(std::move(plan)));
+}
+
+void Clusterfile::crash_server(std::size_t io_index) {
+  if (io_index >= servers_.size())
+    throw std::out_of_range("Clusterfile::crash_server: bad I/O node");
+  const int node = config_.compute_nodes + static_cast<int>(io_index);
+  // Isolate before stopping: in-flight and future requests vanish on the
+  // wire (the dead-machine experience — clients see timeouts, not errors).
+  faults().isolate(node);
+  servers_[io_index]->stop();
+}
+
+void Clusterfile::restart_server(std::size_t io_index) {
+  if (io_index >= servers_.size())
+    throw std::out_of_range("Clusterfile::restart_server: bad I/O node");
+  const int node = config_.compute_nodes + static_cast<int>(io_index);
+  IoServer::SubfileStorages storages = servers_[io_index]->take_storages();
+  servers_[io_index] =
+      std::make_unique<IoServer>(*net_, node, std::move(storages));
+  faults().restore(node);
+}
+
+ReliabilityCounters Clusterfile::client_reliability() const {
+  ReliabilityCounters total;
+  for (const auto& c : clients_) total += c->reliability();
+  return total;
+}
+
+ReliabilityCounters Clusterfile::server_reliability() const {
+  ReliabilityCounters total;
+  for (const auto& s : servers_) total += s->reliability();
+  return total;
+}
+
 double Clusterfile::mean_server_scatter_us() const {
   double total = 0;
   for (const auto& s : servers_) total += s->scatter_us();

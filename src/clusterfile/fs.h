@@ -55,6 +55,29 @@ class Clusterfile {
   const SubfileStorage& subfile_storage(std::size_t subfile);
   Network& network() { return *net_; }
 
+  /// The fault injector on the interconnect, installing an empty one on
+  /// first use (which also turns message checksums on). Program it directly
+  /// (isolate/cut) or replace its plan wholesale with install_faults.
+  FaultInjector& faults();
+  /// Installs a programmed fault plan (replaces any previous injector).
+  void install_faults(FaultPlan plan);
+
+  /// Simulates a crash of I/O node `io_index` (0-based among the I/O
+  /// nodes): the node is isolated — requests sent to it vanish, exactly as
+  /// to a dead machine, surfacing client-side as timeouts — and its server
+  /// loop stops. Subfile storage survives, as a dead node's disks do.
+  void crash_server(std::size_t io_index);
+  /// Restarts a crashed I/O node over its surviving storage and reconnects
+  /// it. The new server has no projections and an empty dedup cache;
+  /// clients transparently re-install views on the first kUnknownView.
+  void restart_server(std::size_t io_index);
+
+  /// Cluster-wide reliability counters: the sum over every client (retries,
+  /// timeouts, re-installs...) and every live server (duplicates
+  /// suppressed, corruptions caught, errors sent).
+  ReliabilityCounters client_reliability() const;
+  ReliabilityCounters server_reliability() const;
+
   /// Mean scatter time per server for the workload since the last reset
   /// (Table 2's t_s: total scatter work one I/O node performed, averaged
   /// over the I/O nodes — not per message, so fragmentation into many small

@@ -23,6 +23,14 @@ IoServer::IoServer(Network& net, int node_id, SubfileStorages subfiles)
 
 IoServer::~IoServer() { stop(); }
 
+IoServer::SubfileStorages IoServer::take_storages() {
+  stop();
+  SubfileStorages out;
+  for (auto& [id, sub] : subfiles_) out.emplace_back(id, std::move(sub.storage));
+  subfiles_.clear();
+  return out;
+}
+
 const SubfileStorage& IoServer::storage(int subfile_id) const {
   const auto it = subfiles_.find(subfile_id);
   if (it == subfiles_.end())
@@ -52,9 +60,47 @@ void IoServer::reset_phases() {
   writes_ = 0;
 }
 
+ReliabilityCounters IoServer::reliability() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rel_;
+}
+
 void IoServer::handle(Message&& msg) {
-  const int requester = msg.src_node;
-  const std::int64_t view_id = msg.view_id;
+  // Corruption gate: nothing downstream may touch a payload or projection
+  // the wire damaged. The client resends on kBadChecksum.
+  if (!verify_checksum(msg)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++rel_.corruptions_detected;
+    }
+    PFM_WARN("IoServer ", node_id_, ": checksum mismatch on ",
+             to_string(msg.kind), " from ", msg.src_node);
+    reply_error(msg, ErrCode::kBadChecksum, "payload checksum mismatch");
+    return;
+  }
+  // Retransmit dedup: a write or set-view already executed is answered from
+  // the reply cache, never re-applied — the idempotent-replay half of the
+  // exactly-once story (reads re-execute instead; they are idempotent and
+  // their payloads are too large to cache). req_id 0 marks raw traffic
+  // outside the reliability protocol.
+  if (msg.req_id != 0 &&
+      (msg.kind == MsgKind::kWrite || msg.kind == MsgKind::kSetView)) {
+    Message replay;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = reply_cache_.find({msg.src_node, msg.req_id});
+      if (it != reply_cache_.end()) {
+        ++rel_.duplicates_suppressed;
+        replay = it->second;
+        hit = true;
+      }
+    }
+    if (hit) {
+      net_.send(node_id_, std::move(replay));
+      return;
+    }
+  }
   try {
     switch (msg.kind) {
       case MsgKind::kSetView: handle_set_view(std::move(msg)); return;
@@ -64,23 +110,22 @@ void IoServer::handle(Message&& msg) {
         PFM_WARN("IoServer ", node_id_, ": unexpected message ",
                  to_string(msg.kind));
     }
+  } catch (const ProtocolError& e) {
+    PFM_ERROR("IoServer ", node_id_, ": ", e.what());
+    reply_error(msg, e.code(), e.what());
   } catch (const std::exception& e) {
     // A failed request must not kill the server, and the client must not
     // hang waiting for a reply: report the error back.
     PFM_ERROR("IoServer ", node_id_, ": ", e.what());
-    Message err;
-    err.kind = MsgKind::kError;
-    err.dst_node = requester;
-    err.view_id = view_id;
-    err.meta = e.what();
-    net_.send(node_id_, std::move(err));
+    reply_error(msg, ErrCode::kMalformed, e.what());
   }
 }
 
 IoServer::Subfile& IoServer::subfile_for(const Message& msg) {
   const auto it = subfiles_.find(msg.subfile);
   if (it == subfiles_.end())
-    throw std::logic_error("IoServer: request for a subfile not served here");
+    throw ProtocolError(ErrCode::kUnknownSubfile,
+                        "IoServer: request for a subfile not served here");
   return it->second;
 }
 
@@ -88,7 +133,8 @@ const IndexSet& IoServer::projection_for(Subfile& sub, const Message& msg) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = sub.projections.find({msg.src_node, msg.view_id});
   if (it == sub.projections.end())
-    throw std::logic_error("IoServer: access without a registered view");
+    throw ProtocolError(ErrCode::kUnknownView,
+                        "IoServer: access without a registered view");
   return it->second;
 }
 
@@ -180,7 +226,7 @@ void IoServer::handle_read(Message&& msg) {
     std::lock_guard<std::mutex> lock(mu_);
     gather_.add_us(t.elapsed_us());
   }
-  net_.send(node_id_, std::move(reply));
+  finish_reply(msg, std::move(reply), /*cacheable=*/false);
 }
 
 void IoServer::reply_ack(const Message& req) {
@@ -189,7 +235,41 @@ void IoServer::reply_ack(const Message& req) {
   ack.dst_node = req.src_node;
   ack.subfile = req.subfile;
   ack.view_id = req.view_id;
-  net_.send(node_id_, std::move(ack));
+  finish_reply(req, std::move(ack), /*cacheable=*/true);
+}
+
+void IoServer::reply_error(const Message& req, ErrCode code,
+                           const std::string& what) {
+  Message err;
+  err.kind = MsgKind::kError;
+  err.dst_node = req.src_node;
+  err.subfile = req.subfile;
+  err.view_id = req.view_id;
+  err.err = code;
+  err.meta = what;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rel_.errors_sent;
+  }
+  // Errors are never cached: a retransmit after recovery must re-execute.
+  finish_reply(req, std::move(err), /*cacheable=*/false);
+}
+
+void IoServer::finish_reply(const Message& req, Message reply, bool cacheable) {
+  reply.req_id = req.req_id;
+  if (net_.checksums_enabled()) stamp_checksum(reply);
+  if (cacheable && req.req_id != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::pair<int, std::uint64_t> key{req.src_node, req.req_id};
+    if (reply_cache_.emplace(key, reply).second) {
+      reply_cache_order_.push_back(key);
+      if (reply_cache_order_.size() > kReplyCacheCapacity) {
+        reply_cache_.erase(reply_cache_order_.front());
+        reply_cache_order_.pop_front();
+      }
+    }
+  }
+  net_.send(node_id_, std::move(reply));
 }
 
 }  // namespace pfm

@@ -8,9 +8,19 @@
 // receives the interval [vS, wS] and the data, writes contiguously when the
 // projection is contiguous in that interval, and scatters otherwise. Reads
 // are the reverse. The scatter time t_s of Table 2 is measured here.
+//
+// Reliability (DESIGN.md "Failure model"): checksummed requests are
+// verified before any state changes (corruption answers kBadChecksum);
+// write/set-view retransmits are deduplicated by (client, req_id) and the
+// cached acknowledgment replayed, making the effective semantics
+// exactly-once on top of at-least-once client retries; reads are
+// re-executed (idempotent). Failures answer with structured kError codes —
+// notably kUnknownView after a crash/restart lost the in-memory
+// projections, which clients recover from by re-installing the view.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +31,7 @@
 #include "cluster/node.h"
 #include "clusterfile/storage.h"
 #include "redist/gather_scatter.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 namespace pfm {
@@ -45,7 +56,17 @@ class IoServer {
   std::int64_t writes_served() const;
   void reset_phases();
 
+  /// Server-side reliability counters: duplicates suppressed, checksum
+  /// failures caught, error replies issued.
+  ReliabilityCounters reliability() const;
+
   void stop() { loop_.stop(); }
+
+  /// Stops the loop and releases the subfile storages, exactly as a crashed
+  /// node leaves its disks behind: Clusterfile::restart_server builds a new
+  /// IoServer over them. In-memory state (projections, the dedup cache) is
+  /// lost — clients re-install views on the resulting kUnknownView errors.
+  SubfileStorages take_storages();
 
  private:
   struct Subfile {
@@ -59,6 +80,8 @@ class IoServer {
   void handle_write(Message&& msg);
   void handle_read(Message&& msg);
   void reply_ack(const Message& req);
+  void reply_error(const Message& req, ErrCode code, const std::string& what);
+  void finish_reply(const Message& req, Message reply, bool cacheable);
   Subfile& subfile_for(const Message& msg);
   const IndexSet& projection_for(Subfile& sub, const Message& msg);
 
@@ -69,6 +92,12 @@ class IoServer {
   PhaseAccumulator scatter_;
   PhaseAccumulator gather_;
   std::int64_t writes_ = 0;
+  ReliabilityCounters rel_;
+  /// Replay cache for idempotent retransmit handling: the acknowledgment
+  /// sent for each recent (client, req_id), bounded FIFO.
+  static constexpr std::size_t kReplyCacheCapacity = 256;
+  std::map<std::pair<int, std::uint64_t>, Message> reply_cache_;
+  std::deque<std::pair<int, std::uint64_t>> reply_cache_order_;
   NodeLoop loop_;  // must be last: starts the thread over `handle`
 };
 

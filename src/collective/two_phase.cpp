@@ -32,6 +32,7 @@ void check_inputs(const Clusterfile& fs, const PartitioningPattern& logical,
 struct IoCounts {
   std::int64_t requests = 0;
   std::int64_t bytes = 0;
+  ReliabilityCounters rel;
 };
 template <typename Fn>
 IoCounts for_each_element_by_client(
@@ -48,12 +49,14 @@ IoCounts for_each_element_by_client(
       const IoCounts one = fn(static_cast<int>(c), i);
       acc[c].requests += one.requests;
       acc[c].bytes += one.bytes;
+      acc[c].rel += one.rel;
     }
   });
   IoCounts total;
   for (const IoCounts& a : acc) {
     total.requests += a.requests;
     total.bytes += a.bytes;
+    total.rel += a.rel;
   }
   return total;
 }
@@ -88,10 +91,11 @@ CollectiveStats collective_write(Clusterfile& fs,
           const std::int64_t vid = client.set_view(phys.element(i), phys.size());
           const auto w = client.write(
               vid, 0, static_cast<std::int64_t>(agg[i].size()) - 1, agg[i]);
-          return IoCounts{w.messages, w.bytes};
+          return IoCounts{w.messages, w.bytes, w.rel};
         });
     out.requests += io.requests;
     out.bytes += io.bytes;
+    out.rel += io.rel;
     out.io_us = t.elapsed_us();
   }
   return out;
@@ -112,6 +116,7 @@ CollectiveStats independent_write(Clusterfile& fs,
         vid, 0, static_cast<std::int64_t>(view_data[k].size()) - 1, view_data[k]);
     out.requests += w.messages;
     out.bytes += w.bytes;
+    out.rel += w.rel;
   }
   out.io_us = t.elapsed_us();
   return out;
@@ -138,10 +143,11 @@ CollectiveStats collective_read(Clusterfile& fs,
           const std::int64_t vid = client.set_view(phys.element(i), phys.size());
           const auto r = client.read(
               vid, 0, static_cast<std::int64_t>(agg[i].size()) - 1, agg[i]);
-          return IoCounts{r.messages, r.bytes};
+          return IoCounts{r.messages, r.bytes, r.rel};
         });
     out.requests += io.requests;
     out.bytes += io.bytes;
+    out.rel += io.rel;
     out.io_us = t.elapsed_us();
   }
 

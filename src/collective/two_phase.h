@@ -31,6 +31,9 @@ struct CollectiveStats {
   double io_us = 0;            ///< phase-2 (or independent) wall time
   std::int64_t requests = 0;   ///< write requests sent to I/O servers
   std::int64_t bytes = 0;      ///< payload bytes shipped to I/O servers
+  /// Reliability outcome summed over every access of the operation (all
+  /// zero on a fault-free run).
+  ReliabilityCounters rel;
 };
 
 /// Collectively writes a file of `file_size` bytes. view_data[k] holds the

@@ -1,0 +1,52 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace pfm {
+
+namespace {
+
+/// Four lookup tables for slice-by-4: table[0] is the classic byte-at-a-time
+/// CRC-32 table; table[k][b] extends it by k extra zero bytes.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t k = 1; k < 4; ++k)
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace pfm

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for message payload integrity
+// in the Clusterfile protocol. Slice-by-4 table lookup: fast enough that a
+// checksummed message costs a few cycles per byte, and checksumming is only
+// enabled at all when a fault plan is installed (see Network::checksums_enabled).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pfm {
+
+/// CRC-32 of `n` bytes at `data`, continuing from `crc` (pass 0 to start a
+/// fresh checksum; feed the previous return value to chain buffers).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+
+}  // namespace pfm

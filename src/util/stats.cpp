@@ -7,6 +7,25 @@
 
 namespace pfm {
 
+ReliabilityCounters& ReliabilityCounters::operator+=(
+    const ReliabilityCounters& o) {
+  retries += o.retries;
+  timeouts += o.timeouts;
+  stale_replies += o.stale_replies;
+  corruptions_detected += o.corruptions_detected;
+  view_reinstalls += o.view_reinstalls;
+  duplicates_suppressed += o.duplicates_suppressed;
+  failures += o.failures;
+  errors_sent += o.errors_sent;
+  return *this;
+}
+
+bool ReliabilityCounters::all_zero() const {
+  return retries == 0 && timeouts == 0 && stale_replies == 0 &&
+         corruptions_detected == 0 && view_reinstalls == 0 &&
+         duplicates_suppressed == 0 && failures == 0 && errors_sent == 0;
+}
+
 double Stats::mean() const {
   if (samples_.empty()) return 0.0;
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /

@@ -5,9 +5,29 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace pfm {
+
+/// Reliability counters of the Clusterfile request layer (DESIGN.md
+/// "Failure model"). Clients and I/O servers each fill the fields that
+/// apply to their side; Clusterfile and the bench JSON sum them with
+/// operator+=. With no fault plan installed every field must stay zero —
+/// tests assert all_zero() to prove the reliable path adds no traffic.
+struct ReliabilityCounters {
+  std::int64_t retries = 0;               ///< requests resent (any reason)
+  std::int64_t timeouts = 0;              ///< reply deadlines that expired
+  std::int64_t stale_replies = 0;         ///< duplicate/late replies discarded
+  std::int64_t corruptions_detected = 0;  ///< checksum mismatches caught
+  std::int64_t view_reinstalls = 0;       ///< views re-shipped after recovery
+  std::int64_t duplicates_suppressed = 0; ///< retransmits answered from cache
+  std::int64_t failures = 0;              ///< targets failed after all retries
+  std::int64_t errors_sent = 0;           ///< kError replies a server issued
+
+  ReliabilityCounters& operator+=(const ReliabilityCounters& o);
+  bool all_zero() const;
+};
 
 /// Accumulates samples and reports mean / stddev / min / max.
 class Stats {

@@ -1,0 +1,470 @@
+// Fault-injection soak: the reliability layer (req_ids, checksums,
+// retransmits, idempotent replay, view re-install) must deliver
+// byte-identical results over a hostile wire — drops, duplicates, bit
+// flips, delayed reordering, partitions and crashed servers — and the
+// reliability counters must line up with what the injector actually did.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/fault.h"
+#include "clusterfile/fs.h"
+#include "layout/partitions2d.h"
+#include "util/buffer.h"
+
+namespace pfm {
+namespace {
+
+PartitioningPattern pattern2d(Partition2D p, std::int64_t n, std::int64_t parts) {
+  auto elems = partition2d_all(p, n, n, parts);
+  return make_pattern({elems.begin(), elems.end()});
+}
+
+/// A retry policy short enough to keep fault soaks fast but with enough
+/// attempts that probabilistic faults cannot plausibly exhaust it.
+RetryPolicy soak_policy() {
+  RetryPolicy p;
+  p.base_timeout = std::chrono::milliseconds(50);
+  p.max_timeout = std::chrono::milliseconds(400);
+  p.max_attempts = 8;
+  return p;
+}
+
+/// FaultRule builder (avoids partial designated initializers, which GCC's
+/// -Wmissing-field-initializers rejects under -Werror).
+FaultRule make_rule(double drop, double duplicate = 0, double corrupt = 0,
+                    double delay = 0, int delay_depth = 3) {
+  FaultRule r;
+  r.drop = drop;
+  r.duplicate = duplicate;
+  r.corrupt = corrupt;
+  r.delay = delay;
+  r.delay_depth = delay_depth;
+  return r;
+}
+
+Message make_msg(int src, int dst, MsgKind kind, std::size_t payload = 0) {
+  Message m;
+  m.src_node = src;
+  m.dst_node = dst;
+  m.kind = kind;
+  m.payload = make_pattern_buffer(payload, 7);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector units
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameFaults) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules.push_back(make_rule(0.2, 0.2, 0.2, 0.2));
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 500; ++i) {
+    const auto da = a.process(make_msg(0, 1, MsgKind::kWrite, 16));
+    const auto db = b.process(make_msg(0, 1, MsgKind::kWrite, 16));
+    ASSERT_EQ(da.size(), db.size()) << "diverged at message " << i;
+    for (std::size_t k = 0; k < da.size(); ++k)
+      EXPECT_EQ(da[k].payload, db[k].payload);
+  }
+  const auto ca = a.counters(), cb = b.counters();
+  EXPECT_EQ(ca.dropped, cb.dropped);
+  EXPECT_EQ(ca.duplicated, cb.duplicated);
+  EXPECT_EQ(ca.corrupted, cb.corrupted);
+  EXPECT_EQ(ca.delayed, cb.delayed);
+  // With p = 0.2 each over 500 messages, every fault class fires.
+  EXPECT_GT(ca.dropped, 0);
+  EXPECT_GT(ca.duplicated, 0);
+  EXPECT_GT(ca.corrupted, 0);
+  EXPECT_GT(ca.delayed, 0);
+}
+
+TEST(FaultInjector, FirstMatchingRuleApplies) {
+  FaultPlan plan;
+  FaultRule to_one = make_rule(1.0);  // everything to node 1 dies
+  to_one.dst = 1;
+  plan.rules.push_back(to_one);
+  plan.rules.push_back(make_rule(0.0));  // everything else is clean
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.process(make_msg(0, 1, MsgKind::kWrite)).empty());
+  EXPECT_EQ(inj.process(make_msg(0, 2, MsgKind::kWrite)).size(), 1u);
+  EXPECT_EQ(inj.counters().dropped, 1);
+}
+
+TEST(FaultInjector, KindFilterSelectsMessages) {
+  FaultPlan plan;
+  FaultRule r;
+  r.kind = MsgKind::kAck;
+  r.drop = 1.0;
+  plan.rules.push_back(r);
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.process(make_msg(0, 1, MsgKind::kAck)).empty());
+  EXPECT_EQ(inj.process(make_msg(0, 1, MsgKind::kWrite)).size(), 1u);
+}
+
+TEST(FaultInjector, DelayedMessageSlipsPastLaterSends) {
+  FaultPlan plan;
+  FaultRule r;
+  r.kind = MsgKind::kRead;
+  r.delay = 1.0;
+  r.delay_depth = 2;
+  plan.rules.push_back(r);
+  FaultInjector inj(plan);
+  // The read goes into limbo...
+  EXPECT_TRUE(inj.process(make_msg(0, 1, MsgKind::kRead)).empty());
+  EXPECT_EQ(inj.in_limbo(), 1u);
+  // ...one later send passes it, the second flushes it out first-in-order.
+  EXPECT_EQ(inj.process(make_msg(0, 1, MsgKind::kWrite)).size(), 1u);
+  const auto out = inj.process(make_msg(0, 1, MsgKind::kWrite));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, MsgKind::kRead);  // the delayed message, now matured
+  EXPECT_EQ(out[1].kind, MsgKind::kWrite);
+  EXPECT_EQ(inj.in_limbo(), 0u);
+  EXPECT_GT(inj.modeled_delay_us(), 0.0);
+}
+
+TEST(FaultInjector, PartitionsDropAndHeal) {
+  FaultInjector inj(FaultPlan{});
+  inj.isolate(3);
+  EXPECT_FALSE(inj.delivers(0, 3));
+  EXPECT_FALSE(inj.delivers(3, 0));
+  EXPECT_TRUE(inj.process(make_msg(0, 3, MsgKind::kWrite)).empty());
+  EXPECT_TRUE(inj.process(make_msg(3, 0, MsgKind::kAck)).empty());
+  inj.restore(3);
+  EXPECT_TRUE(inj.delivers(0, 3));
+  EXPECT_EQ(inj.process(make_msg(0, 3, MsgKind::kWrite)).size(), 1u);
+
+  inj.cut(1, 2);
+  EXPECT_FALSE(inj.delivers(2, 1));
+  EXPECT_TRUE(inj.delivers(1, 1));
+  EXPECT_TRUE(inj.process(make_msg(1, 2, MsgKind::kWrite)).empty());
+  inj.heal(1, 2);
+  EXPECT_EQ(inj.process(make_msg(1, 2, MsgKind::kWrite)).size(), 1u);
+  EXPECT_EQ(inj.counters().partition_dropped, 3);
+  EXPECT_EQ(inj.counters().dropped, 0);  // partitions are counted separately
+}
+
+TEST(FaultInjector, ShutdownIsImmuneOnTheNetwork) {
+  Network net(2);
+  FaultPlan plan;
+  plan.rules.push_back(make_rule(1.0));  // drop absolutely everything
+  net.install_faults(std::make_shared<FaultInjector>(plan));
+  ASSERT_TRUE(net.send(0, make_msg(0, 1, MsgKind::kWrite)));  // silently lost
+  ASSERT_TRUE(net.send(0, make_msg(0, 1, MsgKind::kShutdown)));
+  const auto got = net.inbox(1).receive();  // would hang if shutdown dropped
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, MsgKind::kShutdown);
+  net.close_all();
+}
+
+TEST(Channel, ReceiveForTimesOutAndDelivers) {
+  Channel ch;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.receive_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(15));
+  ASSERT_TRUE(ch.send(make_msg(0, 0, MsgKind::kAck)));
+  const auto got = ch.receive_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, MsgKind::kAck);
+  ch.close();
+  EXPECT_FALSE(ch.receive_for(std::chrono::milliseconds(5)).has_value());
+  EXPECT_TRUE(ch.closed());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hardening regressions
+// ---------------------------------------------------------------------------
+
+// Regression: a stray acknowledgment used to kill the client with
+// std::logic_error("unexpected message kind"); it must be discarded and
+// counted, and the access must still succeed.
+TEST(Reliability, StrayAckIsDiscardedNotFatal) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 8, 4));
+  auto& client = fs.client(0);
+  // Park a spurious ack (and a spurious read reply) in the client's inbox.
+  ASSERT_TRUE(fs.network().send(5, make_msg(5, 0, MsgKind::kAck)));
+  ASSERT_TRUE(fs.network().send(5, make_msg(5, 0, MsgKind::kReadReply, 4)));
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 8, 8, 4);
+  const std::int64_t vid = client.set_view(views[0], 64);
+  const Buffer data = make_pattern_buffer(16, 11);
+  Buffer back(16);
+  ASSERT_NO_THROW(client.write(vid, 0, 15, data));
+  ASSERT_NO_THROW(client.read(vid, 0, 15, back));
+  EXPECT_EQ(back, data);
+  EXPECT_GE(client.reliability().stale_replies, 2);
+  EXPECT_EQ(client.reliability().failures, 0);
+}
+
+// Regression: a crashed I/O node used to hang the client forever; it must
+// surface as a TimeoutError naming the unresponsive node after the retries
+// are exhausted — and the cluster must recover once the node restarts.
+TEST(Reliability, DeadNodeTimesOutNamingItThenRecovers) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 16, 4));
+  auto& client = fs.client(0);
+  RetryPolicy fast;
+  fast.base_timeout = std::chrono::milliseconds(20);
+  fast.max_timeout = std::chrono::milliseconds(60);
+  fast.max_attempts = 3;
+  client.set_retry_policy(fast);
+
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  const std::int64_t vid = client.set_view(views[0], 256);
+  const Buffer data = make_pattern_buffer(64, 21);
+
+  fs.crash_server(0);  // I/O node 4 serves subfile 0; the view touches it
+  try {
+    client.write(vid, 0, 63, data);
+    FAIL() << "write through a dead node did not time out";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("I/O node 4"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("3 attempts"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(client.reliability().timeouts, 2);
+  EXPECT_GE(client.reliability().failures, 1);
+
+  // Restart over the surviving storage: the new server has no projections,
+  // so the client's first request earns kUnknownView and transparently
+  // re-installs the view before resending.
+  fs.restart_server(0);
+  Buffer back(64);
+  ASSERT_NO_THROW(client.write(vid, 0, 63, data));
+  ASSERT_NO_THROW(client.read(vid, 0, 63, back));
+  EXPECT_EQ(back, data);
+  EXPECT_GE(client.reliability().view_reinstalls, 1);
+}
+
+// allow-partial mode: the same dead node degrades to per-subfile statuses
+// instead of throwing, and the healthy subfiles still complete.
+TEST(Reliability, AllowPartialReportsFailedTargets) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 16, 4));
+  auto& client = fs.client(0);
+  RetryPolicy fast;
+  fast.base_timeout = std::chrono::milliseconds(20);
+  fast.max_timeout = std::chrono::milliseconds(60);
+  fast.max_attempts = 2;
+  client.set_retry_policy(fast);
+  client.set_allow_partial(true);
+
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  const std::int64_t vid = client.set_view(views[1], 256);
+  fs.crash_server(1);  // node 5 = subfile 1; views touch all four subfiles
+  const Buffer data = make_pattern_buffer(64, 31);
+  const auto t = client.write(vid, 0, 63, data);
+  EXPECT_FALSE(t.ok());
+  ASSERT_EQ(t.per_subfile.size(), 4u);
+  int failed = 0;
+  for (const auto& s : t.per_subfile) {
+    if (s.status != AccessStatus::kFailed) continue;
+    ++failed;
+    EXPECT_EQ(s.io_node, 5);
+    EXPECT_TRUE(s.timed_out);
+    EXPECT_NE(s.error.find("I/O node 5"), std::string::npos) << s.error;
+  }
+  EXPECT_EQ(failed, 1);
+}
+
+TEST(Reliability, NoFaultPlanMeansZeroCountersEverywhere) {
+  Clusterfile fs(ClusterConfig{}, pattern2d(Partition2D::kRowBlocks, 16, 4));
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  for (int c = 0; c < 4; ++c) {
+    auto& client = fs.client(c);
+    const std::int64_t vid =
+        client.set_view(views[static_cast<std::size_t>(c)], 256);
+    const Buffer data = make_pattern_buffer(64, 100 + static_cast<unsigned>(c));
+    Buffer back(64);
+    const auto w = client.write(vid, 0, 63, data);
+    const auto r = client.read(vid, 0, 63, back);
+    EXPECT_EQ(back, data);
+    EXPECT_TRUE(w.rel.all_zero());
+    EXPECT_TRUE(r.rel.all_zero());
+    EXPECT_TRUE(w.ok());
+  }
+  EXPECT_TRUE(fs.client_reliability().all_zero());
+  EXPECT_TRUE(fs.server_reliability().all_zero());
+  EXPECT_EQ(fs.network().faults(), nullptr);
+  EXPECT_FALSE(fs.network().checksums_enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault soak
+// ---------------------------------------------------------------------------
+
+struct SoakMix {
+  const char* name;
+  FaultRule rule;
+};
+
+const SoakMix kMixes[] = {
+    {"drop", make_rule(0.05)},
+    {"duplicate", make_rule(0, 0.10)},
+    {"corrupt", make_rule(0, 0, 0.10)},
+    {"delay", make_rule(0, 0, 0, 0.20, /*delay_depth=*/2)},
+    {"storm", make_rule(0.03, 0.05, 0.05, 0.10)},
+};
+
+/// Runs the reference workload — every column-block view written from its
+/// own client, then read back — and returns the final subfile images.
+/// When `vids_out` is given, the per-client view ids are recorded so the
+/// caller can issue further accesses (e.g. the soak's drain barriers).
+std::vector<Buffer> run_workload(Clusterfile& fs, bool faulty,
+                                 std::vector<std::int64_t>* vids_out = nullptr) {
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  std::vector<Buffer> images;
+  for (int c = 0; c < 4; ++c) {
+    auto& client = fs.client(c);
+    if (faulty) client.set_retry_policy(soak_policy());
+    const std::int64_t vid =
+        client.set_view(views[static_cast<std::size_t>(c)], 256);
+    if (vids_out) vids_out->push_back(vid);
+    const Buffer data = make_pattern_buffer(64, 50 + static_cast<unsigned>(c));
+    client.write(vid, 0, 63, data);
+    Buffer back(64);
+    client.read(vid, 0, 63, back);
+    EXPECT_EQ(back, data) << "read-back mismatch on client " << c;
+  }
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const SubfileStorage& st = fs.subfile_storage(i);
+    Buffer img(static_cast<std::size_t>(st.size()));
+    if (!img.empty()) st.read(0, img);
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+TEST(FaultSoak, GridIsByteIdenticalToFaultFreeRun) {
+  const PartitioningPattern physical =
+      pattern2d(Partition2D::kRowBlocks, 16, 4);
+
+  // The fault-free reference images.
+  std::vector<Buffer> reference;
+  {
+    Clusterfile fs(ClusterConfig{}, physical);
+    reference = run_workload(fs, /*faulty=*/false);
+    ASSERT_TRUE(fs.client_reliability().all_zero());
+  }
+
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+  if (const char* env = std::getenv("PFM_FAULT_SEED"); env && *env)
+    seeds.push_back(std::strtoull(env, nullptr, 10));
+
+  // >= 20 (seed x mix) cells; every one must converge to identical bytes.
+  for (const std::uint64_t seed : seeds) {
+    for (const SoakMix& mix : kMixes) {
+      SCOPED_TRACE(std::string("mix=") + mix.name +
+                   " seed=" + std::to_string(seed));
+      Clusterfile fs(ClusterConfig{}, physical);
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.rules.push_back(mix.rule);
+      fs.install_faults(plan);
+
+      std::vector<std::int64_t> vids;
+      const std::vector<Buffer> images =
+          run_workload(fs, /*faulty=*/true, &vids);
+      ASSERT_EQ(images.size(), reference.size());
+      for (std::size_t i = 0; i < images.size(); ++i)
+        EXPECT_EQ(images[i], reference[i]) << "subfile " << i;
+
+      const auto inj = fs.faults().counters();
+
+      // Drain: a duplicate of a client's final exchange can still sit
+      // unconsumed in its inbox (or as a not-yet-replayed request in a
+      // server queue) when the workload returns. Swap in a clean wire and
+      // run barrier reads — each server finishes replaying queued
+      // duplicates before answering the barrier, and each client's
+      // receive loop consumes every leftover reply (counted stale)
+      // before its own. Only then is the duplicate accounting exact.
+      fs.install_faults(FaultPlan{});
+      for (int pass = 0; pass < 2; ++pass)
+        for (int c = 0; c < 4; ++c) {
+          Buffer scratch(64);
+          fs.client(c).read(vids[static_cast<std::size_t>(c)], 0, 63,
+                            scratch);
+        }
+
+      const ReliabilityCounters cli = fs.client_reliability();
+      const ReliabilityCounters srv = fs.server_reliability();
+      EXPECT_EQ(cli.failures, 0);
+      // Every probabilistic loss must have cost at least one retransmit.
+      if (mix.rule.duplicate == 0 && mix.rule.corrupt == 0 &&
+          mix.rule.delay == 0) {
+        EXPECT_GE(cli.retries, inj.dropped);
+      }
+      // Per-event accounting is airtight only when no fault can strand a
+      // message: delay can leave copies in limbo past the end of the run,
+      // and drop can eat the extra reply a replayed duplicate produced.
+      if (mix.rule.delay == 0) {
+        // Every bit flip the injector landed was caught by a checksum
+        // somewhere (the byte-identical images above prove none got
+        // through).
+        EXPECT_GE(cli.corruptions_detected + srv.corruptions_detected,
+                  inj.corrupted);
+        // Every duplicate surfaced as a server-side suppression or a
+        // client-side stale reply.
+        if (mix.rule.drop == 0) {
+          EXPECT_GE(srv.duplicates_suppressed + cli.stale_replies,
+                    inj.duplicated);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultSoak, CrashRestartMidWorkloadStaysByteIdentical) {
+  const PartitioningPattern physical =
+      pattern2d(Partition2D::kRowBlocks, 16, 4);
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  const Buffer data_a = make_pattern_buffer(64, 71);
+  const Buffer data_b = make_pattern_buffer(64, 72);
+
+  // Reference: both writes on a healthy cluster.
+  std::vector<Buffer> reference;
+  {
+    Clusterfile fs(ClusterConfig{}, physical);
+    auto& client = fs.client(0);
+    const std::int64_t v0 = client.set_view(views[0], 256);
+    const std::int64_t v1 = client.set_view(views[1], 256);
+    client.write(v0, 0, 63, data_a);
+    client.write(v1, 0, 63, data_b);
+    for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+      const SubfileStorage& st = fs.subfile_storage(i);
+      Buffer img(static_cast<std::size_t>(st.size()));
+      if (!img.empty()) st.read(0, img);
+      reference.push_back(std::move(img));
+    }
+  }
+
+  // Same workload with a crash/restart of I/O node 0 between the writes.
+  Clusterfile fs(ClusterConfig{}, physical);
+  auto& client = fs.client(0);
+  client.set_retry_policy(soak_policy());
+  const std::int64_t v0 = client.set_view(views[0], 256);
+  const std::int64_t v1 = client.set_view(views[1], 256);
+  client.write(v0, 0, 63, data_a);
+  fs.crash_server(0);
+  fs.restart_server(0);  // projections lost; storage survives
+  client.write(v1, 0, 63, data_b);  // recovers via kUnknownView re-install
+  Buffer back(64);
+  client.read(v0, 0, 63, back);
+  EXPECT_EQ(back, data_a);
+  client.read(v1, 0, 63, back);
+  EXPECT_EQ(back, data_b);
+
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const SubfileStorage& st = fs.subfile_storage(i);
+    Buffer img(static_cast<std::size_t>(st.size()));
+    if (!img.empty()) st.read(0, img);
+    EXPECT_EQ(img, reference[i]) << "subfile " << i;
+  }
+  EXPECT_GE(client.reliability().view_reinstalls, 1);
+  EXPECT_EQ(client.reliability().failures, 0);
+}
+
+}  // namespace
+}  // namespace pfm
