@@ -133,6 +133,9 @@ Json counters_json(const ReliabilityCounters& r) {
   j.set("duplicates_suppressed", Json::integer(r.duplicates_suppressed));
   j.set("failures", Json::integer(r.failures));
   j.set("errors_sent", Json::integer(r.errors_sent));
+  j.set("failovers", Json::integer(r.failovers));
+  j.set("degraded", Json::integer(r.degraded));
+  j.set("replica_failures", Json::integer(r.replica_failures));
   return j;
 }
 

@@ -1,0 +1,285 @@
+// Replica soak benchmark: the latency price of k-way subfile replication,
+// healthy and degraded. Three cells: replication=1 (the fault-free fast
+// path — every reliability counter must read zero), replication=2 with all
+// nodes up (fan-out write cost, zero failovers), and replication=2 with one
+// I/O node crashed between the seed write and the measured workload (writes
+// abandon the dead replica, reads fail over to a backup). The degraded cell
+// then restarts the dead node and reports the re-sync transfer (ranges,
+// bytes, wall time) plus the scrub pass that follows; the scrub after
+// recovery must come back clean, and neither fault-free cell may show
+// failover, degraded access, or repair work — any of those fails the run.
+// Emits BENCH_replica_soak.json. PFM_BENCH_QUICK=1 trims repetitions.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "clusterfile/fs.h"
+#include "layout/partitions2d.h"
+#include "util/buffer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace pfm;
+using namespace pfm::bench;
+
+constexpr int kNodes = 4;
+
+/// Short deadlines so a dead replica costs milliseconds, not the default
+/// backoff schedule — the degraded numbers stay comparable across machines.
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.base_timeout = std::chrono::milliseconds(20);
+  p.max_timeout = std::chrono::milliseconds(60);
+  p.max_attempts = 3;
+  return p;
+}
+
+struct Cell {
+  const char* name = "";
+  int replication = 1;
+  bool degrade = false;
+  Stats write_us;
+  Stats read_us;
+  ReliabilityCounters client;
+  ReliabilityCounters server;
+  std::int64_t bytes = 0;
+  // Accumulated over reps; resync only meaningful when degrade is set,
+  // scrub whenever replication > 1.
+  ResyncStats resync;
+  ScrubReport scrub;
+};
+
+/// One repetition: seed both replicas healthy, optionally crash I/O node 0,
+/// then run a timed write and a timed read of every client's column-block
+/// view (each access touches every subfile, so a dead primary degrades
+/// every client). Degraded reps finish with restart + re-sync + scrub.
+void run_rep(std::int64_t n, Cell& cell) {
+  const auto phys_elems =
+      partition2d_all(Partition2D::kRowBlocks, n, n, kNodes);
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, n, n, kNodes);
+  const std::int64_t view_bytes = n * n / kNodes;
+
+  ClusterConfig cfg;
+  cfg.compute_nodes = kNodes;
+  cfg.io_nodes = kNodes;
+  cfg.replication = cell.replication;
+  Clusterfile fs(cfg,
+                 PartitioningPattern({phys_elems.begin(), phys_elems.end()}, 0));
+
+  // Two data generations: the seed generation reaches every replica while
+  // the cluster is whole; the measured generation changes every byte, so a
+  // crashed replica really misses it and re-sync has work to do.
+  std::vector<Buffer> seed(kNodes), data(kNodes);
+  for (int c = 0; c < kNodes; ++c) {
+    seed[static_cast<std::size_t>(c)] =
+        make_pattern_buffer(static_cast<std::size_t>(view_bytes),
+                            static_cast<std::uint64_t>(c) + 100);
+    data[static_cast<std::size_t>(c)] =
+        make_pattern_buffer(static_cast<std::size_t>(view_bytes),
+                            static_cast<std::uint64_t>(c) + 1);
+  }
+  std::vector<std::int64_t> vids(kNodes);
+  for (int c = 0; c < kNodes; ++c) {
+    auto& client = fs.client(c);
+    client.set_retry_policy(fast_policy());
+    vids[static_cast<std::size_t>(c)] =
+        client.set_view(views[static_cast<std::size_t>(c)], n * n);
+  }
+
+  std::vector<Buffer> back(kNodes);
+  const auto run_phase = [&](bool writing, const std::vector<Buffer>& gen) {
+    Timer t;
+    std::vector<std::thread> workers;
+    workers.reserve(kNodes);
+    for (int c = 0; c < kNodes; ++c) {
+      workers.emplace_back([&, c] {
+        auto& client = fs.client(c);
+        const std::size_t k = static_cast<std::size_t>(c);
+        if (writing) {
+          client.write(vids[k], 0, view_bytes - 1, gen[k]);
+        } else {
+          back[k].assign(static_cast<std::size_t>(view_bytes), std::byte{0});
+          client.read(vids[k], 0, view_bytes - 1, back[k]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    return t.elapsed_us();
+  };
+  const auto verify = [&](const std::vector<Buffer>& want, const char* when) {
+    for (int c = 0; c < kNodes; ++c)
+      if (back[static_cast<std::size_t>(c)] !=
+          want[static_cast<std::size_t>(c)]) {
+        std::fprintf(stderr, "FATAL: read-back mismatch (%s, cell %s)\n", when,
+                     cell.name);
+        std::exit(1);
+      }
+  };
+
+  run_phase(/*writing=*/true, seed);
+  if (cell.degrade) fs.crash_server(0);
+
+  cell.write_us.add(run_phase(/*writing=*/true, data));
+  cell.read_us.add(run_phase(/*writing=*/false, data));
+  verify(data, "degraded read");
+  cell.bytes += 2 * view_bytes * kNodes;
+
+  if (cell.degrade) {
+    const ResyncStats rs = fs.restart_server(0);
+    cell.resync.subfiles += rs.subfiles;
+    cell.resync.ranges += rs.ranges;
+    cell.resync.bytes += rs.bytes;
+    cell.resync.full_transfers += rs.full_transfers;
+    cell.resync.failures += rs.failures;
+    cell.resync.elapsed_us += rs.elapsed_us;
+  }
+  if (cell.replication > 1) {
+    const ScrubReport sr = fs.scrub();
+    cell.scrub.blocks_checked += sr.blocks_checked;
+    cell.scrub.divergent_blocks += sr.divergent_blocks;
+    cell.scrub.unreadable_blocks += sr.unreadable_blocks;
+    cell.scrub.repaired_blocks += sr.repaired_blocks;
+    cell.scrub.unrepaired_blocks += sr.unrepaired_blocks;
+    if (cell.degrade && !sr.clean()) {
+      std::fprintf(stderr, "FATAL: scrub after re-sync found damage\n");
+      std::exit(1);
+    }
+  }
+  if (cell.degrade) {
+    // The recovered cluster must serve the latest generation again, now
+    // from a whole replica set.
+    run_phase(/*writing=*/false, data);
+    verify(data, "post-recovery read");
+  }
+
+  cell.client += fs.client_reliability();
+  cell.server += fs.server_reliability();
+}
+
+Json counters_json(const ReliabilityCounters& r) {
+  Json j = Json::object();
+  j.set("retries", Json::integer(r.retries));
+  j.set("timeouts", Json::integer(r.timeouts));
+  j.set("stale_replies", Json::integer(r.stale_replies));
+  j.set("corruptions_detected", Json::integer(r.corruptions_detected));
+  j.set("view_reinstalls", Json::integer(r.view_reinstalls));
+  j.set("duplicates_suppressed", Json::integer(r.duplicates_suppressed));
+  j.set("failures", Json::integer(r.failures));
+  j.set("errors_sent", Json::integer(r.errors_sent));
+  j.set("failovers", Json::integer(r.failovers));
+  j.set("degraded", Json::integer(r.degraded));
+  j.set("replica_failures", Json::integer(r.replica_failures));
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("PFM_BENCH_QUICK") != nullptr;
+  const std::int64_t n = quick ? 128 : 256;
+  const int reps = quick ? 2 : 5;
+
+  std::vector<Cell> cells(3);
+  cells[0].name = "baseline";
+  cells[0].replication = 1;
+  cells[1].name = "healthy";
+  cells[1].replication = 2;
+  cells[2].name = "degraded";
+  cells[2].replication = 2;
+  cells[2].degrade = true;
+  for (Cell& cell : cells)
+    for (int rep = 0; rep < reps; ++rep) run_rep(n, cell);
+
+  std::printf("Replica soak: %lldx%lld matrix, %d reps per cell\n",
+              static_cast<long long>(n), static_cast<long long>(n), reps);
+  std::printf("%-9s %5s %11s %11s %10s %9s %10s\n", "cell", "repl",
+              "write ms", "read ms", "failovers", "degraded", "repl.fail");
+  for (const Cell& cell : cells)
+    std::printf("%-9s %5d %11.2f %11.2f %10lld %9lld %10lld\n", cell.name,
+                cell.replication, cell.write_us.median() / 1000.0,
+                cell.read_us.median() / 1000.0,
+                static_cast<long long>(cell.client.failovers),
+                static_cast<long long>(cell.client.degraded),
+                static_cast<long long>(cell.client.replica_failures));
+  const Cell& deg = cells[2];
+  std::printf(
+      "re-sync: %d subfiles, %lld ranges, %lld bytes, %d full, %.1f ms\n",
+      deg.resync.subfiles, static_cast<long long>(deg.resync.ranges),
+      static_cast<long long>(deg.resync.bytes), deg.resync.full_transfers,
+      static_cast<double>(deg.resync.elapsed_us) / 1000.0);
+  std::printf(
+      "scrub after re-sync: %lld blocks, %lld divergent, %lld unreadable, "
+      "%lld repaired\n",
+      static_cast<long long>(deg.scrub.blocks_checked),
+      static_cast<long long>(deg.scrub.divergent_blocks),
+      static_cast<long long>(deg.scrub.unreadable_blocks),
+      static_cast<long long>(deg.scrub.repaired_blocks));
+
+  // Fault-free rows must show no reliability work: the replication=1 cell
+  // runs the PR-3 fast path (all counters zero), and the healthy
+  // replication=2 cell may pay fan-out but never failover, degraded access,
+  // failed targets, or scrub repairs.
+  if (!cells[0].client.all_zero() || !cells[0].server.all_zero()) {
+    std::fprintf(stderr,
+                 "FATAL: nonzero reliability counters at replication=1\n");
+    return 1;
+  }
+  const Cell& healthy = cells[1];
+  if (healthy.client.failovers != 0 || healthy.client.degraded != 0 ||
+      healthy.client.replica_failures != 0 || healthy.client.failures != 0 ||
+      healthy.scrub.repaired_blocks != 0 || healthy.scrub.divergent_blocks != 0 ||
+      healthy.scrub.unreadable_blocks != 0) {
+    std::fprintf(stderr,
+                 "FATAL: healthy replication cell shows failover or repair "
+                 "work\n");
+    return 1;
+  }
+  if (deg.resync.failures != 0) {
+    std::fprintf(stderr, "FATAL: re-sync failed for %d subfiles\n",
+                 deg.resync.failures);
+    return 1;
+  }
+
+  Json arr = Json::array();
+  for (const Cell& cell : cells) {
+    Json j = Json::object();
+    j.set("cell", Json::string(cell.name));
+    j.set("replication", Json::integer(cell.replication));
+    j.set("degraded_run", Json::boolean(cell.degrade));
+    j.set("write_us", Json::summary(cell.write_us));
+    j.set("read_us", Json::summary(cell.read_us));
+    j.set("bytes", Json::integer(cell.bytes));
+    j.set("client", counters_json(cell.client));
+    j.set("server", counters_json(cell.server));
+    if (cell.degrade) {
+      Json rs = Json::object();
+      rs.set("subfiles", Json::integer(cell.resync.subfiles));
+      rs.set("ranges", Json::integer(cell.resync.ranges));
+      rs.set("bytes", Json::integer(cell.resync.bytes));
+      rs.set("full_transfers", Json::integer(cell.resync.full_transfers));
+      rs.set("failures", Json::integer(cell.resync.failures));
+      rs.set("elapsed_us", Json::integer(cell.resync.elapsed_us));
+      j.set("resync", std::move(rs));
+    }
+    if (cell.replication > 1) {
+      Json sc = Json::object();
+      sc.set("blocks_checked", Json::integer(cell.scrub.blocks_checked));
+      sc.set("divergent_blocks", Json::integer(cell.scrub.divergent_blocks));
+      sc.set("unreadable_blocks", Json::integer(cell.scrub.unreadable_blocks));
+      sc.set("repaired_blocks", Json::integer(cell.scrub.repaired_blocks));
+      sc.set("unrepaired_blocks", Json::integer(cell.scrub.unrepaired_blocks));
+      j.set("scrub", std::move(sc));
+    }
+    arr.push(std::move(j));
+  }
+  Json root = Json::object();
+  root.set("bench", Json::string("replica_soak"));
+  root.set("n", Json::integer(n));
+  root.set("repetitions", Json::integer(reps));
+  root.set("cells", std::move(arr));
+  write_bench_json("replica_soak", root);
+  return 0;
+}

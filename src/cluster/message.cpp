@@ -13,6 +13,8 @@ const char* to_string(MsgKind k) {
     case MsgKind::kAck: return "ACK";
     case MsgKind::kError: return "ERROR";
     case MsgKind::kShutdown: return "SHUTDOWN";
+    case MsgKind::kSyncRequest: return "SYNC_REQUEST";
+    case MsgKind::kSyncReply: return "SYNC_REPLY";
   }
   return "?";
 }
@@ -24,6 +26,8 @@ const char* to_string(ErrCode e) {
     case ErrCode::kUnknownSubfile: return "UNKNOWN_SUBFILE";
     case ErrCode::kBadChecksum: return "BAD_CHECKSUM";
     case ErrCode::kMalformed: return "MALFORMED";
+    case ErrCode::kCorruptData: return "CORRUPT_DATA";
+    case ErrCode::kIoError: return "IO_ERROR";
   }
   return "?";
 }

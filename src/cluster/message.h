@@ -28,6 +28,10 @@ enum class MsgKind : std::uint8_t {
   kAck,          ///< server -> client: write/view acknowledgment
   kError,        ///< server -> client: request failed; meta holds the reason
   kShutdown,     ///< stop the server loop (immune to fault injection)
+  kSyncRequest,  ///< server -> server: restarted replica asks a peer for the
+                 ///< write ranges it missed; v carries the requester's epoch
+  kSyncReply,    ///< server -> server: missed ranges (meta "off:len;..." +
+                 ///< concatenated payload); v carries the peer's epoch
 };
 
 const char* to_string(MsgKind k);
@@ -42,6 +46,11 @@ enum class ErrCode : std::uint8_t {
   kUnknownSubfile,  ///< request routed to a node not serving that subfile
   kBadChecksum,     ///< request arrived corrupted — recoverable: resend
   kMalformed,       ///< request failed validation; not retryable
+  kCorruptData,     ///< at-rest data failed its block checksum — terminal for
+                    ///< this replica: re-reading cannot fix persistent rot,
+                    ///< so the client fails over instead of resending
+  kIoError,         ///< storage returned EIO — recoverable: resend (errors
+                    ///< are never reply-cached, so the retry re-executes)
 };
 
 const char* to_string(ErrCode e);

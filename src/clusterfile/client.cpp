@@ -35,6 +35,20 @@ ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
     throw std::invalid_argument("ClusterfileClient: no physical pattern");
   if (meta_.io_nodes.size() != meta_.physical->element_count())
     throw std::invalid_argument("ClusterfileClient: io_nodes count mismatch");
+  if (meta_.replicas.empty()) {
+    // No replication: every subfile lives only on its primary.
+    meta_.replicas.reserve(meta_.io_nodes.size());
+    for (const int node : meta_.io_nodes)
+      meta_.replicas.push_back({node});
+  } else {
+    if (meta_.replicas.size() != meta_.io_nodes.size())
+      throw std::invalid_argument("ClusterfileClient: replicas count mismatch");
+    for (std::size_t i = 0; i < meta_.replicas.size(); ++i)
+      if (meta_.replicas[i].empty() ||
+          meta_.replicas[i][0] != meta_.io_nodes[i])
+        throw std::invalid_argument(
+            "ClusterfileClient: replica list must start with the primary");
+  }
 }
 
 std::int64_t ClusterfileClient::set_view(FallsSet falls,
@@ -75,7 +89,8 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
   }
 
   Timer total;
-  std::vector<Message> to_send;
+  std::vector<TxReq> to_send;
+  std::vector<std::size_t> req_target;  // request index -> target index
   {
     // t_i: intersections and projections only (paper table 1). Each
     // subfile's V∩S is independent of every other's, so the loop fans out
@@ -96,6 +111,7 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
       Slot& s = slots[j];
       s.target.subfile = j;
       s.target.io_node = meta_.io_nodes[j];
+      s.target.replicas = meta_.replicas[j];
       s.target.proj_v = IndexSet(pv.falls, pv.period);
       s.target.sub_period_bytes = state.replay_period > 0 ? sub_period[j] : 0;
       s.target.proj_meta = serialize(ps.falls);
@@ -111,8 +127,18 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
     });
     for (Slot& s : slots) {
       if (!s.used) continue;
+      // The view install fans out to every replica of the subfile, so a
+      // backup can serve reads and absorb writes without a re-install.
+      const std::size_t group = state.targets.size();
+      for (const int node : s.target.replicas) {
+        TxReq req;
+        req.msg = s.msg;
+        req.msg.dst_node = node;
+        req.group = group;
+        to_send.push_back(std::move(req));
+        req_target.push_back(group);
+      }
       state.targets.push_back(std::move(s.target));
-      to_send.push_back(std::move(s.msg));
     }
     t_i_us_ = t.elapsed_us();
   }
@@ -123,16 +149,17 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
     const std::vector<SubTarget>& targets = state.targets;
     AccessTimings vt;
     transact(
-        std::move(to_send), MsgKind::kAck,
+        std::move(to_send), targets.size(), MsgKind::kAck,
         /*rebuild=*/
         [&](std::size_t i) {
+          const SubTarget& st = targets[req_target[i]];
           Message msg;
           msg.kind = MsgKind::kSetView;
-          msg.dst_node = targets[i].io_node;
-          msg.subfile = static_cast<int>(targets[i].subfile);
+          msg.dst_node = st.io_node;
+          msg.subfile = static_cast<int>(st.subfile);
           msg.view_id = new_view_id;
-          msg.meta = targets[i].proj_meta;
-          msg.v = targets[i].proj_period;
+          msg.meta = st.proj_meta;
+          msg.v = st.proj_period;
           return msg;
         },
         /*reinstall=*/[](std::size_t) { return std::nullopt; }, vt, nullptr);
@@ -221,26 +248,45 @@ void ClusterfileClient::seal(Message& msg, std::uint64_t req_id) {
 }
 
 void ClusterfileClient::transact(
-    std::vector<Message> initial, MsgKind expected,
+    std::vector<TxReq> reqs, std::size_t group_count, MsgKind expected,
     const std::function<Message(std::size_t)>& rebuild,
     const std::function<std::optional<Message>(std::size_t)>& reinstall,
     AccessTimings& t, std::vector<Message>* replies) {
   using clock = std::chrono::steady_clock;
-  const std::size_t n = initial.size();
+  const std::size_t n = reqs.size();
   if (replies != nullptr) replies->assign(n, Message{});
-  t.per_subfile.assign(n, SubfileAccess{});
+  t.per_subfile.assign(group_count, SubfileAccess{});
+
+  /// Per-group (per-target) outcome accumulator: a group succeeds while at
+  /// least one of its requests completes, degrades when a replica is lost
+  /// along the way, and fails only when every request is abandoned.
+  struct GroupState {
+    int total = 0;
+    int ok = 0;
+    int failed = 0;
+    int failovers = 0;
+    int max_attempts = 1;
+    int served_by = -1;  ///< last node that answered
+    bool retried = false;
+    bool timed_out = false;
+    std::string error;  ///< first failure reason
+  };
+  std::vector<GroupState> groups(group_count);
 
   /// In-flight request bookkeeping, keyed by req_id. An `aux` entry is a
   /// kSetView re-install launched to recover a primary request from
   /// kUnknownView; its `partner` is the paused primary's req_id (and vice
-  /// versa while the primary waits).
+  /// versa while the primary waits). `io_node` is the node currently
+  /// serving the request — a failover retargets it down `backups`.
   struct Pend {
     std::size_t index = 0;
+    std::size_t group = 0;
     bool is_aux = false;
     bool waiting_view = false;
     std::uint64_t partner = 0;
     int attempts = 1;
     int io_node = -1;
+    std::vector<int> backups;
     clock::time_point deadline;
   };
   std::unordered_map<std::uint64_t, Pend> pend;
@@ -254,33 +300,72 @@ void ClusterfileClient::transact(
         static_cast<std::int64_t>(std::max(0.1, ms) * 1e6));
   };
   const auto make_request = [&](const Pend& p) {
-    if (!p.is_aux) return rebuild(p.index);
-    std::optional<Message> m = reinstall(p.index);
-    PFM_CHECK(m.has_value(), "transact: lost re-install template");
-    return std::move(*m);
+    Message m;
+    if (!p.is_aux) {
+      m = rebuild(p.index);
+    } else {
+      std::optional<Message> r = reinstall(p.index);
+      PFM_CHECK(r.has_value(), "transact: lost re-install template");
+      m = std::move(*r);
+    }
+    // transact owns routing: after a failover the regenerated message goes
+    // to the replica now serving the request, not the original target.
+    m.dst_node = p.io_node;
+    return m;
   };
-  const auto fail_primary = [&](std::uint64_t id, const std::string& why,
+  const auto fail_request = [&](std::uint64_t id, const std::string& why,
                                 bool timed_out) {
     const auto it = pend.find(id);
     if (it == pend.end()) return;
-    SubfileAccess& s = t.per_subfile[it->second.index];
-    s.status = AccessStatus::kFailed;
-    s.attempts = it->second.attempts;
-    s.timed_out = timed_out;
-    s.error = why;
-    ++t.rel.failures;
+    Pend& p = it->second;
+    GroupState& g = groups[p.group];
+    ++g.failed;
+    g.max_attempts = std::max(g.max_attempts, p.attempts);
+    if (g.error.empty()) {
+      g.error = why;
+      g.timed_out = timed_out;
+    }
     pend.erase(it);
+  };
+  // Terminal outcome for a request on its current node: fail over to the
+  // next backup replica when one remains, otherwise record the loss.
+  const auto fail_or_failover = [&](std::uint64_t id, const std::string& why,
+                                    bool timed_out) {
+    const auto it = pend.find(id);
+    if (it == pend.end()) return;
+    Pend& p = it->second;
+    if (p.backups.empty()) {
+      fail_request(id, why, timed_out);
+      return;
+    }
+    GroupState& g = groups[p.group];
+    ++g.failovers;
+    ++t.rel.failovers;
+    g.max_attempts = std::max(g.max_attempts, p.attempts);
+    p.io_node = p.backups.front();
+    p.backups.erase(p.backups.begin());
+    p.attempts = 1;
+    p.waiting_view = false;
+    Message msg = make_request(p);
+    seal(msg, id);  // same req_id: a late reply from the old node is stale
+    p.deadline = clock::now() + timeout_for(1);
+    send_or_throw(std::move(msg));
   };
 
   for (std::size_t i = 0; i < n; ++i) {
-    Message msg = std::move(initial[i]);
+    Message msg = std::move(reqs[i].msg);
     const std::uint64_t id = next_req_id();
     Pend p;
     p.index = i;
+    p.group = reqs[i].group;
     p.io_node = msg.dst_node;
+    p.backups = std::move(reqs[i].backups);
     p.deadline = clock::now() + timeout_for(1);
-    t.per_subfile[i].subfile = msg.subfile;
-    t.per_subfile[i].io_node = msg.dst_node;
+    GroupState& g = groups[p.group];
+    ++g.total;
+    SubfileAccess& s = t.per_subfile[p.group];
+    s.subfile = msg.subfile;
+    if (g.total == 1) s.io_node = msg.dst_node;  // the primary names the group
     seal(msg, id);
     pend.emplace(id, p);
     send_or_throw(std::move(msg));
@@ -311,9 +396,9 @@ void ClusterfileClient::transact(
           if (p.is_aux) {
             const std::uint64_t parent = p.partner;
             pend.erase(it);
-            fail_primary(parent, why, /*timed_out=*/true);
+            fail_or_failover(parent, why, /*timed_out=*/true);
           } else {
-            fail_primary(id, why, /*timed_out=*/true);
+            fail_or_failover(id, why, /*timed_out=*/true);
           }
           continue;
         }
@@ -373,23 +458,30 @@ void ClusterfileClient::transact(
           const std::uint64_t aux_id = next_req_id();
           Pend aux;
           aux.index = p.index;
+          aux.group = p.group;
           aux.is_aux = true;
           aux.partner = msg->req_id;
-          aux.io_node = setv->dst_node;
+          // The re-install goes to whichever replica is serving the
+          // request right now, not the original primary.
+          aux.io_node = p.io_node;
           aux.deadline = clock::now() + timeout_for(1);
           p.waiting_view = true;
           p.partner = aux_id;
           Message m = std::move(*setv);
+          m.dst_node = p.io_node;
           seal(m, aux_id);
           pend.emplace(aux_id, aux);
           send_or_throw(std::move(m));
           continue;
         }
       }
-      if (msg->err == ErrCode::kBadChecksum &&
+      if ((msg->err == ErrCode::kBadChecksum ||
+           msg->err == ErrCode::kIoError) &&
           p.attempts < policy_.max_attempts) {
-        // The server caught a corrupted request: resend it.
-        ++t.rel.corruptions_detected;
+        // The server caught a corrupted request (resend it) or its storage
+        // EIO'd transiently (errors are never reply-cached, so the resend
+        // re-executes).
+        if (msg->err == ErrCode::kBadChecksum) ++t.rel.corruptions_detected;
         ++p.attempts;
         ++t.rel.retries;
         Message resend = make_request(p);
@@ -398,13 +490,17 @@ void ClusterfileClient::transact(
         send_or_throw(std::move(resend));
         continue;
       }
-      const std::string why = "server reported: " + msg->meta;
+      // Terminal for this replica — including kCorruptData, where a resend
+      // would re-read the same rotten bytes: move to a backup if one is
+      // left.
+      const std::string why =
+          "server reported " + std::string(to_string(msg->err)) + ": " + msg->meta;
       if (p.is_aux) {
         const std::uint64_t parent = p.partner;
         pend.erase(it);
-        fail_primary(parent, why, /*timed_out=*/false);
+        fail_or_failover(parent, why, /*timed_out=*/false);
       } else {
-        fail_primary(msg->req_id, why, /*timed_out=*/false);
+        fail_or_failover(msg->req_id, why, /*timed_out=*/false);
       }
       continue;
     }
@@ -434,11 +530,40 @@ void ClusterfileClient::transact(
       ++t.rel.stale_replies;
       continue;
     }
-    SubfileAccess& s = t.per_subfile[p.index];
-    s.attempts = p.attempts;
-    s.status = p.attempts > 1 ? AccessStatus::kRetried : AccessStatus::kOk;
+    GroupState& g = groups[p.group];
+    ++g.ok;
+    g.max_attempts = std::max(g.max_attempts, p.attempts);
+    if (p.attempts > 1) g.retried = true;
+    g.served_by = p.io_node;
     if (replies != nullptr) (*replies)[p.index] = std::move(*msg);
     pend.erase(it);
+  }
+
+  // Collapse per-request outcomes into one status per group: an access is
+  // kFailed only when a target lost *every* replica; losing some — or
+  // serving a read from a backup — is kDegraded, correct data at a
+  // reliability cost.
+  for (std::size_t gi = 0; gi < group_count; ++gi) {
+    const GroupState& g = groups[gi];
+    SubfileAccess& s = t.per_subfile[gi];
+    s.attempts = g.max_attempts;
+    s.failovers = g.failovers;
+    s.replicas_failed = g.failed;
+    if (g.total == 0) continue;
+    if (g.ok == 0) {
+      s.status = AccessStatus::kFailed;
+      s.timed_out = g.timed_out;
+      s.error = g.error;
+      ++t.rel.failures;
+    } else if (g.failed > 0 || g.failovers > 0) {
+      s.status = AccessStatus::kDegraded;
+      if (g.served_by >= 0) s.io_node = g.served_by;
+      s.error = g.error;
+      ++t.rel.degraded;
+      t.rel.replica_failures += g.failed;
+    } else {
+      s.status = g.retried ? AccessStatus::kRetried : AccessStatus::kOk;
+    }
   }
 
   rel_ += t.rel;
@@ -486,11 +611,17 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     return msg;
   };
 
-  // Build the messages; gathering is the t_g phase (a single untimed
-  // memcpy on the contiguous fast path, as in the paper).
-  std::vector<Message> msgs;
-  msgs.reserve(plan->targets.size());
-  for (const PlanTarget& pt : plan->targets) {
+  // Build the requests; gathering is the t_g phase (a single untimed
+  // memcpy on the contiguous fast path, as in the paper). Writes fan out to
+  // every replica of their target: each gathers once, backups reuse the
+  // primary's payload by copy.
+  std::vector<TxReq> reqs;
+  std::vector<std::size_t> req_target;  // request index -> plan target index
+  reqs.reserve(plan->targets.size());
+  for (std::size_t k = 0; k < plan->targets.size(); ++k) {
+    const PlanTarget& pt = plan->targets[k];
+    const std::vector<int>& reps =
+        state.targets[pt.target_index].replicas;
     Message msg = make_write(pt);
     if (pt.runs.contiguous) {
       gather_runs(msg.payload, data, pt.runs);
@@ -500,9 +631,16 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
       out.t_g_us += t.elapsed_us();
     }
     out.bytes += pt.runs.bytes;
-    msgs.push_back(std::move(msg));
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      TxReq req;
+      req.msg = r + 1 < reps.size() ? msg : std::move(msg);
+      req.msg.dst_node = reps[r];
+      req.group = k;
+      reqs.push_back(std::move(req));
+      req_target.push_back(k);
+    }
   }
-  out.messages = static_cast<std::int64_t>(msgs.size());
+  out.messages = static_cast<std::int64_t>(reqs.size());
 
   {
     // t_w: first request sent -> last acknowledgment received. Retransmits
@@ -510,17 +648,18 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     // the fault-free path never copies a payload it doesn't have to.
     Timer t;
     transact(
-        std::move(msgs), MsgKind::kAck,
+        std::move(reqs), plan->targets.size(), MsgKind::kAck,
         /*rebuild=*/
         [&](std::size_t i) {
-          const PlanTarget& pt = plan->targets[i];
+          const PlanTarget& pt = plan->targets[req_target[i]];
           Message msg = make_write(pt);
           gather_runs(msg.payload, data, pt.runs);
           return msg;
         },
         /*reinstall=*/
         [&](std::size_t i) -> std::optional<Message> {
-          const SubTarget& st = state.targets[plan->targets[i].target_index];
+          const SubTarget& st =
+              state.targets[plan->targets[req_target[i]].target_index];
           Message msg;
           msg.kind = MsgKind::kSetView;
           msg.dst_node = st.io_node;
@@ -564,16 +703,27 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     return msg;
   };
 
-  std::vector<Message> msgs;
-  msgs.reserve(plan->targets.size());
-  for (const PlanTarget& pt : plan->targets) msgs.push_back(make_read(pt));
-  out.messages = static_cast<std::int64_t>(msgs.size());
+  // One request per target, aimed at the primary, with the remaining
+  // replicas as the failover chain: a read retargets to a backup when its
+  // current node is given up on, completing kDegraded instead of kFailed.
+  std::vector<TxReq> reqs;
+  reqs.reserve(plan->targets.size());
+  for (std::size_t k = 0; k < plan->targets.size(); ++k) {
+    const PlanTarget& pt = plan->targets[k];
+    const std::vector<int>& reps = state.targets[pt.target_index].replicas;
+    TxReq req;
+    req.msg = make_read(pt);
+    req.group = k;
+    req.backups.assign(reps.begin() + 1, reps.end());
+    reqs.push_back(std::move(req));
+  }
+  out.messages = static_cast<std::int64_t>(reqs.size());
 
   std::vector<Message> replies;
   {
     Timer t;
     transact(
-        std::move(msgs), MsgKind::kReadReply,
+        std::move(reqs), plan->targets.size(), MsgKind::kReadReply,
         /*rebuild=*/
         [&](std::size_t i) { return make_read(plan->targets[i]); },
         /*reinstall=*/
@@ -595,10 +745,16 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
   // Scatter every reply into the caller's buffer through the plan's run
   // lists (the t_g analog on the read path). transact returns replies in
   // request order, so reply i belongs to plan target i; failed targets
-  // (allow-partial mode) are skipped and leave their bytes untouched.
+  // (allow-partial mode) zero-fill their destination ranges so the caller
+  // sees deterministic bytes, never stale buffer contents (see read()).
   for (std::size_t i = 0; i < plan->targets.size(); ++i) {
-    if (out.per_subfile[i].status == AccessStatus::kFailed) continue;
     const PlanTarget& pt = plan->targets[i];
+    if (out.per_subfile[i].status == AccessStatus::kFailed) {
+      for (const MaterializedRun& run : pt.runs.runs)
+        std::memset(out_buf.data() + run.rel_lo, 0,
+                    static_cast<std::size_t>(run.len));
+      continue;
+    }
     const Message& reply = replies[i];
     PFM_DCHECK(static_cast<std::int64_t>(reply.payload.size()) == pt.runs.bytes,
                "read: subfile ", reply.subfile, " returned ",

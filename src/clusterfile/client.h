@@ -25,6 +25,15 @@
 // stays unresponsive past RetryPolicy::max_attempts either fails the
 // access with a TimeoutError naming the node (default) or, with
 // set_allow_partial(true), degrades to a per-subfile kFailed status.
+//
+// Replication (DESIGN.md "Failure model"): when FileMeta::replicas places a
+// subfile on more than one I/O node, writes and view installations fan out
+// to every replica, and reads fail over along the replica chain when the
+// serving node is given up on (timeout after max_attempts, or a terminal
+// error such as kCorruptData). An access that loses replicas but keeps at
+// least one healthy copy per target completes with AccessStatus::kDegraded
+// — degraded-but-correct, never an exception — and the failover/degraded/
+// replica_failures counters record the cost.
 #pragma once
 
 #include <chrono>
@@ -49,6 +58,10 @@ namespace pfm {
 struct FileMeta {
   std::shared_ptr<const PartitioningPattern> physical;
   std::vector<int> io_nodes;  ///< io_nodes[i] serves subfile i
+  /// Replica placement: replicas[i] lists every node holding subfile i,
+  /// primary first (replicas[i][0] == io_nodes[i]). Empty means no
+  /// replication; the client synthesizes single-node lists.
+  std::vector<std::vector<int>> replicas;
 };
 
 /// Thrown when an I/O node stays unresponsive after every retry: the
@@ -69,18 +82,23 @@ struct RetryPolicy {
 
 /// Outcome of one subfile's part of an access.
 enum class AccessStatus : std::uint8_t {
-  kOk,       ///< first attempt succeeded
-  kRetried,  ///< succeeded after at least one retransmit or recovery
-  kFailed,   ///< gave up after max_attempts (see SubfileAccess::error)
+  kOk,        ///< first attempt succeeded on every replica
+  kRetried,   ///< succeeded after at least one retransmit or recovery
+  kDegraded,  ///< correct data, but a replica was lost: a read failed over
+              ///< to a backup, or a write abandoned part of its fan-out
+  kFailed,    ///< every replica gave up (see SubfileAccess::error)
 };
 
 struct SubfileAccess {
   int subfile = 0;
-  int io_node = -1;
+  int io_node = -1;        ///< node that served the access (after failover:
+                           ///< the backup that answered)
   AccessStatus status = AccessStatus::kOk;
-  int attempts = 1;
+  int attempts = 1;        ///< max delivery attempts over the replica set
   bool timed_out = false;  ///< kFailed because the node stopped answering
-  std::string error;       ///< empty unless kFailed
+  std::string error;       ///< failure reason; empty when kOk/kRetried
+  int failovers = 0;       ///< times the request moved to a backup replica
+  int replicas_failed = 0; ///< fan-out replicas abandoned after all retries
 };
 
 class ClusterfileClient {
@@ -126,6 +144,12 @@ class ClusterfileClient {
                       std::span<const std::byte> data);
 
   /// Reads the view range [v, w] into `out`.
+  ///
+  /// Partial-failure contract (allow_partial mode): targets whose status is
+  /// AccessStatus::kFailed have their destination ranges in `out`
+  /// zero-filled — the caller always sees deterministic bytes for every
+  /// requested position, never stale buffer contents. kDegraded targets
+  /// carry correct data served by a backup replica.
   AccessTimings read(std::int64_t view_id, std::int64_t v, std::int64_t w,
                      std::span<std::byte> out);
 
@@ -159,6 +183,8 @@ class ClusterfileClient {
   struct SubTarget {
     std::size_t subfile = 0;
     int io_node = -1;
+    std::vector<int> replicas;  ///< every node holding the subfile, primary
+                                ///< first (from FileMeta::replicas)
     IndexSet proj_v;  ///< PROJ_V^{V∩S} in view space
     /// Subfile bytes per view replay period (see ViewState::replay_period):
     /// shifting an access by one replay period shifts its subfile interval
@@ -230,15 +256,32 @@ class ClusterfileClient {
   AccessPlan build_plan(const ViewState& state, std::int64_t v,
                         std::int64_t w) const;
 
-  /// The reliable request engine. Sends `initial` (already built — payload
-  /// gathering stays outside the t_w window), matches replies of kind
-  /// `expected` by req_id, retransmits on timeout via `rebuild(i)` (which
-  /// regenerates request i, payload included), recovers from kUnknownView
-  /// via `reinstall(i)` (a fresh kSetView for request i's target, or
-  /// nullopt when not applicable), and fills `t.per_subfile` with one
-  /// status per request. Throws TimeoutError / runtime_error on failure
-  /// unless allow_partial is set; always throws if the network closes.
-  void transact(std::vector<Message> initial, MsgKind expected,
+  /// One request offered to transact: the built message, the replica group
+  /// (target) it belongs to, and — for single-shot requests such as reads —
+  /// the chain of backup nodes to fail over to. Fan-out requests (writes,
+  /// view installs) carry no backups: each replica is its own destination,
+  /// and losing one degrades the group instead of failing it.
+  struct TxReq {
+    Message msg;
+    std::size_t group = 0;
+    std::vector<int> backups;
+  };
+
+  /// The reliable request engine. Sends every request (already built —
+  /// payload gathering stays outside the t_w window), matches replies of
+  /// kind `expected` by req_id, retransmits on timeout via `rebuild(i)`
+  /// (which regenerates request i, payload included; transact retargets it
+  /// to the replica currently serving the request), recovers from
+  /// kUnknownView via `reinstall(i)` (a fresh kSetView for request i's
+  /// target, or nullopt when not applicable), and fails over along a
+  /// request's backup chain when its current node is given up on. Fills
+  /// `t.per_subfile` with one status per *group* (group_count entries):
+  /// kFailed only when every replica of the group was lost; kDegraded when
+  /// data survived but a replica didn't. Throws TimeoutError /
+  /// runtime_error only for kFailed groups unless allow_partial is set;
+  /// always throws if the network closes.
+  void transact(std::vector<TxReq> reqs, std::size_t group_count,
+                MsgKind expected,
                 const std::function<Message(std::size_t)>& rebuild,
                 const std::function<std::optional<Message>(std::size_t)>& reinstall,
                 AccessTimings& t, std::vector<Message>* replies);

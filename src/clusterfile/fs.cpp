@@ -1,9 +1,11 @@
 #include "clusterfile/fs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace pfm {
 
@@ -11,6 +13,19 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
     : config_(config) {
   if (config_.compute_nodes < 1 || config_.io_nodes < 1)
     throw std::invalid_argument("Clusterfile: need at least one node of each kind");
+  if (config_.replication < 1 || config_.replication > config_.io_nodes)
+    throw std::invalid_argument(
+        "Clusterfile: replication must be in [1, io_nodes]");
+  if (!config_.storage_faults) config_.storage_faults = storage_fault_plan_from_env();
+  // Integrity checking turns on automatically exactly when something can
+  // damage stored bytes (replication implies scrub, faults imply damage);
+  // plain single-copy runs keep the PR-3 fast path with no CRC work.
+  if (config_.integrity_block > 0) {
+    integrity_block_ = config_.integrity_block;
+  } else if (config_.integrity_block == 0 &&
+             (config_.replication > 1 || config_.storage_faults)) {
+    integrity_block_ = IntegrityStorage::kDefaultBlock;
+  }
   meta_.physical =
       std::make_shared<const PartitioningPattern>(std::move(physical));
   const std::size_t subfiles = meta_.physical->element_count();
@@ -27,17 +42,25 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
     for (int i = 0; i < config_.io_nodes; ++i) machines.push_back(i);
     net_->set_machines(std::move(machines));
   }
-  // Subfile i is served by I/O node (compute_nodes + i % io_nodes).
+  // Subfile i is served by I/O node (compute_nodes + i % io_nodes); replica
+  // r follows at (i + r) % io_nodes, so consecutive subfiles spread their
+  // backups across distinct nodes (k-way declustering).
   meta_.io_nodes.resize(subfiles);
-  for (std::size_t i = 0; i < subfiles; ++i)
-    meta_.io_nodes[i] =
-        config_.compute_nodes + static_cast<int>(i) % config_.io_nodes;
+  meta_.replicas.resize(subfiles);
+  for (std::size_t i = 0; i < subfiles; ++i) {
+    for (int r = 0; r < config_.replication; ++r)
+      meta_.replicas[i].push_back(
+          config_.compute_nodes +
+          static_cast<int>(i + static_cast<std::size_t>(r)) % config_.io_nodes);
+    meta_.io_nodes[i] = meta_.replicas[i][0];
+  }
   if constexpr (kDcheckEnabled) {
     for (std::size_t i = 0; i < subfiles; ++i)
-      PFM_DCHECK(meta_.io_nodes[i] >= config_.compute_nodes &&
-                     meta_.io_nodes[i] < net_->node_count(),
-                 "subfile ", i, " assigned to non-I/O node ", meta_.io_nodes[i]);
+      for (const int node : meta_.replicas[i])
+        PFM_DCHECK(node >= config_.compute_nodes && node < net_->node_count(),
+                   "subfile ", i, " assigned to non-I/O node ", node);
   }
+  crashed_.assign(static_cast<std::size_t>(config_.io_nodes), 0);
 
   start_servers(nullptr);
 
@@ -48,19 +71,30 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
 
 void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
   const std::size_t subfiles = meta_.io_nodes.size();
+  const StorageFaultPlan* faults =
+      config_.storage_faults ? &*config_.storage_faults : nullptr;
   servers_.clear();
   servers_.reserve(static_cast<std::size_t>(config_.io_nodes));
   for (int node = 0; node < config_.io_nodes; ++node) {
     IoServer::SubfileStorages storages;
     for (std::size_t i = 0; i < subfiles; ++i) {
-      if (meta_.io_nodes[i] != config_.compute_nodes + node) continue;
-      auto storage = make_storage(config_.storage_dir, static_cast<int>(i));
-      if (initial != nullptr && !(*initial)[i].empty())
-        storage->write(0, (*initial)[i]);
-      storages.emplace_back(static_cast<int>(i), std::move(storage));
+      for (std::size_t r = 0; r < meta_.replicas[i].size(); ++r) {
+        if (meta_.replicas[i][r] != config_.compute_nodes + node) continue;
+        // Faults live directly over the backend; integrity sits above them
+        // so injected torn writes and bit rot are what the CRC layer sees.
+        auto storage = make_storage(config_.storage_dir, static_cast<int>(i),
+                                    static_cast<int>(r), faults);
+        if (integrity_block_ > 0)
+          storage = std::make_unique<IntegrityStorage>(std::move(storage),
+                                                       integrity_block_);
+        if (initial != nullptr && !(*initial)[i].empty())
+          storage->write(0, (*initial)[i]);
+        storages.emplace_back(static_cast<int>(i), std::move(storage));
+      }
     }
     servers_.push_back(std::make_unique<IoServer>(
-        *net_, config_.compute_nodes + node, std::move(storages)));
+        *net_, config_.compute_nodes + node, std::move(storages),
+        /*track_epochs=*/config_.replication > 1));
   }
 }
 
@@ -86,6 +120,27 @@ const SubfileStorage& Clusterfile::subfile_storage(std::size_t subfile) {
   return server_for(subfile).storage(static_cast<int>(subfile));
 }
 
+const std::vector<int>& Clusterfile::replica_nodes(std::size_t subfile) const {
+  if (subfile >= meta_.replicas.size())
+    throw std::out_of_range("Clusterfile::replica_nodes: bad subfile");
+  return meta_.replicas[subfile];
+}
+
+IoServer& Clusterfile::server_at_node(int node_id) {
+  const int idx = node_id - config_.compute_nodes;
+  if (idx < 0 || idx >= static_cast<int>(servers_.size()))
+    throw std::out_of_range("Clusterfile: node is not an I/O node");
+  return *servers_[static_cast<std::size_t>(idx)];
+}
+
+SubfileStorage& Clusterfile::replica_storage(std::size_t subfile,
+                                             std::size_t replica) {
+  const std::vector<int>& nodes = replica_nodes(subfile);
+  if (replica >= nodes.size())
+    throw std::out_of_range("Clusterfile::replica_storage: bad replica");
+  return server_at_node(nodes[replica]).storage_mut(static_cast<int>(subfile));
+}
+
 FaultInjector& Clusterfile::faults() {
   if (net_->faults() == nullptr)
     net_->install_faults(std::make_shared<FaultInjector>(FaultPlan{}));
@@ -104,16 +159,140 @@ void Clusterfile::crash_server(std::size_t io_index) {
   // wire (the dead-machine experience — clients see timeouts, not errors).
   faults().isolate(node);
   servers_[io_index]->stop();
+  crashed_[io_index] = 1;
 }
 
-void Clusterfile::restart_server(std::size_t io_index) {
+ResyncStats Clusterfile::restart_server(std::size_t io_index) {
   if (io_index >= servers_.size())
     throw std::out_of_range("Clusterfile::restart_server: bad I/O node");
   const int node = config_.compute_nodes + static_cast<int>(io_index);
   IoServer::SubfileStorages storages = servers_[io_index]->take_storages();
-  servers_[io_index] =
-      std::make_unique<IoServer>(*net_, node, std::move(storages));
+  servers_[io_index] = std::make_unique<IoServer>(
+      *net_, node, std::move(storages), /*track_epochs=*/config_.replication > 1);
   faults().restore(node);
+  crashed_[io_index] = 0;
+
+  // Re-sync: each hosted subfile pulls the writes the dead period missed
+  // from the first live peer replica that answers. Every live replica saw
+  // the same fan-out writes, so any one of them is authoritative.
+  ResyncStats rs;
+  Timer t;
+  if (config_.replication > 1) {
+    for (const int subfile : servers_[io_index]->subfile_ids()) {
+      bool synced = false;
+      bool had_peer = false;
+      for (const int peer :
+           meta_.replicas[static_cast<std::size_t>(subfile)]) {
+        if (peer == node) continue;
+        const std::size_t peer_idx =
+            static_cast<std::size_t>(peer - config_.compute_nodes);
+        if (crashed_[peer_idx]) continue;
+        had_peer = true;
+        const IoServer::SyncOutcome out = servers_[io_index]->sync_subfile(
+            subfile, peer, /*attempts=*/5, std::chrono::milliseconds(400));
+        if (out.ok) {
+          ++rs.subfiles;
+          rs.ranges += out.ranges;
+          rs.bytes += out.bytes;
+          if (out.full) ++rs.full_transfers;
+          synced = true;
+          break;
+        }
+      }
+      if (had_peer && !synced) ++rs.failures;
+    }
+  }
+  rs.elapsed_us = static_cast<std::int64_t>(t.elapsed_us());
+  return rs;
+}
+
+ScrubReport Clusterfile::scrub() {
+  ScrubReport rep;
+  const std::int64_t block =
+      integrity_block_ > 0 ? integrity_block_ : IntegrityStorage::kDefaultBlock;
+  for (std::size_t i = 0; i < subfile_count(); ++i) {
+    // Live replicas of subfile i, with their epochs; crashed nodes keep
+    // their disks but are not scrubbed (they re-sync on restart).
+    struct Rep {
+      SubfileStorage* st = nullptr;
+      std::int64_t epoch = 0;
+    };
+    std::vector<Rep> reps;
+    for (const int node : meta_.replicas[i]) {
+      const std::size_t idx =
+          static_cast<std::size_t>(node - config_.compute_nodes);
+      if (crashed_[idx]) continue;
+      IoServer& srv = *servers_[idx];
+      reps.push_back(
+          {&srv.storage_mut(static_cast<int>(i)), srv.subfile_epoch(static_cast<int>(i))});
+    }
+    if (reps.empty()) continue;
+    std::int64_t max_size = 0;
+    for (const Rep& r : reps) max_size = std::max(max_size, r.st->size());
+    // Authority preference: highest epoch first (saw the most writes), ties
+    // to the lowest replica index. A corrupt block on the preferred replica
+    // fails its CRC-verified read and authority falls to the next one.
+    std::vector<std::size_t> order(reps.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return reps[a].epoch > reps[b].epoch;
+                     });
+    for (std::int64_t lo = 0; lo < max_size; lo += block) {
+      const std::int64_t len = std::min(block, max_size - lo);
+      ++rep.blocks_checked;
+      // Read each replica's block, zero-padded past its own size; a read
+      // that throws (torn write, bit rot, EIO) marks the block unreadable.
+      std::vector<std::optional<Buffer>> data(reps.size());
+      for (std::size_t k = 0; k < reps.size(); ++k) {
+        Buffer buf(static_cast<std::size_t>(len), std::byte{0});
+        const std::int64_t have =
+            std::min(len, std::max<std::int64_t>(0, reps[k].st->size() - lo));
+        try {
+          if (have > 0)
+            reps[k].st->read(lo, std::span<std::byte>(buf).first(
+                                     static_cast<std::size_t>(have)));
+          data[k] = std::move(buf);
+        } catch (const std::exception&) {
+          ++rep.unreadable_blocks;
+        }
+      }
+      std::size_t auth = reps.size();
+      for (const std::size_t k : order)
+        if (data[k]) {
+          auth = k;
+          break;
+        }
+      if (auth == reps.size()) {
+        // Nothing readable to repair from.
+        rep.unrepaired_blocks += static_cast<std::int64_t>(reps.size());
+        continue;
+      }
+      bool divergent = false;
+      for (std::size_t k = 0; k < reps.size(); ++k) {
+        if (k == auth) continue;
+        if (data[k] && *data[k] == *data[auth]) continue;
+        if (data[k]) divergent = true;
+        try {
+          // A full-block write recomputes the target's CRC coverage, so the
+          // repair passes its integrity layer even over a corrupt block.
+          reps[k].st->write(lo, std::span<const std::byte>(*data[auth]));
+          reps[k].st->flush();
+          ++rep.repaired_blocks;
+        } catch (const std::exception&) {
+          ++rep.unrepaired_blocks;
+        }
+      }
+      if (divergent) ++rep.divergent_blocks;
+    }
+  }
+  return rep;
+}
+
+void Clusterfile::disarm_storage_faults() {
+  for (auto& s : servers_)
+    for (const int subfile : s->subfile_ids())
+      s->storage_mut(subfile).disarm_faults();
 }
 
 ReliabilityCounters Clusterfile::client_reliability() const {

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "clusterfile/client.h"
 #include "clusterfile/io_server.h"
+#include "clusterfile/storage_fault.h"
 #include "redist/execute.h"
 
 namespace pfm {
@@ -29,6 +31,48 @@ struct ClusterConfig {
   /// (requires io_nodes <= compute_nodes); messages between them cost no
   /// modeled wire time.
   bool overlap = false;
+  /// Copies of each subfile, on distinct I/O nodes (1 = no replication).
+  /// Replica r of subfile i lives on I/O node (i + r) % io_nodes; clients
+  /// fan writes out to every replica and fail reads over to a backup when
+  /// the primary stops answering. Must not exceed io_nodes.
+  int replication = 1;
+  /// Storage-level fault plan applied to every subfile replica (torn
+  /// writes, bit rot, EIO, sticky-dead). Unset: the PFM_STORAGE_FAULT_*
+  /// environment knobs apply, if any (storage_fault.h).
+  std::optional<StorageFaultPlan> storage_faults{};
+  /// Block size for the per-block CRC integrity layer over each replica.
+  /// 0 (default) = automatic: IntegrityStorage::kDefaultBlock whenever
+  /// replication > 1 or storage faults are configured, off otherwise.
+  /// -1 = force off; > 0 = explicit block size.
+  std::int64_t integrity_block = 0;
+};
+
+/// What restart_server's re-sync pulled from the surviving replicas.
+struct ResyncStats {
+  int subfiles = 0;        ///< subfiles brought up to date
+  std::int64_t ranges = 0; ///< distinct byte ranges transferred
+  std::int64_t bytes = 0;  ///< payload bytes transferred
+  int full_transfers = 0;  ///< subfiles needing a full copy (log trimmed)
+  int failures = 0;        ///< subfiles with peers that could not be synced
+  std::int64_t elapsed_us = 0;
+};
+
+/// Outcome of one scrub() pass over the replica sets.
+struct ScrubReport {
+  std::int64_t blocks_checked = 0;    ///< block positions compared
+  std::int64_t divergent_blocks = 0;  ///< positions where a readable replica
+                                      ///< disagreed with the authority
+  std::int64_t unreadable_blocks = 0; ///< replica blocks whose read failed
+                                      ///< (torn write, bit rot, EIO)
+  std::int64_t repaired_blocks = 0;   ///< replica blocks rewritten
+  std::int64_t unrepaired_blocks = 0; ///< damage with no readable authority
+                                      ///< (or whose repair write failed)
+  /// True when the pass found nothing wrong (not merely fixed everything —
+  /// run scrub twice to prove convergence).
+  bool clean() const {
+    return divergent_blocks == 0 && unreadable_blocks == 0 &&
+           unrepaired_blocks == 0;
+  }
 };
 
 class Clusterfile {
@@ -49,10 +93,16 @@ class Clusterfile {
 
   /// The client running on compute node c.
   ClusterfileClient& client(int c);
-  /// The I/O server holding subfile i.
+  /// The I/O server holding subfile i's primary replica.
   IoServer& server_for(std::size_t subfile);
-  /// Storage of subfile i (wherever it lives).
+  /// Storage of subfile i's primary replica (wherever it lives).
   const SubfileStorage& subfile_storage(std::size_t subfile);
+  /// I/O node ids holding subfile i, primary first.
+  const std::vector<int>& replica_nodes(std::size_t subfile) const;
+  /// Storage of replica r of subfile i (r indexes replica_nodes). The
+  /// cluster must be quiescent — the replica's server loop owns the storage
+  /// while requests are in flight.
+  SubfileStorage& replica_storage(std::size_t subfile, std::size_t replica);
   Network& network() { return *net_; }
 
   /// The fault injector on the interconnect, installing an empty one on
@@ -70,7 +120,22 @@ class Clusterfile {
   /// Restarts a crashed I/O node over its surviving storage and reconnects
   /// it. The new server has no projections and an empty dedup cache;
   /// clients transparently re-install views on the first kUnknownView.
-  void restart_server(std::size_t io_index);
+  /// With replication, each hosted subfile then pulls the writes it missed
+  /// from a live peer replica (kSyncRequest/kSyncReply) before returning;
+  /// callers must not race writes to the same file against the restart.
+  ResyncStats restart_server(std::size_t io_index);
+
+  /// Verifies replica agreement block by block (per-block compare through
+  /// each replica's full storage stack, so CRC-verified reads reject torn
+  /// or rotten blocks) and repairs divergent or unreadable replica blocks
+  /// from the authoritative copy — the readable replica with the highest
+  /// write epoch, ties to the lowest replica index. With replication = 1
+  /// the pass is detect-only. The cluster must be quiescent.
+  ScrubReport scrub();
+
+  /// Stops storage-fault injection on every replica (sticky-dead disks stay
+  /// dead), so a soak can freeze the damage and verify scrub converges.
+  void disarm_storage_faults();
 
   /// Cluster-wide reliability counters: the sum over every client (retries,
   /// timeouts, re-installs...) and every live server (duplicates
@@ -99,11 +164,14 @@ class Clusterfile {
 
  private:
   void start_servers(const std::vector<Buffer>* initial);
+  IoServer& server_at_node(int node_id);
 
   ClusterConfig config_;
+  std::int64_t integrity_block_ = 0;  ///< resolved from config (0 = off)
   std::unique_ptr<Network> net_;
   FileMeta meta_;
   std::vector<std::unique_ptr<IoServer>> servers_;  ///< one per I/O node
+  std::vector<char> crashed_;                       ///< per I/O node
   std::vector<std::unique_ptr<ClusterfileClient>> clients_;
 };
 

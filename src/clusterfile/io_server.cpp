@@ -1,6 +1,10 @@
 #include "clusterfile/io_server.h"
 
+#include <algorithm>
+#include <atomic>
+#include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "falls/serialize.h"
 #include "util/check.h"
@@ -8,9 +12,67 @@
 
 namespace pfm {
 
-IoServer::IoServer(Network& net, int node_id, SubfileStorages subfiles)
+namespace {
+
+/// Request ids for server-to-server sync traffic. Collisions with client
+/// ids are harmless: sync requests are never deduplicated and the waiter
+/// map lives on the requesting server only.
+std::uint64_t next_sync_req_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+using Ranges = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
+/// Sorts and coalesces overlapping or adjacent (offset, length) ranges.
+Ranges merge_ranges(Ranges ranges) {
+  std::sort(ranges.begin(), ranges.end());
+  Ranges out;
+  for (const auto& [off, len] : ranges) {
+    if (len <= 0) continue;
+    if (!out.empty() && off <= out.back().first + out.back().second) {
+      out.back().second =
+          std::max(out.back().second, off + len - out.back().first);
+    } else {
+      out.emplace_back(off, len);
+    }
+  }
+  return out;
+}
+
+/// Wire form of a range list: "off:len;off:len;...".
+std::string format_ranges(const Ranges& ranges) {
+  std::string out;
+  for (const auto& [off, len] : ranges)
+    out += std::to_string(off) + ":" + std::to_string(len) + ";";
+  return out;
+}
+
+Ranges parse_ranges(const std::string& text) {
+  Ranges out;
+  std::stringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ';')) {
+    if (tok.empty()) continue;
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("IoServer: malformed sync range '" + tok + "'");
+    const std::int64_t off = std::stoll(tok.substr(0, colon));
+    const std::int64_t len = std::stoll(tok.substr(colon + 1));
+    if (off < 0 || len <= 0)
+      throw std::invalid_argument("IoServer: bad sync range '" + tok + "'");
+    out.emplace_back(off, len);
+  }
+  return out;
+}
+
+}  // namespace
+
+IoServer::IoServer(Network& net, int node_id, SubfileStorages subfiles,
+                   bool track_epochs)
     : net_(net),
       node_id_(node_id),
+      track_epochs_(track_epochs),
       loop_(net, node_id, [this](Message&& m) { handle(std::move(m)); }) {
   for (auto& [id, storage] : subfiles) {
     if (!storage) throw std::invalid_argument("IoServer: null storage");
@@ -36,6 +98,28 @@ const SubfileStorage& IoServer::storage(int subfile_id) const {
   if (it == subfiles_.end())
     throw std::out_of_range("IoServer::storage: subfile not served here");
   return *it->second.storage;
+}
+
+SubfileStorage& IoServer::storage_mut(int subfile_id) {
+  const auto it = subfiles_.find(subfile_id);
+  if (it == subfiles_.end())
+    throw std::out_of_range("IoServer::storage_mut: subfile not served here");
+  return *it->second.storage;
+}
+
+std::vector<int> IoServer::subfile_ids() const {
+  std::vector<int> out;
+  out.reserve(subfiles_.size());
+  for (const auto& [id, sub] : subfiles_) out.push_back(id);
+  return out;
+}
+
+std::int64_t IoServer::subfile_epoch(int subfile_id) const {
+  const auto it = subfiles_.find(subfile_id);
+  if (it == subfiles_.end())
+    throw std::out_of_range("IoServer::subfile_epoch: subfile not served here");
+  std::lock_guard<std::mutex> lock(mu_);
+  return it->second.storage->epoch();
 }
 
 double IoServer::scatter_us() const {
@@ -106,6 +190,9 @@ void IoServer::handle(Message&& msg) {
       case MsgKind::kSetView: handle_set_view(std::move(msg)); return;
       case MsgKind::kWrite: handle_write(std::move(msg)); return;
       case MsgKind::kRead: handle_read(std::move(msg)); return;
+      case MsgKind::kSyncRequest: handle_sync_request(std::move(msg)); return;
+      case MsgKind::kSyncReply: handle_sync_reply(std::move(msg)); return;
+      case MsgKind::kError: handle_error_reply(msg); return;
       default:
         PFM_WARN("IoServer ", node_id_, ": unexpected message ",
                  to_string(msg.kind));
@@ -113,6 +200,17 @@ void IoServer::handle(Message&& msg) {
   } catch (const ProtocolError& e) {
     PFM_ERROR("IoServer ", node_id_, ": ", e.what());
     reply_error(msg, e.code(), e.what());
+  } catch (const StorageCorruptionError& e) {
+    // At-rest corruption (torn write, bit rot) caught by the integrity
+    // layer. Terminal for this replica: the client fails over to a backup
+    // instead of retrying here.
+    PFM_ERROR("IoServer ", node_id_, ": ", e.what());
+    reply_error(msg, ErrCode::kCorruptData, e.what());
+  } catch (const std::system_error& e) {
+    // Transient device error (injected EIO). Retryable: error replies are
+    // never cached, so the client's resend re-executes the request.
+    PFM_ERROR("IoServer ", node_id_, ": ", e.what());
+    reply_error(msg, ErrCode::kIoError, e.what());
   } catch (const std::exception& e) {
     // A failed request must not kill the server, and the client must not
     // hang waiting for a reply: report the error back.
@@ -173,6 +271,8 @@ void IoServer::handle_write(Message&& msg) {
             " bytes, projection selects ", proj.count_in(msg.v, msg.w));
   {
     Timer t;
+    // Ranges actually written, recorded for the replication write log.
+    std::vector<std::pair<std::int64_t, std::int64_t>> written;
     if (proj.contiguous_in(msg.v, msg.w)) {
       // The single run may start after vS when the interval's first member
       // byte is interior; write the payload there in one piece.
@@ -180,7 +280,12 @@ void IoServer::handle_write(Message&& msg) {
       proj.for_each_run_in(msg.v, msg.w, [&](std::int64_t lo, std::int64_t) {
         if (start < 0) start = lo;
       });
-      if (start >= 0 && !msg.payload.empty()) sub.storage->write(start, msg.payload);
+      if (start >= 0 && !msg.payload.empty()) {
+        sub.storage->write(start, msg.payload);
+        if (track_epochs_)
+          written.emplace_back(start,
+                               static_cast<std::int64_t>(msg.payload.size()));
+      }
     } else {
       std::int64_t off = 0;
       proj.for_each_run_in(msg.v, msg.w, [&](std::int64_t lo, std::int64_t hi) {
@@ -190,11 +295,21 @@ void IoServer::handle_write(Message&& msg) {
         sub.storage->write(lo, std::span<const std::byte>(msg.payload).subspan(
                                    static_cast<std::size_t>(off),
                                    static_cast<std::size_t>(len)));
+        if (track_epochs_) written.emplace_back(lo, len);
         off += len;
       });
     }
     sub.storage->flush();
     std::lock_guard<std::mutex> lock(mu_);
+    if (track_epochs_ && !written.empty()) {
+      // The epoch bumps only after the whole write applied: a write that
+      // failed partway (injected fault) leaves the epoch behind, so a peer
+      // comparison later flags this replica as stale rather than current.
+      const std::int64_t e = sub.storage->epoch() + 1;
+      sub.storage->set_epoch(e);
+      sub.write_log.push_back({e, std::move(written)});
+      if (sub.write_log.size() > kWriteLogCapacity) sub.write_log.pop_front();
+    }
     scatter_.add_us(t.elapsed_us());
     ++writes_;
   }
@@ -227,6 +342,177 @@ void IoServer::handle_read(Message&& msg) {
     gather_.add_us(t.elapsed_us());
   }
   finish_reply(msg, std::move(reply), /*cacheable=*/false);
+}
+
+void IoServer::handle_sync_request(Message&& msg) {
+  Subfile& sub = subfile_for(msg);
+  const std::int64_t their_epoch = msg.v;
+  std::int64_t my_epoch = 0;
+  Ranges ranges;
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    my_epoch = sub.storage->epoch();
+    if (my_epoch > their_epoch) {
+      // Incremental only when the log still reaches back to the epoch right
+      // after theirs; trimmed history forces a full transfer.
+      const bool covered = !sub.write_log.empty() &&
+                           sub.write_log.front().epoch <= their_epoch + 1;
+      if (covered) {
+        for (const LogEntry& le : sub.write_log)
+          if (le.epoch > their_epoch)
+            ranges.insert(ranges.end(), le.ranges.begin(), le.ranges.end());
+      } else {
+        full = true;
+      }
+    }
+  }
+  Message reply;
+  reply.kind = MsgKind::kSyncReply;
+  reply.dst_node = msg.src_node;
+  reply.subfile = msg.subfile;
+  reply.v = my_epoch;
+  reply.w = full ? 1 : 0;
+  if (my_epoch > their_epoch) {
+    if (full) {
+      const std::int64_t size = sub.storage->size();
+      ranges.clear();
+      if (size > 0) ranges.emplace_back(0, size);
+    } else {
+      ranges = merge_ranges(std::move(ranges));
+    }
+    // Reads go through the full storage stack: corruption on this peer
+    // surfaces as kCorruptData (via handle's catch) instead of spreading.
+    for (const auto& [off, len] : ranges) {
+      const std::size_t at = reply.payload.size();
+      reply.payload.resize(at + static_cast<std::size_t>(len));
+      sub.storage->read(off, std::span<std::byte>(reply.payload)
+                                 .subspan(at, static_cast<std::size_t>(len)));
+    }
+    reply.meta = format_ranges(ranges);
+  }
+  finish_reply(msg, std::move(reply), /*cacheable=*/false);
+}
+
+void IoServer::handle_sync_reply(Message&& msg) {
+  // Runs on the loop thread of the restarted replica. Failures are
+  // recorded for the waiting sync_subfile call, never bounced back to the
+  // peer — it already did its part.
+  SyncOutcome out;
+  try {
+    const auto it = subfiles_.find(msg.subfile);
+    if (it == subfiles_.end())
+      throw std::runtime_error("sync reply for a subfile not served here");
+    Subfile& sub = it->second;
+    std::int64_t my_epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      my_epoch = sub.storage->epoch();
+    }
+    if (msg.v > my_epoch) {
+      const Ranges ranges = parse_ranges(msg.meta);
+      std::int64_t off = 0;
+      for (const auto& [lo, len] : ranges) {
+        if (off + len > static_cast<std::int64_t>(msg.payload.size()))
+          throw std::runtime_error("sync payload shorter than its ranges");
+        sub.storage->write(lo, std::span<const std::byte>(msg.payload)
+                                   .subspan(static_cast<std::size_t>(off),
+                                            static_cast<std::size_t>(len)));
+        off += len;
+        out.bytes += len;
+        ++out.ranges;
+      }
+      sub.storage->flush();
+      std::lock_guard<std::mutex> lock(mu_);
+      sub.storage->set_epoch(msg.v);
+      // Pre-crash log entries no longer describe what peers are missing
+      // relative to the adopted epoch; drop them so this replica answers
+      // later sync requests with a full transfer instead of a wrong delta.
+      sub.write_log.clear();
+      out.full = msg.w != 0;
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto wit = sync_waits_.find(msg.req_id);
+    if (wit == sync_waits_.end()) {
+      PFM_WARN("IoServer ", node_id_, ": stale sync reply ", msg.req_id);
+      return;
+    }
+    wit->second.out = out;
+    wit->second.done = true;
+  }
+  sync_cv_.notify_all();
+}
+
+void IoServer::handle_error_reply(const Message& msg) {
+  // The only requests a server originates are sync pulls; route the error
+  // to the waiting sync_subfile call.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto wit = sync_waits_.find(msg.req_id);
+    if (wit != sync_waits_.end()) {
+      wit->second.out.ok = false;
+      wit->second.out.error =
+          std::string(to_string(msg.err)) + ": " + msg.meta;
+      wit->second.done = true;
+    } else {
+      PFM_WARN("IoServer ", node_id_, ": unexpected error reply ",
+               to_string(msg.err), " (", msg.meta, ")");
+      return;
+    }
+  }
+  sync_cv_.notify_all();
+}
+
+IoServer::SyncOutcome IoServer::sync_subfile(
+    int subfile_id, int peer_node, int attempts,
+    std::chrono::milliseconds per_attempt) {
+  const auto it = subfiles_.find(subfile_id);
+  if (it == subfiles_.end()) {
+    SyncOutcome out;
+    out.error = "subfile not served here";
+    return out;
+  }
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const std::uint64_t id = next_sync_req_id();
+    Message req;
+    req.kind = MsgKind::kSyncRequest;
+    req.dst_node = peer_node;
+    req.subfile = subfile_id;
+    req.req_id = id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      req.v = it->second.storage->epoch();
+      sync_waits_[id];  // register before sending: the reply may race us
+    }
+    if (net_.checksums_enabled()) stamp_checksum(req);
+    if (!net_.send(node_id_, std::move(req))) {
+      std::lock_guard<std::mutex> lock(mu_);
+      sync_waits_.erase(id);
+      SyncOutcome out;
+      out.error = "peer unreachable";
+      return out;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool done = sync_cv_.wait_for(lock, per_attempt, [&] {
+      const auto wit = sync_waits_.find(id);
+      return wit != sync_waits_.end() && wit->second.done;
+    });
+    SyncOutcome out;
+    if (done) out = sync_waits_[id].out;
+    sync_waits_.erase(id);
+    if (done) return out;
+    // Timed out: abandon this wait and retry with a fresh request — the
+    // peer side is read-only, so a duplicate pull is harmless.
+  }
+  SyncOutcome out;
+  out.error = "peer did not answer the sync request";
+  return out;
 }
 
 void IoServer::reply_ack(const Message& req) {

@@ -17,13 +17,28 @@
 // re-executed (idempotent). Failures answer with structured kError codes —
 // notably kUnknownView after a crash/restart lost the in-memory
 // projections, which clients recover from by re-installing the view.
+//
+// Replication (DESIGN.md "Failure model"): with epoch tracking on, every
+// applied write bumps the subfile's monotonic epoch (persisted in the
+// storage) and appends its byte ranges to a bounded write log. A restarted
+// replica calls sync_subfile, which sends kSyncRequest carrying its own
+// epoch to a live peer; the peer answers kSyncReply with the ranges written
+// since that epoch (or a full transfer when its log no longer reaches back
+// that far), and the requester applies them and adopts the peer's epoch
+// before rejoining. Storage-level faults map to structured errors:
+// StorageCorruptionError -> kCorruptData (terminal; the client fails over),
+// EIO -> kIoError (retryable; error replies are never cached, so the resend
+// re-executes).
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -41,13 +56,24 @@ class IoServer {
   using SubfileStorages =
       std::vector<std::pair<int, std::unique_ptr<SubfileStorage>>>;
 
-  /// Serves the given subfiles on cluster node `node_id`.
-  IoServer(Network& net, int node_id, SubfileStorages subfiles);
+  /// Serves the given subfiles on cluster node `node_id`. With
+  /// `track_epochs` (replication), every applied write bumps the subfile's
+  /// storage epoch and is recorded in the re-sync write log.
+  IoServer(Network& net, int node_id, SubfileStorages subfiles,
+           bool track_epochs = false);
   ~IoServer();
 
   int node_id() const { return node_id_; }
   std::size_t subfile_count() const { return subfiles_.size(); }
   const SubfileStorage& storage(int subfile_id) const;
+  /// Mutable storage access for scrub/repair. The caller must ensure the
+  /// cluster is quiescent — the server's loop thread owns these storages
+  /// while requests are in flight.
+  SubfileStorage& storage_mut(int subfile_id);
+  /// Ids of the subfiles served here, ascending.
+  std::vector<int> subfile_ids() const;
+  /// Current write epoch of a subfile served here.
+  std::int64_t subfile_epoch(int subfile_id) const;
 
   /// Accumulated scatter/gather time at this server, in microseconds
   /// (Table 2's t_s is the scatter part).
@@ -68,17 +94,46 @@ class IoServer {
   /// lost — clients re-install views on the resulting kUnknownView errors.
   SubfileStorages take_storages();
 
+  /// Outcome of one re-sync pull (see sync_subfile).
+  struct SyncOutcome {
+    bool ok = false;
+    std::int64_t bytes = 0;   ///< payload bytes applied
+    std::int64_t ranges = 0;  ///< distinct ranges applied
+    bool full = false;        ///< peer fell back to a full transfer
+    std::string error;        ///< why not, when !ok
+  };
+
+  /// Pulls the write ranges this replica missed from `peer_node`: sends a
+  /// kSyncRequest carrying the local epoch, waits for the kSyncReply
+  /// (applied on the server's loop thread), and retries with a fresh
+  /// request up to `attempts` times on timeout (the peer side is
+  /// read-only, so retries are harmless). Called from the restart path —
+  /// the caller must not race client writes against the same ranges.
+  SyncOutcome sync_subfile(int subfile_id, int peer_node, int attempts,
+                           std::chrono::milliseconds per_attempt);
+
  private:
+  struct LogEntry {
+    std::int64_t epoch = 0;
+    /// (offset, length) byte ranges the write touched.
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  };
   struct Subfile {
     std::unique_ptr<SubfileStorage> storage;
     /// PROJ_S^{V∩S} per (client node, view id).
     std::map<std::pair<int, std::int64_t>, IndexSet> projections;
+    /// Recent writes by epoch (contiguous, ascending), bounded: a peer
+    /// whose epoch predates the log's reach gets a full transfer instead.
+    std::deque<LogEntry> write_log;
   };
 
   void handle(Message&& msg);
   void handle_set_view(Message&& msg);
   void handle_write(Message&& msg);
   void handle_read(Message&& msg);
+  void handle_sync_request(Message&& msg);
+  void handle_sync_reply(Message&& msg);
+  void handle_error_reply(const Message& msg);
   void reply_ack(const Message& req);
   void reply_error(const Message& req, ErrCode code, const std::string& what);
   void finish_reply(const Message& req, Message reply, bool cacheable);
@@ -87,8 +142,17 @@ class IoServer {
 
   Network& net_;
   int node_id_;
+  bool track_epochs_ = false;
   std::map<int, Subfile> subfiles_;
   mutable std::mutex mu_;
+  /// Pending sync_subfile calls by req_id, filled by the loop thread.
+  struct SyncWait {
+    SyncOutcome out;
+    bool done = false;
+  };
+  std::map<std::uint64_t, SyncWait> sync_waits_;
+  std::condition_variable sync_cv_;
+  static constexpr std::size_t kWriteLogCapacity = 1024;
   PhaseAccumulator scatter_;
   PhaseAccumulator gather_;
   std::int64_t writes_ = 0;

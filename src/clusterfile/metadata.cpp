@@ -21,6 +21,22 @@ void MetadataManager::create(FileRecord record) {
     throw std::invalid_argument("MetadataManager: negative size");
   if (record.io_nodes.size() != record.subfile_falls.size())
     throw std::invalid_argument("MetadataManager: io_nodes count mismatch");
+  if (!record.replica_nodes.empty()) {
+    if (record.replica_nodes.size() != record.subfile_falls.size())
+      throw std::invalid_argument(
+          "MetadataManager: replica_nodes count mismatch");
+    for (std::size_t i = 0; i < record.replica_nodes.size(); ++i) {
+      const auto& reps = record.replica_nodes[i];
+      if (reps.empty() || reps[0] != record.io_nodes[i])
+        throw std::invalid_argument(
+            "MetadataManager: replica list must start with the primary");
+      for (std::size_t a = 0; a < reps.size(); ++a)
+        for (std::size_t b = a + 1; b < reps.size(); ++b)
+          if (reps[a] == reps[b])
+            throw std::invalid_argument(
+                "MetadataManager: duplicate replica node");
+    }
+  }
   record.pattern();  // validates the partitioning pattern
   files_.emplace(record.name, std::move(record));
 }
@@ -70,25 +86,39 @@ std::vector<std::string> MetadataManager::list() const {
 }
 
 // Manifest format (line oriented):
-//   pfm-manifest 1
+//   pfm-manifest <version>
 //   file <name>
 //   disp <displacement>
 //   size <size>
 //   subfiles <count>
-//   <io_node> <falls tuple notation>     (count lines)
+//   <nodes> <falls tuple notation>       (count lines)
+// Version 1 writes <nodes> as the single primary I/O node; version 2 —
+// emitted whenever any record carries replica placement — writes the full
+// comma-separated replica list, primary first (e.g. "5,7"). load() accepts
+// both versions.
 void MetadataManager::save(const std::filesystem::path& manifest) const {
+  bool replicated = false;
+  for (const auto& [name, rec] : files_)
+    if (!rec.replica_nodes.empty()) replicated = true;
   const std::filesystem::path tmp = manifest.string() + ".tmp";
   {
     std::ofstream os(tmp);
     if (!os) throw std::runtime_error("MetadataManager: cannot write " + tmp.string());
-    os << "pfm-manifest 1\n";
+    os << "pfm-manifest " << (replicated ? 2 : 1) << "\n";
     for (const auto& [name, rec] : files_) {
       os << "file " << name << "\n";
       os << "disp " << rec.displacement << "\n";
       os << "size " << rec.size << "\n";
       os << "subfiles " << rec.subfile_falls.size() << "\n";
-      for (std::size_t i = 0; i < rec.subfile_falls.size(); ++i)
-        os << rec.io_nodes[i] << " " << serialize(rec.subfile_falls[i]) << "\n";
+      for (std::size_t i = 0; i < rec.subfile_falls.size(); ++i) {
+        if (rec.replica_nodes.empty()) {
+          os << rec.io_nodes[i];
+        } else {
+          for (std::size_t r = 0; r < rec.replica_nodes[i].size(); ++r)
+            os << (r ? "," : "") << rec.replica_nodes[i][r];
+        }
+        os << " " << serialize(rec.subfile_falls[i]) << "\n";
+      }
     }
     if (!os) throw std::runtime_error("MetadataManager: write failed");
   }
@@ -116,7 +146,8 @@ void MetadataManager::load(const std::filesystem::path& manifest) {
     throw std::runtime_error("MetadataManager: cannot read " + manifest.string());
   std::string magic;
   int version = 0;
-  if (!(is >> magic >> version) || magic != "pfm-manifest" || version != 1)
+  if (!(is >> magic >> version) || magic != "pfm-manifest" ||
+      (version != 1 && version != 2))
     bad_manifest("bad header");
 
   std::map<std::string, FileRecord> loaded;
@@ -129,14 +160,30 @@ void MetadataManager::load(const std::filesystem::path& manifest) {
     rec.size = std::stoll(expect_keyword(is, "size"));
     const std::int64_t count = std::stoll(expect_keyword(is, "subfiles"));
     if (count < 1) bad_manifest("bad subfile count");
+    bool replicated = false;
     for (std::int64_t i = 0; i < count; ++i) {
-      int node = -1;
+      std::string nodes;
       std::string falls_text;
-      if (!(is >> node)) bad_manifest("missing io node");
+      if (!(is >> nodes)) bad_manifest("missing io node");
       std::getline(is, falls_text);
-      rec.io_nodes.push_back(node);
+      std::vector<int> reps;
+      std::stringstream ss(nodes);
+      std::string tok;
+      while (std::getline(ss, tok, ','))
+        try {
+          reps.push_back(std::stoi(tok));
+        } catch (const std::exception&) {
+          bad_manifest("bad io node '" + tok + "'");
+        }
+      if (reps.empty()) bad_manifest("empty replica list");
+      if (version == 1 && reps.size() > 1)
+        bad_manifest("replica list in a version-1 manifest");
+      rec.io_nodes.push_back(reps[0]);
+      rec.replica_nodes.push_back(std::move(reps));
+      if (rec.replica_nodes.back().size() > 1) replicated = true;
       rec.subfile_falls.push_back(parse_falls_set(falls_text));
     }
+    if (version == 1 || !replicated) rec.replica_nodes.clear();
     rec.pattern();  // validate
     if (!loaded.emplace(rec.name, std::move(rec)).second)
       bad_manifest("duplicate file name");

@@ -25,6 +25,10 @@ struct FileRecord {
   std::int64_t size = 0;                 ///< current file length in bytes
   std::vector<FallsSet> subfile_falls;   ///< one element per subfile
   std::vector<int> io_nodes;             ///< io_nodes[i] serves subfile i
+  /// Replica placement: replica_nodes[i] lists every I/O node holding
+  /// subfile i, primary first (replica_nodes[i][0] == io_nodes[i]). Empty
+  /// means no replication — each subfile lives only on its primary.
+  std::vector<std::vector<int>> replica_nodes;
 
   /// The validated partitioning pattern (constructed on demand).
   PartitioningPattern pattern() const;

@@ -3,10 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+
+#include "clusterfile/storage_fault.h"
+#include "util/crc32.h"
 
 namespace pfm {
 
@@ -20,6 +24,7 @@ namespace {
 
 void MemoryStorage::write(std::int64_t offset, std::span<const std::byte> data) {
   if (offset < 0) throw std::invalid_argument("MemoryStorage::write: bad offset");
+  if (data.empty()) return;  // an empty write must not grow the subfile
   const std::size_t end = static_cast<std::size_t>(offset) + data.size();
   if (end > data_.size()) data_.resize(end);
   std::memcpy(data_.data() + offset, data.data(), data.size());
@@ -29,6 +34,7 @@ void MemoryStorage::read(std::int64_t offset, std::span<std::byte> out) const {
   if (offset < 0 ||
       static_cast<std::size_t>(offset) + out.size() > data_.size())
     throw std::out_of_range("MemoryStorage::read: range beyond subfile");
+  if (out.empty()) return;
   std::memcpy(out.data(), data_.data() + offset, out.size());
 }
 
@@ -37,16 +43,21 @@ std::int64_t MemoryStorage::size() const {
 }
 
 FileStorage::FileStorage(std::filesystem::path path) : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) throw_errno("FileStorage: open " + path_.string());
+  // A fresh subfile starts at epoch 0; drop any sidecar a previous
+  // incarnation left behind.
+  ::unlink((path_.string() + ".epoch").c_str());
 }
 
 FileStorage::~FileStorage() {
   if (fd_ >= 0) ::close(fd_);
+  if (epoch_fd_ >= 0) ::close(epoch_fd_);
 }
 
 void FileStorage::write(std::int64_t offset, std::span<const std::byte> data) {
   if (offset < 0) throw std::invalid_argument("FileStorage::write: bad offset");
+  if (data.empty()) return;  // an empty write must not grow the subfile
   std::size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
@@ -57,10 +68,11 @@ void FileStorage::write(std::int64_t offset, std::span<const std::byte> data) {
     }
     done += static_cast<std::size_t>(n);
   }
+  size_ = std::max(size_, offset + static_cast<std::int64_t>(data.size()));
 }
 
 void FileStorage::read(std::int64_t offset, std::span<std::byte> out) const {
-  if (offset < 0 || offset + static_cast<std::int64_t>(out.size()) > size())
+  if (offset < 0 || offset + static_cast<std::int64_t>(out.size()) > size_)
     throw std::out_of_range("FileStorage::read: range beyond subfile");
   std::size_t done = 0;
   while (done < out.size()) {
@@ -75,21 +87,147 @@ void FileStorage::read(std::int64_t offset, std::span<std::byte> out) const {
   }
 }
 
-std::int64_t FileStorage::size() const {
-  const off_t end = ::lseek(fd_, 0, SEEK_END);
-  if (end < 0) throw_errno("FileStorage: lseek");
-  return static_cast<std::int64_t>(end);
-}
+std::int64_t FileStorage::size() const { return size_; }
 
 void FileStorage::flush() {
   if (::fdatasync(fd_) != 0) throw_errno("FileStorage: fdatasync");
 }
 
+void FileStorage::set_epoch(std::int64_t e) {
+  epoch_ = e;
+  if (epoch_fd_ < 0) {
+    const std::string sidecar = path_.string() + ".epoch";
+    epoch_fd_ = ::open(sidecar.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (epoch_fd_ < 0) throw_errno("FileStorage: open " + sidecar);
+  }
+  if (::pwrite(epoch_fd_, &epoch_, sizeof(epoch_), 0) !=
+      static_cast<ssize_t>(sizeof(epoch_)))
+    throw_errno("FileStorage: pwrite epoch sidecar");
+}
+
+IntegrityStorage::IntegrityStorage(std::unique_ptr<SubfileStorage> inner,
+                                   std::int64_t block_bytes)
+    : inner_(std::move(inner)), block_(block_bytes) {
+  if (block_ <= 0)
+    throw std::invalid_argument("IntegrityStorage: block_bytes must be > 0");
+  logical_size_ = inner_->size();
+}
+
+std::int64_t IntegrityStorage::verify_block(std::int64_t b,
+                                            Buffer& scratch) const {
+  const auto it = sums_.find(b);
+  if (it == sums_.end()) return 0;
+  const BlockSum& sum = it->second;
+  scratch.resize(static_cast<std::size_t>(sum.len));
+  try {
+    inner_->read(b * block_, scratch);
+  } catch (const std::out_of_range&) {
+    // The inner backend is shorter than the coverage we recorded: a torn
+    // write dropped the tail of this block.
+    throw StorageCorruptionError(
+        "IntegrityStorage: block " + std::to_string(b) +
+        " shorter than recorded coverage (torn write)");
+  }
+  if (crc32(scratch.data(), scratch.size()) != sum.crc)
+    throw StorageCorruptionError("IntegrityStorage: checksum mismatch in block " +
+                                 std::to_string(b));
+  return sum.len;
+}
+
+void IntegrityStorage::write(std::int64_t offset,
+                             std::span<const std::byte> data) {
+  if (offset < 0)
+    throw std::invalid_argument("IntegrityStorage::write: bad offset");
+  if (data.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t end = offset + static_cast<std::int64_t>(data.size());
+  const std::int64_t first = offset / block_;
+  const std::int64_t last = (end - 1) / block_;
+  // Record the *intended* content of every touched block before handing the
+  // bytes to the inner backend: if the write tears below us, the recorded
+  // CRC disagrees with what actually landed and the next read detects it.
+  Buffer scratch;
+  for (std::int64_t b = first; b <= last; ++b) {
+    const std::int64_t block_lo = b * block_;
+    const auto it = sums_.find(b);
+    const std::int64_t old_len = it == sums_.end() ? 0 : it->second.len;
+    // A write that covers the block's entire recorded coverage needs no old
+    // bytes — and must not verify them, or a corrupt block could never be
+    // repaired through this layer (scrub rewrites whole blocks).
+    std::int64_t kept = 0;
+    if (old_len > 0 && !(offset <= block_lo && end >= block_lo + old_len))
+      kept = verify_block(b, scratch);
+    const std::int64_t new_in_block =
+        std::min(end, block_lo + block_) - std::max(offset, block_lo);
+    const std::int64_t new_len =
+        std::max(old_len, std::max(offset, block_lo) + new_in_block - block_lo);
+    Buffer content(static_cast<std::size_t>(new_len));
+    // Old coverage first (holes beyond it read as zeros by contract)...
+    if (const std::int64_t keep = std::min(kept, new_len); keep > 0)
+      std::memcpy(content.data(), scratch.data(),
+                  static_cast<std::size_t>(keep));
+    // ...then the incoming bytes for this block on top.
+    const std::int64_t src_off = std::max(offset, block_lo) - offset;
+    const std::int64_t dst_off = std::max(offset, block_lo) - block_lo;
+    std::memcpy(content.data() + dst_off, data.data() + src_off,
+                static_cast<std::size_t>(new_in_block));
+    sums_[b] = BlockSum{crc32(content.data(), content.size()), new_len};
+  }
+  inner_->write(offset, data);
+  logical_size_ = std::max(logical_size_, end);
+}
+
+void IntegrityStorage::read(std::int64_t offset,
+                            std::span<std::byte> out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset < 0 ||
+      offset + static_cast<std::int64_t>(out.size()) > logical_size_)
+    throw std::out_of_range("IntegrityStorage::read: range beyond subfile");
+  if (out.empty()) return;
+  try {
+    inner_->read(offset, out);
+  } catch (const std::out_of_range&) {
+    // Bounds were checked against the intended size above, so an inner
+    // range error means the backend is shorter than what was acknowledged.
+    throw StorageCorruptionError(
+        "IntegrityStorage: stored data shorter than acknowledged writes "
+        "(torn write)");
+  }
+  // Verify after the data read: any rot injected while reading is in the
+  // store by now, so the per-block pass below sees it and throws rather
+  // than letting silently wrong bytes escape.
+  const std::int64_t end = offset + static_cast<std::int64_t>(out.size());
+  Buffer scratch;
+  for (std::int64_t b = offset / block_; b <= (end - 1) / block_; ++b)
+    verify_block(b, scratch);
+}
+
+std::int64_t IntegrityStorage::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logical_size_;
+}
+
 std::unique_ptr<SubfileStorage> make_storage(const std::filesystem::path& dir,
-                                             int subfile_id) {
-  if (dir.empty()) return std::make_unique<MemoryStorage>();
-  std::filesystem::create_directories(dir);
-  return std::make_unique<FileStorage>(dir / ("subfile_" + std::to_string(subfile_id)));
+                                             int subfile_id, int replica,
+                                             const StorageFaultPlan* faults) {
+  std::unique_ptr<SubfileStorage> storage;
+  if (dir.empty()) {
+    storage = std::make_unique<MemoryStorage>();
+  } else {
+    std::filesystem::create_directories(dir);
+    std::string name = "subfile_" + std::to_string(subfile_id);
+    if (replica > 0) name += ".r" + std::to_string(replica);
+    storage = std::make_unique<FileStorage>(dir / name);
+  }
+  std::optional<StorageFaultPlan> env_plan;
+  if (!faults) {
+    env_plan = storage_fault_plan_from_env();
+    if (env_plan) faults = &*env_plan;
+  }
+  if (faults)
+    storage = std::make_unique<FaultyStorage>(std::move(storage), *faults,
+                                              subfile_id, replica);
+  return storage;
 }
 
 }  // namespace pfm

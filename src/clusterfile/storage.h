@@ -1,20 +1,43 @@
 // Subfile storage backends for the Clusterfile I/O nodes (paper section 8.2
 // measures writes both to the buffer cache and to disk; we expose the same
 // distinction as an in-memory backend and a real-file backend).
+//
+// Replication support (DESIGN.md "Failure model"): every storage carries a
+// monotonic write epoch — the I/O server bumps it once per applied write, and
+// the re-sync protocol uses the epoch gap to decide which ranges a restarted
+// replica missed. Decorators wrap a backend without changing its address
+// space: IntegrityStorage records a CRC-32 per fixed-size block so torn
+// writes and at-rest bit rot surface as StorageCorruptionError instead of
+// silently wrong bytes; FaultyStorage (storage_fault.h) injects exactly
+// those faults deterministically.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "util/buffer.h"
 
 namespace pfm {
 
+struct StorageFaultPlan;  // storage_fault.h
+
+/// At-rest corruption detected by an integrity check: the stored bytes no
+/// longer match the checksum recorded when they were written (bit rot, or a
+/// torn write that persisted only a prefix). Terminal for the replica that
+/// raised it — retrying the read returns the same rotten bytes.
+class StorageCorruptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Linear-addressable subfile storage. Writes beyond the current size grow
-/// the subfile (zero-filled holes).
+/// the subfile (zero-filled holes); empty writes are no-ops and never grow.
 class SubfileStorage {
  public:
   virtual ~SubfileStorage() = default;
@@ -25,6 +48,21 @@ class SubfileStorage {
   /// Pushes pending data toward the medium (no-op for memory).
   virtual void flush() = 0;
   virtual std::string kind() const = 0;
+
+  /// Monotonic per-subfile write epoch, bumped by the owning I/O server once
+  /// per applied write when replication is on. Backends that outlive a
+  /// server restart persist it next to the data (FileStorage keeps a
+  /// sidecar); decorators forward both calls to the wrapped storage.
+  virtual std::int64_t epoch() const { return epoch_; }
+  virtual void set_epoch(std::int64_t e) { epoch_ = e; }
+
+  /// Stops any storage-fault injection below this point in the stack
+  /// (FaultyStorage overrides; decorators forward; backends no-op). Lets a
+  /// soak test freeze the fault state before verifying scrub repairs.
+  virtual void disarm_faults() {}
+
+ protected:
+  std::int64_t epoch_ = 0;
 };
 
 /// Buffer-cache analog: the subfile lives in a std::vector.
@@ -42,10 +80,13 @@ class MemoryStorage final : public SubfileStorage {
   Buffer data_;
 };
 
-/// Disk analog: the subfile is a real file accessed with pread/pwrite.
+/// Disk analog: the subfile is a real file accessed with pread/pwrite. The
+/// logical size is cached and maintained across writes so bounds-checked
+/// reads cost no extra syscall; the write epoch is persisted in a
+/// `<path>.epoch` sidecar so it survives the process that wrote it.
 class FileStorage final : public SubfileStorage {
  public:
-  /// Creates (truncates) the backing file.
+  /// Creates (truncates) the backing file and removes a stale sidecar.
   explicit FileStorage(std::filesystem::path path);
   ~FileStorage() override;
 
@@ -58,16 +99,77 @@ class FileStorage final : public SubfileStorage {
   void flush() override;
   std::string kind() const override { return "file"; }
 
+  void set_epoch(std::int64_t e) override;
+
   const std::filesystem::path& path() const { return path_; }
 
  private:
   std::filesystem::path path_;
   int fd_ = -1;
+  int epoch_fd_ = -1;        ///< sidecar, opened lazily on first set_epoch
+  std::int64_t size_ = 0;    ///< cached logical size (satellite: no lseek
+                             ///< per bounds-checked read)
+};
+
+/// Integrity decorator: records a CRC-32 per `block_bytes` block covering
+/// the content each write intended, and verifies every block a read touches
+/// against the bytes the inner storage actually holds. A mismatch — or an
+/// inner file shorter than the recorded coverage (torn write) — throws
+/// StorageCorruptionError. Holes never written through this layer are
+/// unverified (they read as zeros by the storage growth contract).
+///
+/// size() reports the *intended* logical size (max end offset ever written
+/// plus the construction-time inner size), which stays honest even when a
+/// torn write left the inner backend short.
+class IntegrityStorage final : public SubfileStorage {
+ public:
+  static constexpr std::int64_t kDefaultBlock = 4096;
+
+  explicit IntegrityStorage(std::unique_ptr<SubfileStorage> inner,
+                            std::int64_t block_bytes = kDefaultBlock);
+
+  void write(std::int64_t offset, std::span<const std::byte> data) override;
+  void read(std::int64_t offset, std::span<std::byte> out) const override;
+  std::int64_t size() const override;
+  void flush() override { inner_->flush(); }
+  std::string kind() const override {
+    return "integrity(" + inner_->kind() + ")";
+  }
+
+  std::int64_t epoch() const override { return inner_->epoch(); }
+  void set_epoch(std::int64_t e) override { inner_->set_epoch(e); }
+  void disarm_faults() override { inner_->disarm_faults(); }
+
+  std::int64_t block_bytes() const { return block_; }
+  SubfileStorage& inner() { return *inner_; }
+  const SubfileStorage& inner() const { return *inner_; }
+
+ private:
+  struct BlockSum {
+    std::uint32_t crc = 0;
+    std::int64_t len = 0;  ///< bytes of the block the crc covers
+  };
+
+  /// Reads the recorded coverage of block `b` from the inner storage into
+  /// `scratch` and checks its CRC. Returns the covered length (0 when the
+  /// block was never written through this layer).
+  std::int64_t verify_block(std::int64_t b, Buffer& scratch) const;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<SubfileStorage> inner_;
+  std::int64_t block_;
+  std::int64_t logical_size_ = 0;
+  std::unordered_map<std::int64_t, BlockSum> sums_;
 };
 
 /// Factory covering both backends: `dir` empty -> memory; otherwise a file
-/// named subfile_<id> inside dir.
-std::unique_ptr<SubfileStorage> make_storage(const std::filesystem::path& dir,
-                                             int subfile_id);
+/// named subfile_<id> (replica 0) or subfile_<id>.r<replica> inside dir, so
+/// replicas of one subfile sharing a directory never collide. When `faults`
+/// is non-null — or, failing that, when PFM_STORAGE_FAULT_* environment
+/// knobs request nonzero fault rates (storage_fault.h) — the backend is
+/// wrapped in a FaultyStorage driven by that plan.
+std::unique_ptr<SubfileStorage> make_storage(
+    const std::filesystem::path& dir, int subfile_id, int replica = 0,
+    const StorageFaultPlan* faults = nullptr);
 
 }  // namespace pfm

@@ -17,13 +17,17 @@ ReliabilityCounters& ReliabilityCounters::operator+=(
   duplicates_suppressed += o.duplicates_suppressed;
   failures += o.failures;
   errors_sent += o.errors_sent;
+  failovers += o.failovers;
+  degraded += o.degraded;
+  replica_failures += o.replica_failures;
   return *this;
 }
 
 bool ReliabilityCounters::all_zero() const {
   return retries == 0 && timeouts == 0 && stale_replies == 0 &&
          corruptions_detected == 0 && view_reinstalls == 0 &&
-         duplicates_suppressed == 0 && failures == 0 && errors_sent == 0;
+         duplicates_suppressed == 0 && failures == 0 && errors_sent == 0 &&
+         failovers == 0 && degraded == 0 && replica_failures == 0;
 }
 
 double Stats::mean() const {

@@ -24,6 +24,13 @@ struct ReliabilityCounters {
   std::int64_t duplicates_suppressed = 0; ///< retransmits answered from cache
   std::int64_t failures = 0;              ///< targets failed after all retries
   std::int64_t errors_sent = 0;           ///< kError replies a server issued
+  std::int64_t failovers = 0;             ///< requests retargeted to a backup
+                                          ///< replica after the current node
+                                          ///< was given up on
+  std::int64_t degraded = 0;              ///< accesses that completed without
+                                          ///< a full healthy replica set
+  std::int64_t replica_failures = 0;      ///< replica requests abandoned while
+                                          ///< the access still succeeded
 
   ReliabilityCounters& operator+=(const ReliabilityCounters& o);
   bool all_zero() const;

@@ -1,19 +1,32 @@
-// Tests for the subfile storage backends.
+// Tests for the subfile storage backends, the per-block integrity layer and
+// the deterministic storage fault injector.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <system_error>
 
 #include "clusterfile/storage.h"
+#include "clusterfile/storage_fault.h"
 #include "util/buffer.h"
 
 namespace pfm {
 namespace {
 
+/// Scratch directory for file-backed storage tests; PFM_TEST_STORAGE_DIR
+/// overrides the base (CI points it at a tmpfs inside the runner).
+std::filesystem::path test_dir(const std::string& leaf) {
+  std::filesystem::path base = std::filesystem::temp_directory_path();
+  if (const char* env = std::getenv("PFM_TEST_STORAGE_DIR"); env && *env)
+    base = env;
+  return base / leaf;
+}
+
 class StorageTest : public ::testing::TestWithParam<bool> {
  protected:
   std::unique_ptr<SubfileStorage> make() {
     if (GetParam()) {
-      dir_ = std::filesystem::temp_directory_path() / "pfm_storage_test";
+      dir_ = test_dir("pfm_storage_test");
       std::filesystem::remove_all(dir_);
       return make_storage(dir_, 0);
     }
@@ -80,12 +93,264 @@ INSTANTIATE_TEST_SUITE_P(Backends, StorageTest, ::testing::Bool(),
                            return info.param ? "File" : "Memory";
                          });
 
+// Regression: an empty write past EOF used to grow MemoryStorage (and a
+// zero-length memcpy from a null span is UB); empty writes must be complete
+// no-ops on both backends.
+TEST_P(StorageTest, EmptyWriteNeverGrows) {
+  auto s = make();
+  s->write(1000, std::span<const std::byte>{});
+  EXPECT_EQ(s->size(), 0);
+  s->write(0, make_pattern_buffer(8, 5));
+  s->write(5000, std::span<const std::byte>{});
+  EXPECT_EQ(s->size(), 8);
+  Buffer nothing;
+  EXPECT_NO_THROW(s->read(8, nothing));  // empty read at EOF is fine
+}
+
+TEST_P(StorageTest, EpochIsIndependentOfData) {
+  auto s = make();
+  EXPECT_EQ(s->epoch(), 0);
+  s->set_epoch(7);
+  s->write(0, make_pattern_buffer(8, 6));
+  EXPECT_EQ(s->epoch(), 7);
+  s->set_epoch(8);
+  EXPECT_EQ(s->epoch(), 8);
+}
+
+TEST_P(StorageTest, ReplicaNamesDoNotCollide) {
+  auto s = make();
+  if (!GetParam()) return;  // naming only matters for the file backend
+  auto r1 = make_storage(dir_, 0, 1);
+  s->write(0, make_pattern_buffer(8, 1));
+  r1->write(0, make_pattern_buffer(16, 2));
+  EXPECT_EQ(s->size(), 8);
+  EXPECT_EQ(r1->size(), 16);
+}
+
 TEST(Storage, KindNames) {
   EXPECT_EQ(make_storage({}, 0)->kind(), "memory");
-  const auto dir = std::filesystem::temp_directory_path() / "pfm_storage_kind";
+  const auto dir = test_dir("pfm_storage_kind");
   std::filesystem::remove_all(dir);
   EXPECT_EQ(make_storage(dir, 1)->kind(), "file");
   std::filesystem::remove_all(dir);
+}
+
+TEST(Storage, FileEpochSurvivesInSidecar) {
+  const auto dir = test_dir("pfm_storage_epoch");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    FileStorage st(dir / "subfile_0");
+    st.write(0, make_pattern_buffer(8, 3));
+    st.set_epoch(42);
+  }
+  // The sidecar outlives the writer process; a fresh FileStorage over the
+  // same path truncates (restart_server reuses the *object*, not the path),
+  // so read the sidecar directly.
+  EXPECT_TRUE(std::filesystem::exists(dir / "subfile_0.epoch"));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// IntegrityStorage
+// ---------------------------------------------------------------------------
+
+TEST(IntegrityStorage, RoundTripAndHolePreserved) {
+  IntegrityStorage st(std::make_unique<MemoryStorage>(), 64);
+  const Buffer data = make_pattern_buffer(200, 8);
+  st.write(0, data);
+  st.write(500, data);  // hole in [200, 500)
+  Buffer back(200);
+  st.read(500, back);
+  EXPECT_TRUE(equal_bytes(back, data));
+  Buffer hole(64);
+  st.read(300, hole);
+  for (std::byte b : hole) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(st.size(), 700);
+}
+
+TEST(IntegrityStorage, DetectsBitRotUnderneath) {
+  auto inner = std::make_unique<MemoryStorage>();
+  MemoryStorage* raw = inner.get();
+  IntegrityStorage st(std::move(inner), 64);
+  st.write(0, make_pattern_buffer(128, 9));
+  // Flip one stored bit behind the integrity layer's back.
+  Buffer one(1);
+  raw->read(70, one);
+  one[0] ^= std::byte{0x10};
+  raw->write(70, one);
+  Buffer back(128);
+  EXPECT_THROW(st.read(0, back), StorageCorruptionError);
+  // The undamaged block is still readable.
+  Buffer first(64);
+  EXPECT_NO_THROW(st.read(0, first));
+}
+
+TEST(IntegrityStorage, DetectsTornWriteUnderneath) {
+  auto inner = std::make_unique<MemoryStorage>();
+  IntegrityStorage st(std::make_unique<MemoryStorage>(), 64);
+  // Simulate the tear with FaultyStorage: every write persists a prefix.
+  StorageFaultPlan plan;
+  plan.seed = 3;
+  StorageFaultRule rule;
+  rule.op = StorageFaultRule::Op::kWrite;
+  rule.torn_write = 1.0;
+  plan.rules.push_back(rule);
+  IntegrityStorage torn(
+      std::make_unique<FaultyStorage>(std::make_unique<MemoryStorage>(), plan),
+      64);
+  torn.write(0, make_pattern_buffer(128, 10));
+  EXPECT_EQ(torn.size(), 128);  // intended size stays honest
+  Buffer back(128);
+  EXPECT_THROW(torn.read(0, back), StorageCorruptionError);
+}
+
+TEST(IntegrityStorage, FullBlockOverwriteRepairsCorruption) {
+  auto inner = std::make_unique<MemoryStorage>();
+  MemoryStorage* raw = inner.get();
+  IntegrityStorage st(std::move(inner), 64);
+  st.write(0, make_pattern_buffer(64, 11));
+  Buffer one(1);
+  raw->read(3, one);
+  one[0] ^= std::byte{0x01};
+  raw->write(3, one);
+  Buffer back(64);
+  EXPECT_THROW(st.read(0, back), StorageCorruptionError);
+  // Scrub's repair path: a write covering the block's whole recorded
+  // coverage must succeed over the corrupt bytes and restore readability.
+  const Buffer fresh = make_pattern_buffer(64, 12);
+  EXPECT_NO_THROW(st.write(0, fresh));
+  st.read(0, back);
+  EXPECT_TRUE(equal_bytes(back, fresh));
+}
+
+TEST(IntegrityStorage, PartialOverwriteOfCorruptBlockThrows) {
+  auto inner = std::make_unique<MemoryStorage>();
+  MemoryStorage* raw = inner.get();
+  IntegrityStorage st(std::move(inner), 64);
+  st.write(0, make_pattern_buffer(64, 13));
+  Buffer one(1);
+  raw->read(40, one);
+  one[0] ^= std::byte{0x80};
+  raw->write(40, one);
+  // A partial overwrite must not quietly launder the rotten remainder into
+  // a fresh checksum.
+  EXPECT_THROW(st.write(0, make_pattern_buffer(8, 14)), StorageCorruptionError);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStorage
+// ---------------------------------------------------------------------------
+
+StorageFaultPlan one_rule_plan(std::uint64_t seed, StorageFaultRule rule) {
+  StorageFaultPlan plan;
+  plan.seed = seed;
+  plan.rules.push_back(rule);
+  return plan;
+}
+
+TEST(FaultyStorage, SameSeedSameFaults) {
+  StorageFaultRule rule;
+  rule.torn_write = 0.3;
+  rule.eio = 0.1;
+  auto run = [&](std::uint64_t seed) {
+    FaultyStorage st(std::make_unique<MemoryStorage>(),
+                     one_rule_plan(seed, rule), /*subfile_id=*/2,
+                     /*replica=*/1);
+    const Buffer data = make_pattern_buffer(64, 15);
+    for (int i = 0; i < 200; ++i) {
+      try {
+        st.write(static_cast<std::int64_t>(i) * 64, data);
+      } catch (const std::system_error&) {
+      }
+    }
+    return st.counters();
+  };
+  const auto a = run(9), b = run(9), c = run(10);
+  EXPECT_EQ(a.torn_writes, b.torn_writes);
+  EXPECT_EQ(a.eio_injected, b.eio_injected);
+  EXPECT_GT(a.torn_writes, 0);
+  EXPECT_GT(a.eio_injected, 0);
+  // A different seed gives a different (still nonempty) fault sequence.
+  EXPECT_TRUE(a.torn_writes != c.torn_writes || a.eio_injected != c.eio_injected);
+}
+
+TEST(FaultyStorage, TornWritePersistsStrictPrefix) {
+  StorageFaultRule rule;
+  rule.op = StorageFaultRule::Op::kWrite;
+  rule.torn_write = 1.0;
+  FaultyStorage st(std::make_unique<MemoryStorage>(), one_rule_plan(4, rule));
+  const Buffer data = make_pattern_buffer(100, 16);
+  EXPECT_NO_THROW(st.write(0, data));  // the tear still acks
+  EXPECT_EQ(st.counters().torn_writes, 1);
+  EXPECT_LT(st.size(), 100);  // strictly shorter than the intended write
+}
+
+TEST(FaultyStorage, BitRotFlipsExactlyOneStoredBit) {
+  StorageFaultRule rule;
+  rule.op = StorageFaultRule::Op::kRead;
+  rule.bit_rot = 1.0;
+  FaultyStorage st(std::make_unique<MemoryStorage>(), one_rule_plan(5, rule));
+  const Buffer data = make_pattern_buffer(64, 17);
+  st.write(0, data);
+  Buffer back(64);
+  st.read(0, back);
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    unsigned diff = std::to_integer<unsigned>(back[i] ^ data[i]);
+    while (diff) {
+      flipped_bits += static_cast<int>(diff & 1u);
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(st.counters().bits_rotted, 1);
+  // The rot is persistent: disarm and re-read — the flip is still there.
+  st.disarm_faults();
+  Buffer again(64);
+  st.read(0, again);
+  EXPECT_EQ(again, back);
+}
+
+TEST(FaultyStorage, DeadAfterBudgetIsSticky) {
+  StorageFaultRule rule;
+  rule.dead_after = 3;
+  FaultyStorage st(std::make_unique<MemoryStorage>(), one_rule_plan(6, rule));
+  const Buffer data = make_pattern_buffer(8, 18);
+  for (int i = 0; i < 3; ++i) EXPECT_NO_THROW(st.write(i * 8, data));
+  EXPECT_THROW(st.write(24, data), std::system_error);
+  EXPECT_TRUE(st.dead());
+  Buffer out(8);
+  EXPECT_THROW(st.read(0, out), std::system_error);
+  // Death models hardware: disarming the injector does not resurrect it.
+  st.disarm_faults();
+  EXPECT_THROW(st.read(0, out), std::system_error);
+  EXPECT_GE(st.counters().dead_rejected, 2);
+}
+
+TEST(FaultyStorage, DisarmStopsProbabilisticFaults) {
+  StorageFaultRule rule;
+  rule.eio = 1.0;
+  FaultyStorage st(std::make_unique<MemoryStorage>(), one_rule_plan(7, rule));
+  const Buffer data = make_pattern_buffer(8, 19);
+  EXPECT_THROW(st.write(0, data), std::system_error);
+  st.disarm_faults();
+  EXPECT_NO_THROW(st.write(0, data));
+}
+
+TEST(FaultyStorage, EnvPlanParsesKnobs) {
+  ASSERT_EQ(std::getenv("PFM_STORAGE_FAULT_TORN"), nullptr)
+      << "test environment already sets storage fault knobs";
+  EXPECT_FALSE(storage_fault_plan_from_env().has_value());
+  setenv("PFM_STORAGE_FAULT_TORN", "0.25", 1);
+  setenv("PFM_STORAGE_FAULT_SEED", "99", 1);
+  const auto plan = storage_fault_plan_from_env();
+  unsetenv("PFM_STORAGE_FAULT_TORN");
+  unsetenv("PFM_STORAGE_FAULT_SEED");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 99u);
+  ASSERT_EQ(plan->rules.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan->rules[0].torn_write, 0.25);
 }
 
 }  // namespace
