@@ -1,5 +1,7 @@
 #include "cluster/channel.h"
 
+#include "util/lockdep.h"
+
 namespace pfm {
 
 /// Counts the enclosing thread as a waiter while it blocks on a condition
@@ -7,8 +9,10 @@ namespace pfm {
 /// leaves a closed channel. Constructed and destroyed under mu_.
 class Channel::WaiterScope {
  public:
-  explicit WaiterScope(Channel& ch) : ch_(ch) { ++ch_.waiters_; }
-  ~WaiterScope() {
+  explicit WaiterScope(Channel& ch) PFM_REQUIRES(ch.mu_) : ch_(ch) {
+    ++ch_.waiters_;
+  }
+  ~WaiterScope() PFM_REQUIRES(ch_.mu_) {
     if (--ch_.waiters_ == 0 && ch_.closed_) ch_.no_waiters_.notify_all();
   }
   WaiterScope(const WaiterScope&) = delete;
@@ -18,24 +22,26 @@ class Channel::WaiterScope {
   Channel& ch_;
 };
 
-Channel::Channel(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+Channel::Channel(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
 
 Channel::~Channel() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   not_full_.notify_all();
   not_empty_.notify_all();
   // Senders and receivers woken by the close still re-lock mu_ and read
-  // state inside their predicate; destroying the synchronization objects
+  // state inside their wait loop; destroying the synchronization objects
   // under them would be a use-after-free. Wait until they have all left.
-  no_waiters_.wait(lock, [&] { return waiters_ == 0; });
+  while (waiters_ != 0) no_waiters_.wait(lock);
 }
 
 bool Channel::send(Message msg) {
-  std::unique_lock<std::mutex> lock(mu_);
+  PFM_LOCKDEP_ASSERT_UNLOCKED("Channel::send");
+  MutexLock lock(mu_);
   {
     WaiterScope scope(*this);
-    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(lock);
   }
   if (closed_) return false;
   queue_.push_back(std::move(msg));
@@ -44,10 +50,11 @@ bool Channel::send(Message msg) {
 }
 
 std::optional<Message> Channel::receive() {
-  std::unique_lock<std::mutex> lock(mu_);
+  PFM_LOCKDEP_ASSERT_UNLOCKED("Channel::receive");
+  MutexLock lock(mu_);
   {
     WaiterScope scope(*this);
-    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    while (!closed_ && queue_.empty()) not_empty_.wait(lock);
   }
   if (queue_.empty()) return std::nullopt;  // closed and drained
   Message msg = std::move(queue_.front());
@@ -57,11 +64,15 @@ std::optional<Message> Channel::receive() {
 }
 
 std::optional<Message> Channel::receive_for(std::chrono::nanoseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
+  PFM_LOCKDEP_ASSERT_UNLOCKED("Channel::receive_for");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
   {
     WaiterScope scope(*this);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return closed_ || !queue_.empty(); });
+    while (!closed_ && queue_.empty()) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout)
+        break;
+    }
   }
   if (queue_.empty()) return std::nullopt;  // timed out, or closed and drained
   Message msg = std::move(queue_.front());
@@ -71,7 +82,7 @@ std::optional<Message> Channel::receive_for(std::chrono::nanoseconds timeout) {
 }
 
 std::optional<Message> Channel::try_receive() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queue_.empty()) return std::nullopt;
   Message msg = std::move(queue_.front());
   queue_.pop_front();
@@ -80,19 +91,19 @@ std::optional<Message> Channel::try_receive() {
 }
 
 void Channel::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   not_full_.notify_all();
   not_empty_.notify_all();
 }
 
 bool Channel::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t Channel::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

@@ -39,7 +39,7 @@ void FaultInjector::flip_random_bit(Message& msg) {
 }
 
 std::vector<Message> FaultInjector::process(Message msg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Message> out;
 
   // Every offered message ages the limbo queue by one delivery slot;
@@ -93,49 +93,49 @@ std::vector<Message> FaultInjector::process(Message msg) {
 }
 
 void FaultInjector::isolate(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   isolated_.insert(node);
 }
 
 void FaultInjector::restore(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   isolated_.erase(node);
 }
 
 void FaultInjector::cut(int a, int b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cuts_.insert({std::min(a, b), std::max(a, b)});
 }
 
 void FaultInjector::heal(int a, int b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cuts_.erase({std::min(a, b), std::max(a, b)});
 }
 
 bool FaultInjector::delivers(int src, int dst) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return isolated_.count(src) == 0 && isolated_.count(dst) == 0 &&
          cuts_.count({std::min(src, dst), std::max(src, dst)}) == 0;
 }
 
 FaultInjector::Counters FaultInjector::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 void FaultInjector::reset_counters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_ = Counters{};
   modeled_delay_us_ = 0.0;
 }
 
 std::size_t FaultInjector::in_limbo() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return limbo_.size();
 }
 
 double FaultInjector::modeled_delay_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return modeled_delay_us_;
 }
 

@@ -12,14 +12,15 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "cluster/message.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace pfm {
 
@@ -78,20 +79,21 @@ class FaultInjector {
 
  private:
   const FaultRule* match(const Message& msg) const;
-  void flip_random_bit(Message& msg);
+  void flip_random_bit(Message& msg) PFM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  FaultPlan plan_;
-  Rng rng_;
-  std::set<int> isolated_;
-  std::set<std::pair<int, int>> cuts_;  ///< normalized (min, max) pairs
+  mutable Mutex mu_{"FaultInjector::mu"};
+  FaultPlan plan_;  ///< immutable after construction
+  Rng rng_ PFM_GUARDED_BY(mu_);
+  std::set<int> isolated_ PFM_GUARDED_BY(mu_);
+  /// Normalized (min, max) pairs.
+  std::set<std::pair<int, int>> cuts_ PFM_GUARDED_BY(mu_);
   struct Delayed {
     Message msg;
     int remaining;  ///< deliveries left to slip past
   };
-  std::vector<Delayed> limbo_;
-  Counters counters_;
-  double modeled_delay_us_ = 0.0;
+  std::vector<Delayed> limbo_ PFM_GUARDED_BY(mu_);
+  Counters counters_ PFM_GUARDED_BY(mu_);
+  double modeled_delay_us_ PFM_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace pfm

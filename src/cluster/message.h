@@ -101,4 +101,45 @@ void stamp_checksum(Message& m);
 /// True when the message is not checksummed or its checksum matches.
 bool verify_checksum(const Message& m);
 
+// ---------------------------------------------------------------------------
+// Wire format (ROADMAP item 4 groundwork: a real transport needs bytes, the
+// in-process Channel does not). Little-endian, fixed 68-byte header followed
+// by meta then payload:
+//
+//   offset  size  field
+//        0     4  magic "PFM1" (0x31 0x4d 0x46 0x50 as a LE u32)
+//        4     1  version (1)
+//        5     1  kind        (validated against MsgKind)
+//        6     1  flags       bit0 contiguous, bit1 checksummed; other bits
+//                             must be zero
+//        7     1  err         (validated against ErrCode)
+//        8     4  src_node    (i32)
+//       12     4  dst_node    (i32)
+//       16     4  subfile     (i32)
+//       20     8  view_id     (i64)
+//       28     8  v           (i64)
+//       36     8  w           (i64)
+//       44     8  req_id      (u64)
+//       52     4  checksum    (u32; meaningful only with the checksummed flag)
+//       56     4  meta_len    (u32)
+//       60     8  payload_len (u64)
+//       68     meta_len bytes of meta, then payload_len bytes of payload
+//
+// decode_message is strict: it throws std::invalid_argument — never any
+// other exception type — on short input, bad magic/version, unknown kind,
+// err or flag bits, or when meta_len/payload_len disagree with the actual
+// input size (both truncated and trailing bytes are rejected). It does NOT
+// verify the content checksum: transports call verify_checksum separately so
+// corruption is counted and answered (kBadChecksum) rather than treated as a
+// framing error.
+
+/// Fixed header size of the byte encoding.
+inline constexpr std::size_t kWireHeaderSize = 68;
+
+/// Serializes a message to its byte encoding.
+Buffer encode_message(const Message& m);
+/// Parses a byte encoding produced by encode_message (or by a peer
+/// implementation). Throws std::invalid_argument on any malformed input.
+Message decode_message(std::span<const std::byte> wire);
+
 }  // namespace pfm

@@ -24,18 +24,25 @@ void NodeLoop::run() {
 }
 
 void NodeLoop::stop() {
-  // Two threads racing through an unguarded joinable()/join() pair would
-  // both pass the check and one would join a thread already being joined.
-  std::lock_guard<std::mutex> lock(stop_mu_);
-  if (thread_.joinable()) {
+  // The shutdown message is sent BEFORE stop_mu_ is taken: Channel::send
+  // blocks when the inbox is full, and a blocking send under a held mutex
+  // is both a lockdep violation and a real deadlock when the loop thread —
+  // the only consumer of this inbox — is what a stop_mu_ holder would wait
+  // on (regression: lockdep_test.cpp, NodeLoopStopHoldsNoLockAcrossSend).
+  // The flag keeps the send single-shot, so a second stop() after the join
+  // cannot park a stale kShutdown in the inbox for a restarted server.
+  if (!stop_sent_.exchange(true, std::memory_order_acq_rel)) {
     Message bye;
     bye.kind = MsgKind::kShutdown;
     bye.dst_node = node_id_;
     // A closed inbox drops the message, which is fine: the loop is already
     // unblocked (receive returns nullopt) and exits on its own.
     net_.send(node_id_, std::move(bye));
-    thread_.join();
   }
+  // Two threads racing through an unguarded joinable()/join() pair would
+  // both pass the check and one would join a thread already being joined.
+  MutexLock lock(stop_mu_);
+  if (thread_.joinable()) thread_.join();
 }
 
 }  // namespace pfm

@@ -3,11 +3,13 @@
 // is the one user in this repository.
 #pragma once
 
+#include <atomic>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "cluster/network.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pfm {
 
@@ -27,7 +29,7 @@ class NodeLoop {
 
   /// Sends a shutdown message to the loop and joins the thread; safe to call
   /// more than once and from concurrent threads (joining is serialized).
-  void stop();
+  void stop() PFM_EXCLUDES(stop_mu_);
 
  private:
   void run();
@@ -35,8 +37,11 @@ class NodeLoop {
   Network& net_;
   int node_id_;
   Handler handler_;
-  std::mutex stop_mu_;  ///< serializes joinable-check + join in stop()
-  std::thread thread_;
+  /// Ensures exactly one stop() call sends the shutdown message, so a later
+  /// restart over the same inbox never finds a stale kShutdown queued.
+  std::atomic<bool> stop_sent_{false};
+  Mutex stop_mu_{"NodeLoop::stop_mu"};  ///< serializes joinable-check + join
+  std::thread thread_ PFM_GUARDED_BY(stop_mu_);
 };
 
 }  // namespace pfm

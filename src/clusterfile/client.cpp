@@ -53,6 +53,7 @@ ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
 
 std::int64_t ClusterfileClient::set_view(FallsSet falls,
                                          std::int64_t view_pattern_size) {
+  AccessCanary::Scope guard(canary_);
   const PartitioningPattern& phys = *meta_.physical;
   // The view FALLS come straight from the application: reject malformed
   // input here, where the error names the caller's mistake, instead of
@@ -582,6 +583,7 @@ void ClusterfileClient::transact(
 ClusterfileClient::AccessTimings ClusterfileClient::write(
     std::int64_t view_id, std::int64_t v, std::int64_t w,
     std::span<const std::byte> data) {
+  AccessCanary::Scope guard(canary_);
   if (v > w) throw std::invalid_argument("ClusterfileClient::write: v > w");
   if (static_cast<std::int64_t>(data.size()) < w - v + 1)
     throw std::invalid_argument("ClusterfileClient::write: short buffer");
@@ -678,6 +680,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
 ClusterfileClient::AccessTimings ClusterfileClient::read(
     std::int64_t view_id, std::int64_t v, std::int64_t w,
     std::span<std::byte> out_buf) {
+  AccessCanary::Scope guard(canary_);
   if (v > w) throw std::invalid_argument("ClusterfileClient::read: v > w");
   if (static_cast<std::int64_t>(out_buf.size()) < w - v + 1)
     throw std::invalid_argument("ClusterfileClient::read: short buffer");

@@ -48,6 +48,7 @@
 #include "cluster/network.h"
 #include "file_model/pattern.h"
 #include "redist/gather_scatter.h"
+#include "util/lockdep.h"
 #include "util/lru.h"
 #include "util/stats.h"
 
@@ -304,6 +305,10 @@ class ClusterfileClient {
   RetryPolicy policy_;
   bool allow_partial_ = false;
   ReliabilityCounters rel_;
+  /// The client is single-threaded per instance (header contract above);
+  /// the canary makes a concurrent set_view/read/write a deterministic
+  /// check failure in lockdep builds instead of a views_/cache race.
+  AccessCanary canary_{"ClusterfileClient"};
 };
 
 }  // namespace pfm

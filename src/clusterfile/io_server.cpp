@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "falls/serialize.h"
+#include "util/arith.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -57,8 +58,8 @@ Ranges parse_ranges(const std::string& text) {
     const std::size_t colon = tok.find(':');
     if (colon == std::string::npos)
       throw std::invalid_argument("IoServer: malformed sync range '" + tok + "'");
-    const std::int64_t off = std::stoll(tok.substr(0, colon));
-    const std::int64_t len = std::stoll(tok.substr(colon + 1));
+    const std::int64_t off = parse_i64(tok.substr(0, colon));
+    const std::int64_t len = parse_i64(tok.substr(colon + 1));
     if (off < 0 || len <= 0)
       throw std::invalid_argument("IoServer: bad sync range '" + tok + "'");
     out.emplace_back(off, len);
@@ -118,34 +119,34 @@ std::int64_t IoServer::subfile_epoch(int subfile_id) const {
   const auto it = subfiles_.find(subfile_id);
   if (it == subfiles_.end())
     throw std::out_of_range("IoServer::subfile_epoch: subfile not served here");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return it->second.storage->epoch();
 }
 
 double IoServer::scatter_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return scatter_.total_us();
 }
 
 double IoServer::gather_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return gather_.total_us();
 }
 
 std::int64_t IoServer::writes_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writes_;
 }
 
 void IoServer::reset_phases() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   scatter_.clear();
   gather_.clear();
   writes_ = 0;
 }
 
 ReliabilityCounters IoServer::reliability() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rel_;
 }
 
@@ -154,7 +155,7 @@ void IoServer::handle(Message&& msg) {
   // the wire damaged. The client resends on kBadChecksum.
   if (!verify_checksum(msg)) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++rel_.corruptions_detected;
     }
     PFM_WARN("IoServer ", node_id_, ": checksum mismatch on ",
@@ -172,7 +173,7 @@ void IoServer::handle(Message&& msg) {
     Message replay;
     bool hit = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = reply_cache_.find({msg.src_node, msg.req_id});
       if (it != reply_cache_.end()) {
         ++rel_.duplicates_suppressed;
@@ -228,7 +229,7 @@ IoServer::Subfile& IoServer::subfile_for(const Message& msg) {
 }
 
 const IndexSet& IoServer::projection_for(Subfile& sub, const Message& msg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = sub.projections.find({msg.src_node, msg.view_id});
   if (it == sub.projections.end())
     throw ProtocolError(ErrCode::kUnknownView,
@@ -249,7 +250,7 @@ void IoServer::handle_set_view(Message&& msg) {
   PFM_CHECK(proj.size() > 0, "IoServer: empty projection for subfile ",
             msg.subfile, ", view ", msg.view_id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sub.projections.insert_or_assign({msg.src_node, msg.view_id}, std::move(proj));
   }
   reply_ack(msg);
@@ -300,7 +301,7 @@ void IoServer::handle_write(Message&& msg) {
       });
     }
     sub.storage->flush();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (track_epochs_ && !written.empty()) {
       // The epoch bumps only after the whole write applied: a write that
       // failed partway (injected fault) leaves the epoch behind, so a peer
@@ -338,7 +339,7 @@ void IoServer::handle_read(Message&& msg) {
                                          static_cast<std::size_t>(len)));
       off += len;
     });
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     gather_.add_us(t.elapsed_us());
   }
   finish_reply(msg, std::move(reply), /*cacheable=*/false);
@@ -351,7 +352,7 @@ void IoServer::handle_sync_request(Message&& msg) {
   Ranges ranges;
   bool full = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     my_epoch = sub.storage->epoch();
     if (my_epoch > their_epoch) {
       // Incremental only when the log still reaches back to the epoch right
@@ -406,7 +407,7 @@ void IoServer::handle_sync_reply(Message&& msg) {
     Subfile& sub = it->second;
     std::int64_t my_epoch = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       my_epoch = sub.storage->epoch();
     }
     if (msg.v > my_epoch) {
@@ -423,7 +424,7 @@ void IoServer::handle_sync_reply(Message&& msg) {
         ++out.ranges;
       }
       sub.storage->flush();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       sub.storage->set_epoch(msg.v);
       // Pre-crash log entries no longer describe what peers are missing
       // relative to the adopted epoch; drop them so this replica answers
@@ -437,7 +438,7 @@ void IoServer::handle_sync_reply(Message&& msg) {
     out.error = e.what();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto wit = sync_waits_.find(msg.req_id);
     if (wit == sync_waits_.end()) {
       PFM_WARN("IoServer ", node_id_, ": stale sync reply ", msg.req_id);
@@ -453,7 +454,7 @@ void IoServer::handle_error_reply(const Message& msg) {
   // The only requests a server originates are sync pulls; route the error
   // to the waiting sync_subfile call.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto wit = sync_waits_.find(msg.req_id);
     if (wit != sync_waits_.end()) {
       wit->second.out.ok = false;
@@ -486,23 +487,36 @@ IoServer::SyncOutcome IoServer::sync_subfile(
     req.subfile = subfile_id;
     req.req_id = id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       req.v = it->second.storage->epoch();
       sync_waits_[id];  // register before sending: the reply may race us
     }
     if (net_.checksums_enabled()) stamp_checksum(req);
     if (!net_.send(node_id_, std::move(req))) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       sync_waits_.erase(id);
       SyncOutcome out;
       out.error = "peer unreachable";
       return out;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    const bool done = sync_cv_.wait_for(lock, per_attempt, [&] {
+    const auto deadline = std::chrono::steady_clock::now() + per_attempt;
+    MutexLock lock(mu_);
+    // Explicit wait loop (not the predicate-lambda overload): the
+    // thread-safety analysis cannot see mu_ inside a lambda, and the loop
+    // keeps every sync_waits_ access visibly under the lock.
+    bool done = false;
+    while (true) {
       const auto wit = sync_waits_.find(id);
-      return wit != sync_waits_.end() && wit->second.done;
-    });
+      if (wit != sync_waits_.end() && wit->second.done) {
+        done = true;
+        break;
+      }
+      if (sync_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        const auto late = sync_waits_.find(id);
+        done = late != sync_waits_.end() && late->second.done;
+        break;
+      }
+    }
     SyncOutcome out;
     if (done) out = sync_waits_[id].out;
     sync_waits_.erase(id);
@@ -534,7 +548,7 @@ void IoServer::reply_error(const Message& req, ErrCode code,
   err.err = code;
   err.meta = what;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++rel_.errors_sent;
   }
   // Errors are never cached: a retransmit after recovery must re-execute.
@@ -545,7 +559,7 @@ void IoServer::finish_reply(const Message& req, Message reply, bool cacheable) {
   reply.req_id = req.req_id;
   if (net_.checksums_enabled()) stamp_checksum(reply);
   if (cacheable && req.req_id != 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const std::pair<int, std::uint64_t> key{req.src_node, req.req_id};
     if (reply_cache_.emplace(key, reply).second) {
       reply_cache_order_.push_back(key);

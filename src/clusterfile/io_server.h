@@ -32,12 +32,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -46,7 +44,9 @@
 #include "cluster/node.h"
 #include "clusterfile/storage.h"
 #include "redist/gather_scatter.h"
+#include "util/mutex.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace pfm {
@@ -143,25 +143,32 @@ class IoServer {
   Network& net_;
   int node_id_;
   bool track_epochs_ = false;
+  /// Map *structure* mutated only while the loop is quiescent (constructor,
+  /// take_storages); the loop thread owns storage data and projections
+  /// between requests, while the nested projections / write_log containers
+  /// and the storage epoch are touched under mu_ (the annotation lives on
+  /// the access sites — nested members cannot name the outer mutex).
   std::map<int, Subfile> subfiles_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"IoServer::mu"};
   /// Pending sync_subfile calls by req_id, filled by the loop thread.
   struct SyncWait {
     SyncOutcome out;
     bool done = false;
   };
-  std::map<std::uint64_t, SyncWait> sync_waits_;
-  std::condition_variable sync_cv_;
+  std::map<std::uint64_t, SyncWait> sync_waits_ PFM_GUARDED_BY(mu_);
+  CondVar sync_cv_;
   static constexpr std::size_t kWriteLogCapacity = 1024;
-  PhaseAccumulator scatter_;
-  PhaseAccumulator gather_;
-  std::int64_t writes_ = 0;
-  ReliabilityCounters rel_;
+  PhaseAccumulator scatter_ PFM_GUARDED_BY(mu_);
+  PhaseAccumulator gather_ PFM_GUARDED_BY(mu_);
+  std::int64_t writes_ PFM_GUARDED_BY(mu_) = 0;
+  ReliabilityCounters rel_ PFM_GUARDED_BY(mu_);
   /// Replay cache for idempotent retransmit handling: the acknowledgment
   /// sent for each recent (client, req_id), bounded FIFO.
   static constexpr std::size_t kReplyCacheCapacity = 256;
-  std::map<std::pair<int, std::uint64_t>, Message> reply_cache_;
-  std::deque<std::pair<int, std::uint64_t>> reply_cache_order_;
+  std::map<std::pair<int, std::uint64_t>, Message> reply_cache_
+      PFM_GUARDED_BY(mu_);
+  std::deque<std::pair<int, std::uint64_t>> reply_cache_order_
+      PFM_GUARDED_BY(mu_);
   NodeLoop loop_;  // must be last: starts the thread over `handle`
 };
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "falls/serialize.h"
+#include "util/arith.h"
+#include "util/check.h"
 
 namespace pfm {
 
@@ -13,6 +15,7 @@ PartitioningPattern FileRecord::pattern() const {
 }
 
 void MetadataManager::create(FileRecord record) {
+  AccessCanary::Scope guard(canary_);
   if (record.name.empty() || record.name.find('\n') != std::string::npos)
     throw std::invalid_argument("MetadataManager: bad file name");
   if (files_.count(record.name))
@@ -42,6 +45,7 @@ void MetadataManager::create(FileRecord record) {
 }
 
 bool MetadataManager::remove(const std::string& name) {
+  AccessCanary::Scope guard(canary_);
   return files_.erase(name) > 0;
 }
 
@@ -57,6 +61,7 @@ const FileRecord& MetadataManager::lookup(const std::string& name) const {
 }
 
 void MetadataManager::update_size(const std::string& name, std::int64_t size) {
+  AccessCanary::Scope guard(canary_);
   const auto it = files_.find(name);
   if (it == files_.end())
     throw std::out_of_range("MetadataManager: no such file: " + name);
@@ -67,6 +72,7 @@ void MetadataManager::update_size(const std::string& name, std::int64_t size) {
 
 void MetadataManager::update_layout(const std::string& name,
                                     std::vector<FallsSet> subfile_falls) {
+  AccessCanary::Scope guard(canary_);
   const auto it = files_.find(name);
   if (it == files_.end())
     throw std::out_of_range("MetadataManager: no such file: " + name);
@@ -138,12 +144,29 @@ std::string expect_keyword(std::istream& is, const std::string& keyword) {
   return rest;
 }
 
+// parse_i64 wrapper for manifest fields: keeps the message pointing at the
+// manifest, and keeps the "only std::invalid_argument escapes" contract.
+// The previous std::stoll here leaked std::out_of_range on huge numbers
+// (found by tests/fuzz/fuzz_manifest).
+std::int64_t manifest_i64(const std::string& text, const char* field) {
+  try {
+    return parse_i64(text);
+  } catch (const std::exception&) {
+    bad_manifest(std::string("bad ") + field + " '" + text + "'");
+  }
+}
+
 }  // namespace
 
 void MetadataManager::load(const std::filesystem::path& manifest) {
   std::ifstream is(manifest);
   if (!is)
     throw std::runtime_error("MetadataManager: cannot read " + manifest.string());
+  load(is);
+}
+
+void MetadataManager::load(std::istream& is) {
+  AccessCanary::Scope guard(canary_);
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "pfm-manifest" ||
@@ -156,9 +179,10 @@ void MetadataManager::load(const std::filesystem::path& manifest) {
     if (keyword != "file") bad_manifest("expected 'file'");
     FileRecord rec;
     if (!(is >> rec.name)) bad_manifest("missing file name");
-    rec.displacement = std::stoll(expect_keyword(is, "disp"));
-    rec.size = std::stoll(expect_keyword(is, "size"));
-    const std::int64_t count = std::stoll(expect_keyword(is, "subfiles"));
+    rec.displacement = manifest_i64(expect_keyword(is, "disp"), "disp");
+    rec.size = manifest_i64(expect_keyword(is, "size"), "size");
+    const std::int64_t count =
+        manifest_i64(expect_keyword(is, "subfiles"), "subfile count");
     if (count < 1) bad_manifest("bad subfile count");
     bool replicated = false;
     for (std::int64_t i = 0; i < count; ++i) {
@@ -169,12 +193,12 @@ void MetadataManager::load(const std::filesystem::path& manifest) {
       std::vector<int> reps;
       std::stringstream ss(nodes);
       std::string tok;
-      while (std::getline(ss, tok, ','))
-        try {
-          reps.push_back(std::stoi(tok));
-        } catch (const std::exception&) {
+      while (std::getline(ss, tok, ',')) {
+        const std::int64_t node = manifest_i64(tok, "io node");
+        if (node < INT32_MIN || node > INT32_MAX)
           bad_manifest("bad io node '" + tok + "'");
-        }
+        reps.push_back(static_cast<int>(node));
+      }
       if (reps.empty()) bad_manifest("empty replica list");
       if (version == 1 && reps.size() > 1)
         bad_manifest("replica list in a version-1 manifest");
@@ -184,7 +208,20 @@ void MetadataManager::load(const std::filesystem::path& manifest) {
       rec.subfile_falls.push_back(parse_falls_set(falls_text));
     }
     if (version == 1 || !replicated) rec.replica_nodes.clear();
-    rec.pattern();  // validate
+    try {
+      rec.pattern();  // validate
+    } catch (const std::invalid_argument& e) {
+      bad_manifest(e.what());
+    } catch (const ContractViolation& e) {
+      // PartitioningPattern's invariants are PFM_CHECKs — programming
+      // errors for in-process callers, but malformed *input* when the
+      // record came from a manifest. Same conversion for overflow from
+      // extent arithmetic on hostile l/s/n values. Letting these escape
+      // crashed tests/fuzz/fuzz_manifest.
+      bad_manifest(e.what());
+    } catch (const std::overflow_error& e) {
+      bad_manifest(e.what());
+    }
     if (!loaded.emplace(rec.name, std::move(rec)).second)
       bad_manifest("duplicate file name");
   }

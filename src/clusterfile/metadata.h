@@ -9,12 +9,14 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "file_model/pattern.h"
+#include "util/lockdep.h"
 
 namespace pfm {
 
@@ -60,9 +62,18 @@ class MetadataManager {
   /// Loads a manifest written by save(); replaces the in-memory state.
   /// Throws std::invalid_argument on malformed manifests.
   void load(const std::filesystem::path& manifest);
+  /// Same, from an already-open stream (also the fuzzer entry point —
+  /// tests/fuzz/fuzz_manifest feeds arbitrary bytes through here and
+  /// demands that nothing but std::invalid_argument escapes).
+  void load(std::istream& is);
 
  private:
   std::map<std::string, FileRecord> files_;
+  /// The manager is a single-owner structure: Clusterfile mutates it from
+  /// the metadata server's loop thread only. The canary turns a future
+  /// concurrent caller into a deterministic check failure instead of a
+  /// silent map race (see util/lockdep.h).
+  mutable AccessCanary canary_{"MetadataManager"};
 };
 
 }  // namespace pfm

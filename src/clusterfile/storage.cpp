@@ -139,7 +139,7 @@ void IntegrityStorage::write(std::int64_t offset,
   if (offset < 0)
     throw std::invalid_argument("IntegrityStorage::write: bad offset");
   if (data.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::int64_t end = offset + static_cast<std::int64_t>(data.size());
   const std::int64_t first = offset / block_;
   const std::int64_t last = (end - 1) / block_;
@@ -179,7 +179,7 @@ void IntegrityStorage::write(std::int64_t offset,
 
 void IntegrityStorage::read(std::int64_t offset,
                             std::span<std::byte> out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (offset < 0 ||
       offset + static_cast<std::int64_t>(out.size()) > logical_size_)
     throw std::out_of_range("IntegrityStorage::read: range beyond subfile");
@@ -203,7 +203,7 @@ void IntegrityStorage::read(std::int64_t offset,
 }
 
 std::int64_t IntegrityStorage::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return logical_size_;
 }
 

@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 
 #include "util/buffer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pfm {
 
@@ -153,13 +154,14 @@ class IntegrityStorage final : public SubfileStorage {
   /// Reads the recorded coverage of block `b` from the inner storage into
   /// `scratch` and checks its CRC. Returns the covered length (0 when the
   /// block was never written through this layer).
-  std::int64_t verify_block(std::int64_t b, Buffer& scratch) const;
+  std::int64_t verify_block(std::int64_t b, Buffer& scratch) const
+      PFM_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"IntegrityStorage::mu"};
   std::unique_ptr<SubfileStorage> inner_;
   std::int64_t block_;
-  std::int64_t logical_size_ = 0;
-  std::unordered_map<std::int64_t, BlockSum> sums_;
+  std::int64_t logical_size_ PFM_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::int64_t, BlockSum> sums_ PFM_GUARDED_BY(mu_);
 };
 
 /// Factory covering both backends: `dir` empty -> memory; otherwise a file

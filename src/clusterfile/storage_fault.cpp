@@ -67,7 +67,7 @@ const StorageFaultRule* FaultyStorage::match(StorageFaultRule::Op op) const {
 
 void FaultyStorage::write(std::int64_t offset,
                           std::span<const std::byte> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (dead_) {
     ++counters_.dead_rejected;
     throw_eio("FaultyStorage: disk is dead");
@@ -100,7 +100,7 @@ void FaultyStorage::write(std::int64_t offset,
 }
 
 void FaultyStorage::read(std::int64_t offset, std::span<std::byte> out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (dead_) {
     ++counters_.dead_rejected;
     throw_eio("FaultyStorage: disk is dead");
@@ -133,18 +133,18 @@ void FaultyStorage::read(std::int64_t offset, std::span<std::byte> out) const {
 }
 
 void FaultyStorage::disarm_faults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = false;
   inner_->disarm_faults();
 }
 
 FaultyStorage::Counters FaultyStorage::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 bool FaultyStorage::dead() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dead_;
 }
 

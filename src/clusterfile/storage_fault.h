@@ -11,13 +11,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "clusterfile/storage.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace pfm {
 
@@ -87,16 +88,17 @@ class FaultyStorage final : public SubfileStorage {
  private:
   const StorageFaultRule* match(StorageFaultRule::Op op) const;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"FaultyStorage::mu"};
   std::unique_ptr<SubfileStorage> inner_;
-  StorageFaultPlan plan_;
-  mutable Rng rng_;
+  StorageFaultPlan plan_;  ///< immutable after construction
+  mutable Rng rng_ PFM_GUARDED_BY(mu_);
   int subfile_;
   int replica_;
-  bool armed_ = true;
-  mutable bool dead_ = false;
-  mutable std::int64_t ops_ = 0;  ///< matched ops, for dead_after budgets
-  mutable Counters counters_;
+  bool armed_ PFM_GUARDED_BY(mu_) = true;
+  mutable bool dead_ PFM_GUARDED_BY(mu_) = false;
+  /// Matched ops, for dead_after budgets.
+  mutable std::int64_t ops_ PFM_GUARDED_BY(mu_) = 0;
+  mutable Counters counters_ PFM_GUARDED_BY(mu_);
 };
 
 }  // namespace pfm

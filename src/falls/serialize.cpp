@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "falls/print.h"
+#include "util/arith.h"
+#include "util/check.h"
 
 namespace pfm {
 
@@ -17,11 +19,18 @@ class Parser {
   explicit Parser(std::string_view text) : text_(text) {}
 
   FallsSet parse_set() {
+    // Recursion guard: parse_set and parse_falls are mutually recursive, so
+    // hostile input like "{(0,0,1,1,{(0,0,1,1,{..." otherwise turns parser
+    // depth into stack depth and crashes with a stack overflow (found by
+    // tests/fuzz/fuzz_falls). No legitimate FALLS nests anywhere near this
+    // deep — nesting mirrors physical partitioning hierarchy.
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 64 levels");
     expect('{');
     FallsSet out;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return out;
     }
     out.push_back(parse_falls());
@@ -35,6 +44,7 @@ class Parser {
       }
     }
     expect('}');
+    --depth_;
     return out;
   }
 
@@ -44,6 +54,8 @@ class Parser {
   }
 
  private:
+  static constexpr int kMaxDepth = 64;
+
   Falls parse_falls() {
     expect('(');
     Falls f;
@@ -73,7 +85,7 @@ class Parser {
     if (pos_ == start) fail("expected integer");
     std::int64_t v = 0;
     try {
-      v = std::stoll(std::string(text_.substr(start, pos_ - start)));
+      v = parse_i64(text_.substr(start, pos_ - start));
     } catch (const std::exception&) {
       fail("integer out of range");
     }
@@ -101,6 +113,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -109,7 +122,20 @@ FallsSet parse_falls_set(std::string_view text) {
   Parser p(text);
   FallsSet out = p.parse_set();
   p.expect_end();
-  validate_falls_set(out);
+  try {
+    validate_falls_set(out);
+  } catch (const ContractViolation& e) {
+    // The validator speaks PFM_CHECK (its callers pass trusted, locally
+    // built sets, where a violation is a programming error). Here the set
+    // came off the wire or a manifest: a structurally invalid FALLS is
+    // malformed *input*, and the documented contract of this parser is
+    // std::invalid_argument — letting a logic_error escape crashed the
+    // format fuzzer (tests/fuzz/fuzz_falls).
+    throw std::invalid_argument(std::string("parse_falls_set: ") + e.what());
+  } catch (const std::overflow_error& e) {
+    // Same story for extent arithmetic that overflows on hostile l/s/n.
+    throw std::invalid_argument(std::string("parse_falls_set: ") + e.what());
+  }
   return out;
 }
 

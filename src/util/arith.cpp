@@ -1,6 +1,7 @@
 #include "util/arith.h"
 
 #include <limits>
+#include <string>
 
 namespace pfm {
 
@@ -43,6 +44,30 @@ std::int64_t lcm64(std::int64_t a, std::int64_t b) {
   if (a == 0 || b == 0) return 0;
   const std::int64_t g = gcd64(a, b);
   return mul_checked(a / g, b);
+}
+
+std::int64_t parse_i64(std::string_view text) {
+  const auto bad = [&] {
+    throw std::invalid_argument("parse_i64: not a 64-bit integer: '" +
+                                std::string(text) + "'");
+  };
+  std::size_t i = 0;
+  const bool negative = !text.empty() && text[0] == '-';
+  if (negative) i = 1;
+  if (i == text.size()) bad();
+  // Accumulate negated (the magnitude of INT64_MIN does not fit in int64).
+  std::int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') bad();
+    if (__builtin_mul_overflow(value, std::int64_t{10}, &value) ||
+        __builtin_sub_overflow(value, std::int64_t{c - '0'}, &value))
+      bad();
+  }
+  if (!negative) {
+    if (__builtin_sub_overflow(std::int64_t{0}, value, &value)) bad();
+  }
+  return value;
 }
 
 int log2_exact(std::int64_t x) {

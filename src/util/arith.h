@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string_view>
 
 namespace pfm {
 
@@ -47,6 +48,15 @@ std::int64_t sub_checked(std::int64_t a, std::int64_t b);
 /// expression, used by the validators so that a hostile serialized FALLS
 /// (huge l/s/n from parse_falls_set) cannot make extent computations wrap.
 std::int64_t affine_checked(std::int64_t l, std::int64_t k, std::int64_t s);
+
+/// Total decimal-integer parse for untrusted text (wire metadata,
+/// manifests, serialized FALLS): accepts an optional leading '-', digits,
+/// nothing else, and throws std::invalid_argument — never std::out_of_range
+/// — on junk, empty input, or a value outside int64. std::stoll's
+/// out_of_range on attacker-sized numbers is exactly the contract leak the
+/// format fuzzers caught, so src/ code parses integers through this helper
+/// (lint-enforced: no std::sto* in src/).
+std::int64_t parse_i64(std::string_view text);
 
 /// True when x is a power of two (x > 0).
 constexpr bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }

@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <mutex>  // pfm-lint: allow(raw-mutex)
 
 namespace pfm {
 
@@ -48,8 +48,10 @@ void set_log_threshold(LogLevel lv) {
 }
 
 void log_line(LogLevel lv, const std::string& msg) {
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  // Deliberately a raw std::mutex, not pfm::Mutex: logging must work from
+  // inside lockdep/PFM_CHECK failure paths without re-entering lockdep.
+  static std::mutex mu;                     // pfm-lint: allow(raw-mutex)
+  std::lock_guard<std::mutex> lock(mu);     // pfm-lint: allow(raw-mutex)
   std::fprintf(stderr, "[pfm %s] %s\n", level_name(lv), msg.c_str());
 }
 

@@ -2,7 +2,9 @@
 // client's access-plan cache (DESIGN.md, "The access-plan layer"). Not
 // internally synchronized: each client owns one instance and is, like the
 // rest of the client, single-threaded per instance; callers that share one
-// must lock around it.
+// must lock around it. Lockdep builds enforce that contract with an
+// AccessCanary — two threads inside a mutating operation at once fail a
+// PFM_CHECK instead of silently corrupting the list/index pair.
 #pragma once
 
 #include <cstddef>
@@ -10,6 +12,8 @@
 #include <list>
 #include <unordered_map>
 #include <utility>
+
+#include "util/lockdep.h"
 
 namespace pfm {
 
@@ -25,6 +29,7 @@ class LruCache {
 
   /// Shrinks/grows the bound; evicts from the LRU end when shrinking.
   void set_capacity(std::size_t capacity) {
+    AccessCanary::Scope guard(canary_);
     capacity_ = capacity;
     trim();
   }
@@ -32,6 +37,7 @@ class LruCache {
   /// Pointer to the cached value (marked most recently used), or nullptr.
   /// The pointer is invalidated by the next put/clear/set_capacity.
   Value* get(const Key& key) {
+    AccessCanary::Scope guard(canary_);  // get mutates recency order too
     const auto it = index_.find(key);
     if (it == index_.end()) return nullptr;
     order_.splice(order_.begin(), order_, it->second);
@@ -41,6 +47,7 @@ class LruCache {
   /// Inserts or overwrites; the entry becomes most recently used. Evicts
   /// from the LRU end when over capacity.
   void put(Key key, Value value) {
+    AccessCanary::Scope guard(canary_);
     if (capacity_ == 0) return;
     if (const auto it = index_.find(key); it != index_.end()) {
       it->second->second = std::move(value);
@@ -53,6 +60,7 @@ class LruCache {
   }
 
   void clear() {
+    AccessCanary::Scope guard(canary_);
     order_.clear();
     index_.clear();
   }
@@ -72,6 +80,7 @@ class LruCache {
                      Hash>
       index_;
   std::int64_t evictions_ = 0;
+  AccessCanary canary_{"LruCache"};
 };
 
 }  // namespace pfm

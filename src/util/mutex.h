@@ -1,0 +1,122 @@
+// Annotated mutex wrapper: the only lock type the repository uses outside
+// leaf infrastructure (tools/lint/pfm_lint.py rejects naked std::mutex).
+//
+// pfm::Mutex carries the Clang thread-safety CAPABILITY attribute, so
+// GUARDED_BY/REQUIRES annotations on the structures it protects are
+// compiler-enforced in the -Wthread-safety CI job, and it feeds every
+// acquisition into the runtime lockdep tracker (util/lockdep.h) in debug
+// builds. The name passed at construction is the lock *class* for lockdep
+// ordering — give every distinct lock role a distinct name.
+//
+// Waiting uses pfm::CondVar with the explicit-loop idiom:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(lock);
+//
+// (never the predicate-lambda overloads: Clang's analysis cannot see the
+// capability inside the lambda, and condition_variable_any routes the
+// unlock/relock through Mutex, keeping the lockdep held stack exact across
+// the wait).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>  // pfm-lint: allow(raw-mutex)
+#include <mutex>               // pfm-lint: allow(raw-mutex)
+
+#include "util/lockdep.h"
+#include "util/thread_annotations.h"
+
+namespace pfm {
+
+class PFM_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` identifies the lock class for lockdep and diagnostics; nullptr
+  /// falls back to the shared "pfm::Mutex" class.
+  explicit Mutex(const char* name = nullptr) {
+    (void)name;
+#if PFM_LOCKDEP_ON
+    class_ = lockdep::intern_class(name);
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PFM_ACQUIRE() {
+#if PFM_LOCKDEP_ON
+    lockdep::note_acquire(class_);
+#endif
+    mu_.lock();
+#if PFM_LOCKDEP_ON
+    lockdep::note_held(class_);
+#endif
+  }
+
+  void unlock() PFM_RELEASE() {
+    mu_.unlock();
+#if PFM_LOCKDEP_ON
+    lockdep::note_release(class_);
+#endif
+  }
+
+  bool try_lock() PFM_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#if PFM_LOCKDEP_ON
+    if (ok) lockdep::note_held(class_);
+#endif
+    return ok;
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // pfm-lint: allow(raw-mutex) — the wrapper itself
+#if PFM_LOCKDEP_ON
+  const lockdep::LockClass* class_ = nullptr;
+#endif
+};
+
+/// RAII critical section over pfm::Mutex (std::lock_guard analog that the
+/// thread-safety analysis understands as a scoped capability).
+class PFM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PFM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PFM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Condition variable bound to pfm::Mutex. Built on
+/// std::condition_variable_any so the unlock/relock around a wait goes
+/// through Mutex::unlock/lock — lockdep's held stack stays exact while the
+/// thread sleeps.
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `lock` and blocks; the lock is re-held on return.
+  /// Use with an explicit `while (!predicate)` loop.
+  void wait(MutexLock& lock) { cv_.wait(lock.mu_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.mu_, d);
+  }
+
+  template <class Clock, class Dur>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Dur>& tp) {
+    return cv_.wait_until(lock.mu_, tp);
+  }
+
+ private:
+  std::condition_variable_any cv_;  // pfm-lint: allow(raw-mutex)
+};
+
+}  // namespace pfm

@@ -1,0 +1,72 @@
+// Clang Thread Safety Analysis annotation macros (the tentpole of the
+// concurrency-correctness pass; DESIGN.md "Concurrency & analysis").
+//
+// The macros expand to Clang `capability` attributes when the compiler
+// supports them and to nothing otherwise, so GCC builds are unaffected and a
+// dedicated clang CI job compiles src/ with -Wthread-safety promoted to an
+// error. Conventions:
+//
+//   - Lock-protected members are declared `PFM_GUARDED_BY(mu_)`; the
+//     analysis then rejects any access outside a critical section.
+//   - Internal helpers that expect the caller to hold the lock say
+//     `PFM_REQUIRES(mu_)`; public entry points that take the lock themselves
+//     say `PFM_EXCLUDES(mu_)` so accidental re-entry is a compile error.
+//   - Only pfm::Mutex (util/mutex.h) carries the CAPABILITY attribute; raw
+//     std::mutex outside the wrapper is rejected by tools/lint/pfm_lint.py.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PFM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PFM_THREAD_ANNOTATION__(x)  // no-op under GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define PFM_CAPABILITY(x) PFM_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PFM_SCOPED_CAPABILITY PFM_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define PFM_GUARDED_BY(x) PFM_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define PFM_PT_GUARDED_BY(x) PFM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held at entry and
+/// still held at exit.
+#define PFM_REQUIRES(...) \
+  PFM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities are NOT held at entry
+/// (guards against self-deadlock on non-reentrant locks).
+#define PFM_EXCLUDES(...) PFM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define PFM_ACQUIRE(...) \
+  PFM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define PFM_RELEASE(...) \
+  PFM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define PFM_TRY_ACQUIRE(b, ...) \
+  PFM_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Declares this function returns a reference to the given capability
+/// (accessor pattern).
+#define PFM_RETURN_CAPABILITY(x) PFM_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Runtime assertion that the capability is held (for code paths the static
+/// analysis cannot follow).
+#define PFM_ASSERT_CAPABILITY(x) \
+  PFM_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the analysis cannot see the invariant.
+#define PFM_NO_THREAD_SAFETY_ANALYSIS \
+  PFM_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -7,6 +7,8 @@
 #include <memory>
 #include <string>
 
+#include "util/lockdep.h"
+
 namespace pfm {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -17,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (stop_) return;  // shutting down: the caller-participation rule
                         // guarantees the loop completes without us
     queue_.push_back(std::move(task));
@@ -41,8 +43,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lk);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -53,6 +55,10 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  // Even the inline paths run under the no-locks rule: whether the loop
+  // body executes on workers or on the caller must not depend on what the
+  // caller may hold (and fn itself may take locks or block on channels).
+  PFM_LOCKDEP_ASSERT_UNLOCKED("ThreadPool::parallel_for");
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -69,9 +75,9 @@ void ThreadPool::parallel_for(std::size_t n,
     std::atomic<bool> cancelled{false};
     std::size_t n = 0;
     const std::function<void(std::size_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr err;
+    Mutex mu{"ThreadPool::ForCtx::mu"};
+    CondVar cv;
+    std::exception_ptr err PFM_GUARDED_BY(mu);
   };
   auto ctx = std::make_shared<ForCtx>();
   ctx->n = n;
@@ -85,7 +91,7 @@ void ThreadPool::parallel_for(std::size_t n,
         try {
           (*ctx->fn)(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lk(ctx->mu);
+          MutexLock lk(ctx->mu);
           if (!ctx->err) ctx->err = std::current_exception();
           ctx->cancelled.store(true, std::memory_order_relaxed);
         }
@@ -93,7 +99,7 @@ void ThreadPool::parallel_for(std::size_t n,
       // acq_rel chain: the body's writes happen-before the caller's
       // acquire load of `done` observing the final count.
       if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 == ctx->n) {
-        std::lock_guard<std::mutex> lk(ctx->mu);
+        MutexLock lk(ctx->mu);
         ctx->cv.notify_all();
       }
     }
@@ -103,10 +109,8 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t h = 0; h < helpers; ++h) submit(run);
   run();  // the caller claims indices too — see header contract (1)
 
-  std::unique_lock<std::mutex> lk(ctx->mu);
-  ctx->cv.wait(lk, [&] {
-    return ctx->done.load(std::memory_order_acquire) == ctx->n;
-  });
+  MutexLock lk(ctx->mu);
+  while (ctx->done.load(std::memory_order_acquire) != ctx->n) ctx->cv.wait(lk);
   if (ctx->err) std::rethrow_exception(ctx->err);
 }
 

@@ -19,13 +19,14 @@
 //      the caller after the loop quiesces; remaining indices are skipped.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pfm {
 
@@ -44,8 +45,10 @@ class ThreadPool {
   /// Runs fn(0) .. fn(n-1), each exactly once, distributing indices over
   /// the workers and the calling thread; blocks until all have finished.
   /// Rethrows the first exception fn threw (further indices are skipped
-  /// once an exception is recorded).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// once an exception is recorded). Blocks, so the caller must hold no
+  /// pfm::Mutex (lockdep-enforced).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      PFM_EXCLUDES(mu_);
 
   /// The process-wide pool shared by set_view, execute_redist and the
   /// collective layer. Size: hardware_concurrency clamped to [2, 8], or
@@ -53,14 +56,14 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void submit(std::function<void()> task);
-  void worker_loop();
+  void submit(std::function<void()> task) PFM_EXCLUDES(mu_);
+  void worker_loop() PFM_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ PFM_GUARDED_BY(mu_);
+  Mutex mu_{"ThreadPool::mu"};
+  CondVar cv_;
+  bool stop_ PFM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pfm

@@ -1,0 +1,41 @@
+// Fuzz target: the FALLS tuple-notation parser (falls/serialize.h).
+//
+// Contract under test: parse_falls_set on arbitrary text either returns a
+// validated FallsSet or throws std::invalid_argument — never ContractViolation
+// (the validator's PFM_CHECK currency), never std::out_of_range from integer
+// parsing, never a stack overflow from deep nesting. Accepted sets must
+// round-trip through serialize() and parse back equal.
+//
+// Historical crashers, now fixed and kept in tests/fuzz/regressions/falls/:
+//   - "{(0,0,1,1,{(0,0,1,1,{..." nesting ~100k deep: stack overflow in the
+//     mutually recursive parse_set/parse_falls (fixed: 64-level depth cap).
+//   - "{(9999999999999999999,0,1,1)}": std::out_of_range leaked from
+//     std::stoll (fixed: total parse via pfm::parse_i64).
+//   - "{(0,-1,1,1)}": ContractViolation leaked from validate_falls_set
+//     (fixed: converted to std::invalid_argument at the parser boundary).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "falls/falls.h"
+#include "falls/serialize.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  pfm::FallsSet set;
+  try {
+    set = pfm::parse_falls_set(text);
+  } catch (const std::invalid_argument&) {
+    return 0;
+  }
+  // Accepted input: the canonical serialization must parse back to the same
+  // set (serialize/parse are inverses on the parser's image).
+  const std::string canon = pfm::serialize(set);
+  const pfm::FallsSet again = pfm::parse_falls_set(canon);
+  PFM_CHECK(again == set, "fuzz_falls: serialize/parse round trip changed "
+            "the set for: ", canon);
+  return 0;
+}
