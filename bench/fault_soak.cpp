@@ -136,6 +136,7 @@ Json counters_json(const ReliabilityCounters& r) {
   j.set("failovers", Json::integer(r.failovers));
   j.set("degraded", Json::integer(r.degraded));
   j.set("replica_failures", Json::integer(r.replica_failures));
+  j.set("quorum_short", Json::integer(r.quorum_short));
   return j;
 }
 

@@ -1,6 +1,7 @@
 #include "cluster/network.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace pfm {
 
@@ -29,11 +30,20 @@ int Network::machine_of(int node) const {
 Network::~Network() { close_all(); }
 
 void Network::install_faults(std::shared_ptr<FaultInjector> injector) {
-  // Publish ownership before the raw pointer so a concurrent send() that
-  // loads the pointer always sees a live object.
+  // Unpublish the fast-path pointer, swap ownership, then republish. A
+  // send() racing the swap either takes the fault-free path or pins its
+  // own shared_ptr copy of one of the two injectors — the replaced one is
+  // destroyed only after the last in-flight process() releases its pin.
   fault_.store(nullptr, std::memory_order_release);
-  fault_owner_ = std::move(injector);
-  fault_.store(fault_owner_.get(), std::memory_order_release);
+  FaultInjector* raw = injector.get();
+  std::shared_ptr<FaultInjector> old;
+  {
+    MutexLock lock(fault_mu_);
+    old = std::exchange(fault_owner_, std::move(injector));
+  }
+  fault_.store(raw, std::memory_order_release);
+  // `old` (the replaced injector, possibly still pinned by in-flight sends)
+  // drops its reference here, outside the lock.
 }
 
 bool Network::send(int src, Message msg) {
@@ -53,19 +63,29 @@ bool Network::send(int src, Message msg) {
         static_cast<std::int64_t>(params_.wire_time_us(wire) * 1000.0),
         std::memory_order_relaxed);
 
-  FaultInjector* inj = fault_.load(std::memory_order_acquire);
-  if (inj != nullptr && msg.kind != MsgKind::kShutdown) {
-    const int dst = msg.dst_node;
-    std::vector<Message> deliver = inj->process(std::move(msg));
-    bool ok = true;
-    for (Message& m : deliver) {
-      const int d = m.dst_node;
-      const bool sent = inboxes_[static_cast<std::size_t>(d)]->send(std::move(m));
-      // Only the offered message's fate is reported; matured delayed
-      // messages for closed inboxes are simply lost (the node is gone).
-      if (d == dst) ok = ok && sent;
+  if (fault_.load(std::memory_order_acquire) != nullptr &&
+      msg.kind != MsgKind::kShutdown) {
+    // Pin the injector across process(): install_faults may swap the owner
+    // mid-send, and the pin keeps this copy alive until we are done.
+    std::shared_ptr<FaultInjector> inj;
+    {
+      MutexLock lock(fault_mu_);
+      inj = fault_owner_;
     }
-    return ok;
+    if (inj != nullptr) {
+      const int dst = msg.dst_node;
+      std::vector<Message> deliver = inj->process(std::move(msg));
+      bool ok = true;
+      for (Message& m : deliver) {
+        const int d = m.dst_node;
+        const bool sent =
+            inboxes_[static_cast<std::size_t>(d)]->send(std::move(m));
+        // Only the offered message's fate is reported; matured delayed
+        // messages for closed inboxes are simply lost (the node is gone).
+        if (d == dst) ok = ok && sent;
+      }
+      return ok;
+    }
   }
   return inboxes_[static_cast<std::size_t>(msg.dst_node)]->send(std::move(msg));
 }
@@ -78,8 +98,12 @@ Channel& Network::inbox(int node) {
 
 double Network::simulated_wire_us() const {
   double us = static_cast<double>(wire_ns_.load()) / 1000.0;
-  if (const FaultInjector* inj = fault_.load(std::memory_order_acquire))
-    us += inj->modeled_delay_us();
+  std::shared_ptr<FaultInjector> inj;
+  {
+    MutexLock lock(fault_mu_);
+    inj = fault_owner_;
+  }
+  if (inj != nullptr) us += inj->modeled_delay_us();
   return us;
 }
 
@@ -87,8 +111,12 @@ void Network::reset_accounting() {
   messages_.store(0);
   bytes_.store(0);
   wire_ns_.store(0);
-  if (FaultInjector* inj = fault_.load(std::memory_order_acquire))
-    inj->reset_counters();
+  std::shared_ptr<FaultInjector> inj;
+  {
+    MutexLock lock(fault_mu_);
+    inj = fault_owner_;
+  }
+  if (inj != nullptr) inj->reset_counters();
 }
 
 void Network::close_all() {

@@ -19,6 +19,7 @@
 
 #include "cluster/channel.h"
 #include "cluster/fault.h"
+#include "util/mutex.h"
 
 namespace pfm {
 
@@ -94,7 +95,14 @@ class Network {
   std::atomic<std::int64_t> messages_{0};
   std::atomic<std::int64_t> bytes_{0};
   std::atomic<std::int64_t> wire_ns_{0};  ///< modeled, in nanoseconds
-  std::shared_ptr<FaultInjector> fault_owner_;
+  /// Ownership, guarded so install_faults can replace the injector while
+  /// send()s are in flight: each sender pins its own shared_ptr copy
+  /// (copied under fault_mu_, held only for the copy) for the duration of
+  /// process(), and the old injector dies only when the last in-flight
+  /// sender lets go. `fault_` stays a raw pointer so the fault-free fast
+  /// path is still one atomic load, never a lock.
+  mutable Mutex fault_mu_{"Network.fault"};
+  std::shared_ptr<FaultInjector> fault_owner_ PFM_GUARDED_BY(fault_mu_);
   std::atomic<FaultInjector*> fault_{nullptr};
   std::atomic<bool> explicit_checksums_{false};
 };

@@ -49,6 +49,7 @@ ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
         throw std::invalid_argument(
             "ClusterfileClient: replica list must start with the primary");
   }
+  set_write_quorum(meta_.write_quorum);
 }
 
 std::int64_t ClusterfileClient::set_view(FallsSet falls,
@@ -150,7 +151,7 @@ std::int64_t ClusterfileClient::set_view(FallsSet falls,
     const std::vector<SubTarget>& targets = state.targets;
     AccessTimings vt;
     transact(
-        std::move(to_send), targets.size(), MsgKind::kAck,
+        std::move(to_send), targets.size(), MsgKind::kAck, /*quorum=*/0,
         /*rebuild=*/
         [&](std::size_t i) {
           const SubTarget& st = targets[req_target[i]];
@@ -248,15 +249,36 @@ void ClusterfileClient::seal(Message& msg, std::uint64_t req_id) {
   if (net_.checksums_enabled()) stamp_checksum(msg);
 }
 
+std::chrono::nanoseconds ClusterfileClient::timeout_for(int attempt) const {
+  double ms = static_cast<double>(policy_.base_timeout.count()) *
+              std::pow(policy_.backoff, attempt - 1);
+  ms = std::min(ms, static_cast<double>(policy_.max_timeout.count()));
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(std::max(0.1, ms) * 1e6));
+}
+
+std::chrono::nanoseconds ClusterfileClient::group_budget() const {
+  std::chrono::nanoseconds total{0};
+  for (int a = 1; a <= policy_.max_attempts; ++a) total += timeout_for(a);
+  return total;
+}
+
 void ClusterfileClient::transact(
     std::vector<TxReq> reqs, std::size_t group_count, MsgKind expected,
+    int quorum,
     const std::function<Message(std::size_t)>& rebuild,
     const std::function<std::optional<Message>(std::size_t)>& reinstall,
     AccessTimings& t, std::vector<Message>* replies) {
-  using clock = std::chrono::steady_clock;
   const std::size_t n = reqs.size();
   if (replies != nullptr) replies->assign(n, Message{});
   t.per_subfile.assign(group_count, SubfileAccess{});
+
+  // One delivery budget for the whole access: every deadline — retries,
+  // failovers, view re-installs, straggler retransmits — is clipped to
+  // `hard_deadline` (the summed backoff schedule), so a target's replica
+  // chain burns one schedule total, never chain-length × schedule.
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point hard_deadline = start + group_budget();
 
   /// Per-group (per-target) outcome accumulator: a group succeeds while at
   /// least one of its requests completes, degrades when a replica is lost
@@ -273,12 +295,17 @@ void ClusterfileClient::transact(
     std::string error;  ///< first failure reason
   };
   std::vector<GroupState> groups(group_count);
+  /// Created on a group's first demotion and shared with every straggler it
+  /// sheds, so the first abandonment — and only the first — counts the
+  /// group as quorum_short.
+  std::vector<std::shared_ptr<bool>> group_short(group_count);
 
   /// In-flight request bookkeeping, keyed by req_id. An `aux` entry is a
   /// kSetView re-install launched to recover a primary request from
   /// kUnknownView; its `partner` is the paused primary's req_id (and vice
   /// versa while the primary waits). `io_node` is the node currently
-  /// serving the request — a failover retargets it down `backups`.
+  /// serving the request — a failover retargets it down `backups`, and
+  /// `attempts` keeps counting across the move.
   struct Pend {
     std::size_t index = 0;
     std::size_t group = 0;
@@ -288,17 +315,13 @@ void ClusterfileClient::transact(
     int attempts = 1;
     int io_node = -1;
     std::vector<int> backups;
-    clock::time_point deadline;
+    Clock::time_point deadline;
   };
   std::unordered_map<std::uint64_t, Pend> pend;
   pend.reserve(n);
 
-  const auto timeout_for = [&](int attempt) {
-    double ms = static_cast<double>(policy_.base_timeout.count()) *
-                std::pow(policy_.backoff, attempt - 1);
-    ms = std::min(ms, static_cast<double>(policy_.max_timeout.count()));
-    return std::chrono::nanoseconds(
-        static_cast<std::int64_t>(std::max(0.1, ms) * 1e6));
+  const auto entry_deadline = [&](int attempt) {
+    return std::min(Clock::now() + timeout_for(attempt), hard_deadline);
   };
   const auto make_request = [&](const Pend& p) {
     Message m;
@@ -329,28 +352,67 @@ void ClusterfileClient::transact(
     pend.erase(it);
   };
   // Terminal outcome for a request on its current node: fail over to the
-  // next backup replica when one remains, otherwise record the loss.
+  // next backup replica while attempts and budget remain, otherwise record
+  // the loss. Attempts carry across the move — the chain shares one
+  // delivery schedule.
   const auto fail_or_failover = [&](std::uint64_t id, const std::string& why,
                                     bool timed_out) {
     const auto it = pend.find(id);
     if (it == pend.end()) return;
     Pend& p = it->second;
-    if (p.backups.empty()) {
+    GroupState& g = groups[p.group];
+    g.max_attempts = std::max(g.max_attempts, p.attempts);
+    if (p.backups.empty() || p.attempts >= policy_.max_attempts ||
+        Clock::now() >= hard_deadline) {
       fail_request(id, why, timed_out);
       return;
     }
-    GroupState& g = groups[p.group];
     ++g.failovers;
     ++t.rel.failovers;
-    g.max_attempts = std::max(g.max_attempts, p.attempts);
+    ++p.attempts;
     p.io_node = p.backups.front();
     p.backups.erase(p.backups.begin());
-    p.attempts = 1;
     p.waiting_view = false;
     Message msg = make_request(p);
     seal(msg, id);  // same req_id: a late reply from the old node is stale
-    p.deadline = clock::now() + timeout_for(1);
+    p.deadline = entry_deadline(p.attempts);
     send_or_throw(std::move(msg));
+  };
+
+  // Quorum met for group `gi`: demote its outstanding fan-out requests to
+  // the background completion set. Each keeps its req_id (so servers dedup
+  // a late original crossing a retransmit, and a late ack still matches),
+  // its attempt count and its schedule; the retransmit copy is materialized
+  // NOW, while the caller's buffer behind rebuild() is still alive. Aux
+  // view re-installs of demoted primaries are dropped — a straggler that
+  // lands on kUnknownView is abandoned to scrub instead of re-installing.
+  const auto demote_group = [&](std::size_t gi) {
+    std::vector<std::uint64_t> members;
+    for (const auto& [id, p] : pend)
+      if (p.group == gi) members.push_back(id);
+    for (const std::uint64_t id : members) {
+      const auto it = pend.find(id);
+      if (it == pend.end()) continue;
+      Pend& p = it->second;
+      if (p.is_aux) {
+        pend.erase(it);
+        continue;
+      }
+      if (!group_short[gi]) group_short[gi] = std::make_shared<bool>(false);
+      Straggler s;
+      s.subfile = t.per_subfile[gi].subfile;
+      s.io_node = p.io_node;
+      s.attempts = p.attempts;
+      s.deadline = p.waiting_view ? entry_deadline(p.attempts) : p.deadline;
+      s.hard_deadline = hard_deadline;
+      s.group_short = group_short[gi];
+      Message m = make_request(p);
+      seal(m, id);
+      s.msg = std::move(m);
+      stragglers_.emplace(id, std::move(s));
+      ++t.stragglers;
+      pend.erase(it);
+    }
   };
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -361,7 +423,7 @@ void ClusterfileClient::transact(
     p.group = reqs[i].group;
     p.io_node = msg.dst_node;
     p.backups = std::move(reqs[i].backups);
-    p.deadline = clock::now() + timeout_for(1);
+    p.deadline = entry_deadline(1);
     GroupState& g = groups[p.group];
     ++g.total;
     SubfileAccess& s = t.per_subfile[p.group];
@@ -374,14 +436,17 @@ void ClusterfileClient::transact(
 
   Channel& inbox = net_.inbox(node_id_);
   while (!pend.empty()) {
-    // The next actionable deadline; primaries paused behind a view
-    // re-install are driven by their aux request's deadline instead.
-    clock::time_point next = clock::time_point::max();
+    // The next actionable deadline, straggler retransmits included (they
+    // ride along on whatever wait this access does anyway); primaries
+    // paused behind a view re-install are driven by their aux request's
+    // deadline instead.
+    Clock::time_point next = straggler_next_deadline();
     for (const auto& [id, p] : pend)
       if (!p.waiting_view) next = std::min(next, p.deadline);
-    const clock::time_point now = clock::now();
+    const Clock::time_point now = Clock::now();
 
     if (next <= now) {
+      straggler_handle_timeouts(now);
       std::vector<std::uint64_t> expired;
       for (const auto& [id, p] : pend)
         if (!p.waiting_view && p.deadline <= now) expired.push_back(id);
@@ -390,7 +455,7 @@ void ClusterfileClient::transact(
         if (it == pend.end()) continue;
         Pend& p = it->second;
         ++t.rel.timeouts;
-        if (p.attempts >= policy_.max_attempts) {
+        if (p.attempts >= policy_.max_attempts || now >= hard_deadline) {
           const std::string why =
               "I/O node " + std::to_string(p.io_node) + " unresponsive after " +
               std::to_string(p.attempts) + " attempts";
@@ -404,10 +469,27 @@ void ClusterfileClient::transact(
           continue;
         }
         ++p.attempts;
-        ++t.rel.retries;
+        if (!p.is_aux && !p.backups.empty()) {
+          // A backup is available: moving there beats hammering a node
+          // that just missed a deadline — the chain shares one budget, so
+          // spreading the attempts maximizes the replicas actually tried.
+          // The chain is round-robin: the node that just timed out rejoins
+          // the tail, so one dropped reply from a live node can't strand
+          // the remaining attempts on a dead backup.
+          GroupState& g = groups[p.group];
+          ++g.failovers;
+          ++t.rel.failovers;
+          const int prev = p.io_node;
+          p.io_node = p.backups.front();
+          p.backups.erase(p.backups.begin());
+          p.backups.push_back(prev);
+          p.waiting_view = false;
+        } else {
+          ++t.rel.retries;
+        }
         Message msg = make_request(p);
         seal(msg, id);  // same req_id: the server replays, never re-applies
-        p.deadline = clock::now() + timeout_for(p.attempts);
+        p.deadline = entry_deadline(p.attempts);
         send_or_throw(std::move(msg));
       }
       continue;
@@ -433,14 +515,18 @@ void ClusterfileClient::transact(
         ++t.rel.retries;
         Message resend = make_request(p);
         seal(resend, msg->req_id);
-        p.deadline = clock::now() + timeout_for(p.attempts);
+        p.deadline = entry_deadline(p.attempts);
         send_or_throw(std::move(resend));
+      } else if (it == pend.end()) {
+        straggler_handle_corrupt_reply(msg->req_id);
       }
       continue;
     }
 
     const auto it = pend.find(msg->req_id);
     if (it == pend.end()) {
+      // Not ours — unless a background straggler is waiting for it.
+      if (straggler_handle_reply(std::move(*msg))) continue;
       // Duplicate or late reply for a request already completed (or one we
       // never sent): discard. This used to be a fatal logic_error.
       ++t.rel.stale_replies;
@@ -465,7 +551,7 @@ void ClusterfileClient::transact(
           // The re-install goes to whichever replica is serving the
           // request right now, not the original primary.
           aux.io_node = p.io_node;
-          aux.deadline = clock::now() + timeout_for(1);
+          aux.deadline = entry_deadline(1);
           p.waiting_view = true;
           p.partner = aux_id;
           Message m = std::move(*setv);
@@ -487,7 +573,7 @@ void ClusterfileClient::transact(
         ++t.rel.retries;
         Message resend = make_request(p);
         seal(resend, msg->req_id);
-        p.deadline = clock::now() + timeout_for(p.attempts);
+        p.deadline = entry_deadline(p.attempts);
         send_or_throw(std::move(resend));
         continue;
       }
@@ -522,7 +608,7 @@ void ClusterfileClient::transact(
       ++t.rel.retries;
       Message resend = make_request(pri);
       seal(resend, parent);
-      pri.deadline = clock::now() + timeout_for(pri.attempts);
+      pri.deadline = entry_deadline(pri.attempts);
       send_or_throw(std::move(resend));
       continue;
     }
@@ -537,7 +623,9 @@ void ClusterfileClient::transact(
     if (p.attempts > 1) g.retried = true;
     g.served_by = p.io_node;
     if (replies != nullptr) (*replies)[p.index] = std::move(*msg);
+    const std::size_t gi = p.group;
     pend.erase(it);
+    if (quorum > 0 && g.ok >= std::min(quorum, g.total)) demote_group(gi);
   }
 
   // Collapse per-request outcomes into one status per group: an access is
@@ -577,6 +665,128 @@ void ClusterfileClient::transact(
       if (s.timed_out) throw TimeoutError(what);
       throw std::runtime_error(what);
     }
+  }
+}
+
+ClusterfileClient::Clock::time_point
+ClusterfileClient::straggler_next_deadline() const {
+  Clock::time_point next = Clock::time_point::max();
+  for (const auto& [id, s] : stragglers_) next = std::min(next, s.deadline);
+  return next;
+}
+
+void ClusterfileClient::straggler_handle_timeouts(Clock::time_point now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, s] : stragglers_)
+    if (s.deadline <= now) expired.push_back(id);
+  for (const std::uint64_t id : expired) {
+    const auto it = stragglers_.find(id);
+    if (it == stragglers_.end()) continue;
+    Straggler& s = it->second;
+    ++rel_.timeouts;
+    if (s.attempts >= policy_.max_attempts || now >= s.hard_deadline) {
+      straggler_abandon(id);
+      continue;
+    }
+    ++s.attempts;
+    ++rel_.retries;
+    Message copy = s.msg;  // sealed: same req_id, checksum already stamped
+    s.deadline = std::min(now + timeout_for(s.attempts), s.hard_deadline);
+    // A closed destination inbox means the node crashed mid-straggler: no
+    // ack can ever arrive, so hand the subfile to scrub instead of looping.
+    if (!net_.send(node_id_, std::move(copy))) straggler_abandon(id);
+  }
+}
+
+bool ClusterfileClient::straggler_handle_reply(Message&& msg) {
+  const auto it = stragglers_.find(msg.req_id);
+  if (it == stragglers_.end()) return false;
+  Straggler& s = it->second;
+  if (msg.kind == MsgKind::kError) {
+    if ((msg.err == ErrCode::kBadChecksum || msg.err == ErrCode::kIoError) &&
+        s.attempts < policy_.max_attempts && Clock::now() < s.hard_deadline) {
+      // Transient server-side trouble: the retry schedule keeps going.
+      if (msg.err == ErrCode::kBadChecksum) ++rel_.corruptions_detected;
+      ++s.attempts;
+      ++rel_.retries;
+      Message copy = s.msg;
+      s.deadline =
+          std::min(Clock::now() + timeout_for(s.attempts), s.hard_deadline);
+      if (!net_.send(node_id_, std::move(copy))) straggler_abandon(msg.req_id);
+      return true;
+    }
+    // Terminal — kUnknownView included: the quorum already carried the
+    // write, so instead of a re-install dance for a background copy the
+    // replica is abandoned to scrub, which repairs it from a peer.
+    straggler_abandon(msg.req_id);
+    return true;
+  }
+  if (msg.kind != MsgKind::kAck) return false;
+  ++stragglers_completed_;
+  stragglers_.erase(it);
+  return true;
+}
+
+bool ClusterfileClient::straggler_handle_corrupt_reply(std::uint64_t req_id) {
+  const auto it = stragglers_.find(req_id);
+  if (it == stragglers_.end()) return false;
+  Straggler& s = it->second;
+  if (s.attempts >= policy_.max_attempts || Clock::now() >= s.hard_deadline) {
+    straggler_abandon(req_id);
+    return true;
+  }
+  ++s.attempts;
+  ++rel_.retries;
+  Message copy = s.msg;
+  s.deadline =
+      std::min(Clock::now() + timeout_for(s.attempts), s.hard_deadline);
+  if (!net_.send(node_id_, std::move(copy))) straggler_abandon(req_id);
+  return true;
+}
+
+void ClusterfileClient::straggler_abandon(std::uint64_t req_id) {
+  const auto it = stragglers_.find(req_id);
+  if (it == stragglers_.end()) return;
+  Straggler& s = it->second;
+  ++stragglers_abandoned_;
+  ++rel_.replica_failures;
+  if (s.group_short && !*s.group_short) {
+    *s.group_short = true;
+    ++rel_.quorum_short;
+  }
+  scrub_debt_.push_back(s.subfile);
+  stragglers_.erase(it);
+}
+
+void ClusterfileClient::drain_stragglers() {
+  AccessCanary::Scope guard(canary_);
+  Channel& inbox = net_.inbox(node_id_);
+  while (!stragglers_.empty()) {
+    const Clock::time_point next = straggler_next_deadline();
+    const Clock::time_point now = Clock::now();
+    if (next <= now) {
+      straggler_handle_timeouts(now);
+      continue;
+    }
+    auto msg = inbox.receive_for(next - now);
+    if (!msg.has_value()) {
+      if (inbox.closed()) {
+        // The network is gone: no ack can arrive. Abandon everything so
+        // the pending set empties and scrub knows what it owes.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(stragglers_.size());
+        for (const auto& [id, s] : stragglers_) ids.push_back(id);
+        for (const std::uint64_t id : ids) straggler_abandon(id);
+        return;
+      }
+      continue;
+    }
+    if (!verify_checksum(*msg)) {
+      ++rel_.corruptions_detected;
+      straggler_handle_corrupt_reply(msg->req_id);
+      continue;
+    }
+    if (!straggler_handle_reply(std::move(*msg))) ++rel_.stale_replies;
   }
 }
 
@@ -651,6 +861,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     Timer t;
     transact(
         std::move(reqs), plan->targets.size(), MsgKind::kAck,
+        /*quorum=*/write_quorum_,
         /*rebuild=*/
         [&](std::size_t i) {
           const PlanTarget& pt = plan->targets[req_target[i]];
@@ -727,6 +938,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     Timer t;
     transact(
         std::move(reqs), plan->targets.size(), MsgKind::kReadReply,
+        /*quorum=*/0,
         /*rebuild=*/
         [&](std::size_t i) { return make_read(plan->targets[i]); },
         /*reinstall=*/

@@ -33,7 +33,20 @@
 // error such as kCorruptData). An access that loses replicas but keeps at
 // least one healthy copy per target completes with AccessStatus::kDegraded
 // — degraded-but-correct, never an exception — and the failover/degraded/
-// replica_failures counters record the cost.
+// replica_failures counters record the cost. One delivery budget (the sum
+// of the RetryPolicy backoff schedule) covers a target's *whole* replica
+// chain: attempts carry across failovers, so a dead chain costs one
+// schedule, never chain-length × schedule.
+//
+// Quorum writes (DESIGN.md "Replication, re-sync and scrub"): with
+// FileMeta::write_quorum = W in [1, replication), a write group completes
+// as soon as W replicas acked; the remaining fan-out requests are demoted
+// to background stragglers that keep their retry schedule and are pumped
+// whenever the client waits on the network (and by drain_stragglers()). A
+// straggler that completes late is deduplicated server-side by req_id; one
+// abandoned past its schedule counts quorum_short/replica_failures and
+// owes its subfile to take_scrub_debt() — epoch re-sync and scrub repair
+// the divergence, which is what makes sloppy acks safe.
 #pragma once
 
 #include <chrono>
@@ -43,6 +56,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/network.h"
@@ -63,6 +78,10 @@ struct FileMeta {
   /// primary first (replicas[i][0] == io_nodes[i]). Empty means no
   /// replication; the client synthesizes single-node lists.
   std::vector<std::vector<int>> replicas;
+  /// W-of-N write acknowledgment policy: a write group returns once
+  /// `write_quorum` replicas acked (remaining fan-out requests become
+  /// background stragglers). 0 (default) = wait for every replica.
+  int write_quorum = 0;
 };
 
 /// Thrown when an I/O node stays unresponsive after every retry: the
@@ -118,7 +137,12 @@ class ClusterfileClient {
     std::int64_t messages = 0;
     std::int64_t plan_hits = 0;    ///< 1 when this access replayed a plan
     std::int64_t plan_misses = 0;  ///< 1 when this access built its plan
-    ReliabilityCounters rel;       ///< this access's share of the counters
+    std::int64_t stragglers = 0;   ///< fan-out requests demoted to background
+                                   ///< completion once the quorum was met
+    ReliabilityCounters rel;       ///< this access's share of the counters.
+                                   ///< Straggler events land in the client's
+                                   ///< cumulative counters instead — they
+                                   ///< belong to no single access.
     std::vector<SubfileAccess> per_subfile;  ///< ascending subfile order
 
     bool ok() const {
@@ -162,6 +186,33 @@ class ClusterfileClient {
 
   /// Cumulative reliability counters across every access of this client.
   const ReliabilityCounters& reliability() const { return rel_; }
+
+  /// W-of-N write acknowledgment policy (0 = wait for the full fan-out;
+  /// seeded from FileMeta::write_quorum, adjustable per client). The
+  /// effective quorum of a group is min(W, its replica count).
+  void set_write_quorum(int quorum) {
+    if (quorum < 0)
+      throw std::invalid_argument("ClusterfileClient: negative write quorum");
+    write_quorum_ = quorum;
+  }
+  int write_quorum() const { return write_quorum_; }
+
+  /// Background straggler observability: requests still in flight after
+  /// their group met its quorum, and the cumulative completed/abandoned
+  /// split. Stragglers are pumped whenever the client waits on the network;
+  /// drain_stragglers() blocks until none are pending (each either acks or
+  /// exhausts its retry schedule — bounded by RetryPolicy, never forever).
+  std::size_t stragglers_pending() const { return stragglers_.size(); }
+  std::int64_t stragglers_completed() const { return stragglers_completed_; }
+  std::int64_t stragglers_abandoned() const { return stragglers_abandoned_; }
+  void drain_stragglers();
+
+  /// Subfiles whose write fan-out abandoned a replica (quorum shortfall):
+  /// the divergence scrub/re-sync must repair. Returns the accumulated list
+  /// (duplicates possible, ascending-insertion order) and clears it.
+  std::vector<int> take_scrub_debt() {
+    return std::exchange(scrub_debt_, {});
+  }
 
   void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
@@ -268,6 +319,25 @@ class ClusterfileClient {
     std::vector<int> backups;
   };
 
+  using Clock = std::chrono::steady_clock;
+
+  /// A fan-out request demoted to background completion once its group met
+  /// its quorum: keeps the in-flight request's retry schedule (sealed
+  /// message ready to retransmit with the *same* req_id, so servers dedup a
+  /// late original crossing a retransmit) and is pumped whenever the client
+  /// waits on the network. `group_short` is shared by every straggler of
+  /// one group so the first abandonment — and only the first — counts
+  /// quorum_short.
+  struct Straggler {
+    int subfile = 0;
+    int io_node = -1;
+    int attempts = 1;
+    Clock::time_point deadline;       ///< next retransmit fires here
+    Clock::time_point hard_deadline;  ///< the group's delivery budget end
+    Message msg;                      ///< sealed retransmit copy
+    std::shared_ptr<bool> group_short;
+  };
+
   /// The reliable request engine. Sends every request (already built —
   /// payload gathering stays outside the t_w window), matches replies of
   /// kind `expected` by req_id, retransmits on timeout via `rebuild(i)`
@@ -275,17 +345,40 @@ class ClusterfileClient {
   /// to the replica currently serving the request), recovers from
   /// kUnknownView via `reinstall(i)` (a fresh kSetView for request i's
   /// target, or nullopt when not applicable), and fails over along a
-  /// request's backup chain when its current node is given up on. Fills
+  /// request's backup chain when its current node is given up on. One
+  /// delivery budget — group_budget(), the summed backoff schedule — spans
+  /// a request's whole replica chain: attempts never reset on failover and
+  /// every deadline is clipped to the budget's end. With `quorum` > 0, a
+  /// group whose ok count reaches min(quorum, fan-out) demotes its
+  /// remaining requests to stragglers_ instead of waiting them out. Fills
   /// `t.per_subfile` with one status per *group* (group_count entries):
   /// kFailed only when every replica of the group was lost; kDegraded when
   /// data survived but a replica didn't. Throws TimeoutError /
   /// runtime_error only for kFailed groups unless allow_partial is set;
   /// always throws if the network closes.
   void transact(std::vector<TxReq> reqs, std::size_t group_count,
-                MsgKind expected,
+                MsgKind expected, int quorum,
                 const std::function<Message(std::size_t)>& rebuild,
                 const std::function<std::optional<Message>(std::size_t)>& reinstall,
                 AccessTimings& t, std::vector<Message>* replies);
+
+  /// RetryPolicy's backoff timeout for the given 1-based attempt.
+  std::chrono::nanoseconds timeout_for(int attempt) const;
+  /// The whole delivery budget: timeout_for summed over every attempt.
+  std::chrono::nanoseconds group_budget() const;
+
+  /// Earliest straggler retransmit deadline (time_point::max() when none).
+  Clock::time_point straggler_next_deadline() const;
+  /// Retransmits every straggler whose deadline passed; abandons those past
+  /// their schedule. Counters go straight to rel_ (see AccessTimings::rel).
+  void straggler_handle_timeouts(Clock::time_point now);
+  /// Consumes a reply addressed to a straggler (completion, retryable
+  /// error, or terminal error). False when the req_id matches no straggler.
+  bool straggler_handle_reply(Message&& msg);
+  /// Resends a straggler after its reply arrived corrupted; false when the
+  /// id matches no straggler (or its schedule is exhausted — abandoned).
+  bool straggler_handle_corrupt_reply(std::uint64_t req_id);
+  void straggler_abandon(std::uint64_t req_id);
   /// Sends one message; throws std::runtime_error if the destination inbox
   /// is closed (a silently dropped request would hang the reply wait).
   void send_or_throw(Message msg);
@@ -304,7 +397,14 @@ class ClusterfileClient {
   double t_view_total_us_ = 0;
   RetryPolicy policy_;
   bool allow_partial_ = false;
+  int write_quorum_ = 0;
   ReliabilityCounters rel_;
+  /// Background completion set: fan-out requests outliving their group's
+  /// quorum, keyed by req_id. Pumped by transact and drain_stragglers.
+  std::unordered_map<std::uint64_t, Straggler> stragglers_;
+  std::int64_t stragglers_completed_ = 0;
+  std::int64_t stragglers_abandoned_ = 0;
+  std::vector<int> scrub_debt_;
   /// The client is single-threaded per instance (header contract above);
   /// the canary makes a concurrent set_view/read/write a deterministic
   /// check failure in lockdep builds instead of a views_/cache race.

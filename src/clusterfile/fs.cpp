@@ -16,6 +16,9 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
   if (config_.replication < 1 || config_.replication > config_.io_nodes)
     throw std::invalid_argument(
         "Clusterfile: replication must be in [1, io_nodes]");
+  if (config_.write_quorum < 0 || config_.write_quorum > config_.replication)
+    throw std::invalid_argument(
+        "Clusterfile: write_quorum must be in [0, replication]");
   if (!config_.storage_faults) config_.storage_faults = storage_fault_plan_from_env();
   // Integrity checking turns on automatically exactly when something can
   // damage stored bytes (replication implies scrub, faults imply damage);
@@ -45,6 +48,7 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
   // Subfile i is served by I/O node (compute_nodes + i % io_nodes); replica
   // r follows at (i + r) % io_nodes, so consecutive subfiles spread their
   // backups across distinct nodes (k-way declustering).
+  meta_.write_quorum = config_.write_quorum;
   meta_.io_nodes.resize(subfiles);
   meta_.replicas.resize(subfiles);
   for (std::size_t i = 0; i < subfiles; ++i) {
@@ -298,6 +302,22 @@ void Clusterfile::disarm_storage_faults() {
 ReliabilityCounters Clusterfile::client_reliability() const {
   ReliabilityCounters total;
   for (const auto& c : clients_) total += c->reliability();
+  return total;
+}
+
+void Clusterfile::drain_stragglers() {
+  for (auto& c : clients_) c->drain_stragglers();
+}
+
+std::int64_t Clusterfile::stragglers_completed() const {
+  std::int64_t total = 0;
+  for (const auto& c : clients_) total += c->stragglers_completed();
+  return total;
+}
+
+std::int64_t Clusterfile::stragglers_abandoned() const {
+  std::int64_t total = 0;
+  for (const auto& c : clients_) total += c->stragglers_abandoned();
   return total;
 }
 

@@ -36,6 +36,13 @@ struct ClusterConfig {
   /// fan writes out to every replica and fail reads over to a backup when
   /// the primary stops answering. Must not exceed io_nodes.
   int replication = 1;
+  /// W-of-N write acknowledgment policy: a write returns once W replicas
+  /// per target acked; the rest complete as background stragglers (pumped
+  /// on later network waits, forced by drain_stragglers()). 0 (default) =
+  /// wait for the full fan-out — today's semantics. Must be in
+  /// [0, replication]. Safe below N because epoch re-sync and scrub repair
+  /// any replica the straggler path abandons (DESIGN.md).
+  int write_quorum = 0;
   /// Storage-level fault plan applied to every subfile replica (torn
   /// writes, bit rot, EIO, sticky-dead). Unset: the PFM_STORAGE_FAULT_*
   /// environment knobs apply, if any (storage_fault.h).
@@ -142,6 +149,13 @@ class Clusterfile {
   /// suppressed, corruptions caught, errors sent).
   ReliabilityCounters client_reliability() const;
   ReliabilityCounters server_reliability() const;
+
+  /// Blocks until no client holds a background quorum straggler: each one
+  /// either acks or exhausts its retry schedule (bounded by RetryPolicy).
+  void drain_stragglers();
+  /// Cumulative straggler outcomes summed over every client.
+  std::int64_t stragglers_completed() const;
+  std::int64_t stragglers_abandoned() const;
 
   /// Mean scatter time per server for the workload since the last reset
   /// (Table 2's t_s: total scatter work one I/O node performed, averaged

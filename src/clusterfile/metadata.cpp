@@ -1,5 +1,6 @@
 #include "clusterfile/metadata.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -40,6 +41,13 @@ void MetadataManager::create(FileRecord record) {
                 "MetadataManager: duplicate replica node");
     }
   }
+  std::size_t widest = 1;
+  for (const auto& reps : record.replica_nodes)
+    widest = std::max(widest, reps.size());
+  if (record.write_quorum < 0 ||
+      record.write_quorum > static_cast<int>(widest))
+    throw std::invalid_argument(
+        "MetadataManager: write quorum outside [0, replica count]");
   record.pattern();  // validates the partitioning pattern
   files_.emplace(record.name, std::move(record));
 }
@@ -96,25 +104,32 @@ std::vector<std::string> MetadataManager::list() const {
 //   file <name>
 //   disp <displacement>
 //   size <size>
+//   quorum <w>                           (version 3, only when w > 0)
 //   subfiles <count>
 //   <nodes> <falls tuple notation>       (count lines)
 // Version 1 writes <nodes> as the single primary I/O node; version 2 —
 // emitted whenever any record carries replica placement — writes the full
-// comma-separated replica list, primary first (e.g. "5,7"). load() accepts
-// both versions.
+// comma-separated replica list, primary first (e.g. "5,7"); version 3 —
+// emitted whenever any record carries a write quorum — additionally allows
+// the optional `quorum` line between size and subfiles. load() accepts all
+// three versions and rejects a quorum line in the older two.
 void MetadataManager::save(const std::filesystem::path& manifest) const {
   bool replicated = false;
-  for (const auto& [name, rec] : files_)
+  bool quorum = false;
+  for (const auto& [name, rec] : files_) {
     if (!rec.replica_nodes.empty()) replicated = true;
+    if (rec.write_quorum > 0) quorum = true;
+  }
   const std::filesystem::path tmp = manifest.string() + ".tmp";
   {
     std::ofstream os(tmp);
     if (!os) throw std::runtime_error("MetadataManager: cannot write " + tmp.string());
-    os << "pfm-manifest " << (replicated ? 2 : 1) << "\n";
+    os << "pfm-manifest " << (quorum ? 3 : replicated ? 2 : 1) << "\n";
     for (const auto& [name, rec] : files_) {
       os << "file " << name << "\n";
       os << "disp " << rec.displacement << "\n";
       os << "size " << rec.size << "\n";
+      if (rec.write_quorum > 0) os << "quorum " << rec.write_quorum << "\n";
       os << "subfiles " << rec.subfile_falls.size() << "\n";
       for (std::size_t i = 0; i < rec.subfile_falls.size(); ++i) {
         if (rec.replica_nodes.empty()) {
@@ -170,7 +185,7 @@ void MetadataManager::load(std::istream& is) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "pfm-manifest" ||
-      (version != 1 && version != 2))
+      (version != 1 && version != 2 && version != 3))
     bad_manifest("bad header");
 
   std::map<std::string, FileRecord> loaded;
@@ -181,10 +196,24 @@ void MetadataManager::load(std::istream& is) {
     if (!(is >> rec.name)) bad_manifest("missing file name");
     rec.displacement = manifest_i64(expect_keyword(is, "disp"), "disp");
     rec.size = manifest_i64(expect_keyword(is, "size"), "size");
-    const std::int64_t count =
-        manifest_i64(expect_keyword(is, "subfiles"), "subfile count");
+    std::string word;
+    if (!(is >> word)) bad_manifest("expected subfiles");
+    if (word == "quorum") {
+      if (version < 3) bad_manifest("quorum line in a pre-3 manifest");
+      std::string value;
+      if (!(is >> value)) bad_manifest("missing value after quorum");
+      const std::int64_t q = manifest_i64(value, "quorum");
+      if (q < 1 || q > INT32_MAX) bad_manifest("bad quorum '" + value + "'");
+      rec.write_quorum = static_cast<int>(q);
+      if (!(is >> word)) bad_manifest("expected subfiles");
+    }
+    if (word != "subfiles") bad_manifest("expected subfiles");
+    std::string count_text;
+    if (!(is >> count_text)) bad_manifest("missing value after subfiles");
+    const std::int64_t count = manifest_i64(count_text, "subfile count");
     if (count < 1) bad_manifest("bad subfile count");
     bool replicated = false;
+    std::size_t widest = 1;
     for (std::int64_t i = 0; i < count; ++i) {
       std::string nodes;
       std::string falls_text;
@@ -203,10 +232,13 @@ void MetadataManager::load(std::istream& is) {
       if (version == 1 && reps.size() > 1)
         bad_manifest("replica list in a version-1 manifest");
       rec.io_nodes.push_back(reps[0]);
+      widest = std::max(widest, reps.size());
       rec.replica_nodes.push_back(std::move(reps));
       if (rec.replica_nodes.back().size() > 1) replicated = true;
       rec.subfile_falls.push_back(parse_falls_set(falls_text));
     }
+    if (rec.write_quorum > static_cast<int>(widest))
+      bad_manifest("write quorum exceeds the replica count");
     if (version == 1 || !replicated) rec.replica_nodes.clear();
     try {
       rec.pattern();  // validate

@@ -31,6 +31,10 @@ struct FileRecord {
   /// subfile i, primary first (replica_nodes[i][0] == io_nodes[i]). Empty
   /// means no replication — each subfile lives only on its primary.
   std::vector<std::vector<int>> replica_nodes;
+  /// W-of-N write acknowledgment policy for the file (ClusterConfig::
+  /// write_quorum): 0 = wait for the full fan-out. Must not exceed the
+  /// widest replica list. Persisted by manifest version 3.
+  int write_quorum = 0;
 
   /// The validated partitioning pattern (constructed on demand).
   PartitioningPattern pattern() const;

@@ -8,8 +8,10 @@
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <vector>
 
 #include "clusterfile/storage_fault.h"
+#include "util/check.h"
 #include "util/crc32.h"
 
 namespace pfm {
@@ -20,7 +22,46 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+// Debug-checks the writev/readv run-list contract: non-negative offsets,
+// positive lengths, strictly ascending and non-overlapping ranges, and a
+// payload exactly as long as the runs it feeds.
+std::int64_t checked_total(std::span<const IoVec> runs, std::size_t payload) {
+  std::int64_t total = 0;
+  std::int64_t prev_end = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    PFM_DCHECK(runs[i].offset >= 0 && runs[i].len > 0,
+               "vectored run must have offset >= 0 and len > 0");
+    PFM_DCHECK(i == 0 || runs[i].offset >= prev_end,
+               "vectored runs must be ascending and non-overlapping");
+    prev_end = runs[i].offset + runs[i].len;
+    total += runs[i].len;
+  }
+  PFM_CHECK(total == static_cast<std::int64_t>(payload),
+            "vectored payload length must equal the sum of run lengths");
+  return total;
+}
+
 }  // namespace
+
+void SubfileStorage::writev(std::span<const IoVec> runs,
+                            std::span<const std::byte> payload) {
+  checked_total(runs, payload.size());
+  std::size_t off = 0;
+  for (const IoVec& r : runs) {
+    write(r.offset, payload.subspan(off, static_cast<std::size_t>(r.len)));
+    off += static_cast<std::size_t>(r.len);
+  }
+}
+
+void SubfileStorage::readv(std::span<const IoVec> runs,
+                           std::span<std::byte> out) const {
+  checked_total(runs, out.size());
+  std::size_t off = 0;
+  for (const IoVec& r : runs) {
+    read(r.offset, out.subspan(off, static_cast<std::size_t>(r.len)));
+    off += static_cast<std::size_t>(r.len);
+  }
+}
 
 void MemoryStorage::write(std::int64_t offset, std::span<const std::byte> data) {
   if (offset < 0) throw std::invalid_argument("MemoryStorage::write: bad offset");
@@ -110,7 +151,18 @@ IntegrityStorage::IntegrityStorage(std::unique_ptr<SubfileStorage> inner,
     : inner_(std::move(inner)), block_(block_bytes) {
   if (block_ <= 0)
     throw std::invalid_argument("IntegrityStorage: block_bytes must be > 0");
-  logical_size_ = inner_->size();
+  // Adopt whatever the inner backend already holds as the intended content.
+  // Those ranges carry no recorded coverage (nothing was acknowledged
+  // through this layer yet), so an unreadable backend here just leaves the
+  // mirror zeroed — exactly as unverified as before.
+  mirror_.resize(static_cast<std::size_t>(inner_->size()));
+  if (!mirror_.empty()) {
+    try {
+      inner_->read(0, mirror_);
+    } catch (const std::exception&) {
+      std::fill(mirror_.begin(), mirror_.end(), std::byte{0});
+    }
+  }
 }
 
 std::int64_t IntegrityStorage::verify_block(std::int64_t b,
@@ -128,10 +180,20 @@ std::int64_t IntegrityStorage::verify_block(std::int64_t b,
         "IntegrityStorage: block " + std::to_string(b) +
         " shorter than recorded coverage (torn write)");
   }
-  if (crc32(scratch.data(), scratch.size()) != sum.crc)
+  if (crc32c(scratch.data(), scratch.size()) != sum.crc)
     throw StorageCorruptionError("IntegrityStorage: checksum mismatch in block " +
                                  std::to_string(b));
   return sum.len;
+}
+
+void IntegrityStorage::update_sum(std::int64_t b, std::int64_t end) {
+  const std::int64_t block_lo = b * block_;
+  const auto it = sums_.find(b);
+  const std::int64_t old_len = it == sums_.end() ? 0 : it->second.len;
+  const std::int64_t len =
+      std::max(old_len, std::min(end, block_lo + block_) - block_lo);
+  sums_[b] = BlockSum{
+      crc32c(mirror_.data() + block_lo, static_cast<std::size_t>(len)), len};
 }
 
 void IntegrityStorage::write(std::int64_t offset,
@@ -141,47 +203,23 @@ void IntegrityStorage::write(std::int64_t offset,
   if (data.empty()) return;
   MutexLock lock(mu_);
   const std::int64_t end = offset + static_cast<std::int64_t>(data.size());
-  const std::int64_t first = offset / block_;
-  const std::int64_t last = (end - 1) / block_;
-  // Record the *intended* content of every touched block before handing the
-  // bytes to the inner backend: if the write tears below us, the recorded
-  // CRC disagrees with what actually landed and the next read detects it.
-  Buffer scratch;
-  for (std::int64_t b = first; b <= last; ++b) {
-    const std::int64_t block_lo = b * block_;
-    const auto it = sums_.find(b);
-    const std::int64_t old_len = it == sums_.end() ? 0 : it->second.len;
-    // A write that covers the block's entire recorded coverage needs no old
-    // bytes — and must not verify them, or a corrupt block could never be
-    // repaired through this layer (scrub rewrites whole blocks).
-    std::int64_t kept = 0;
-    if (old_len > 0 && !(offset <= block_lo && end >= block_lo + old_len))
-      kept = verify_block(b, scratch);
-    const std::int64_t new_in_block =
-        std::min(end, block_lo + block_) - std::max(offset, block_lo);
-    const std::int64_t new_len =
-        std::max(old_len, std::max(offset, block_lo) + new_in_block - block_lo);
-    Buffer content(static_cast<std::size_t>(new_len));
-    // Old coverage first (holes beyond it read as zeros by contract)...
-    if (const std::int64_t keep = std::min(kept, new_len); keep > 0)
-      std::memcpy(content.data(), scratch.data(),
-                  static_cast<std::size_t>(keep));
-    // ...then the incoming bytes for this block on top.
-    const std::int64_t src_off = std::max(offset, block_lo) - offset;
-    const std::int64_t dst_off = std::max(offset, block_lo) - block_lo;
-    std::memcpy(content.data() + dst_off, data.data() + src_off,
-                static_cast<std::size_t>(new_in_block));
-    sums_[b] = BlockSum{crc32(content.data(), content.size()), new_len};
-  }
+  // Intended content lands in the mirror first and the checksums are
+  // derived from it; only then do the bytes go to the inner backend. If the
+  // write tears below us, the recorded CRC disagrees with what actually
+  // landed and the next read detects it.
+  if (static_cast<std::size_t>(end) > mirror_.size())
+    mirror_.resize(static_cast<std::size_t>(end));
+  std::memcpy(mirror_.data() + offset, data.data(), data.size());
+  for (std::int64_t b = offset / block_; b <= (end - 1) / block_; ++b)
+    update_sum(b, end);
   inner_->write(offset, data);
-  logical_size_ = std::max(logical_size_, end);
 }
 
 void IntegrityStorage::read(std::int64_t offset,
                             std::span<std::byte> out) const {
   MutexLock lock(mu_);
-  if (offset < 0 ||
-      offset + static_cast<std::int64_t>(out.size()) > logical_size_)
+  if (offset < 0 || offset + static_cast<std::int64_t>(out.size()) >
+                        static_cast<std::int64_t>(mirror_.size()))
     throw std::out_of_range("IntegrityStorage::read: range beyond subfile");
   if (out.empty()) return;
   try {
@@ -202,9 +240,75 @@ void IntegrityStorage::read(std::int64_t offset,
     verify_block(b, scratch);
 }
 
+void IntegrityStorage::writev(std::span<const IoVec> runs,
+                              std::span<const std::byte> payload) {
+  checked_total(runs, payload.size());
+  if (runs.empty() || payload.empty()) return;
+  MutexLock lock(mu_);
+  // Apply every run to the mirror, then checksum each touched block once.
+  // A strided FALLS projection puts dozens of small runs in one 4 KiB
+  // block; the per-run write() path would re-checksum the block for each
+  // of them, this override does it once — that is the whole point.
+  const std::int64_t total_end = runs.back().offset + runs.back().len;
+  if (static_cast<std::size_t>(total_end) > mirror_.size())
+    mirror_.resize(static_cast<std::size_t>(total_end));
+  std::size_t off = 0;
+  for (const IoVec& r : runs) {
+    std::memcpy(mirror_.data() + r.offset, payload.data() + off,
+                static_cast<std::size_t>(r.len));
+    off += static_cast<std::size_t>(r.len);
+  }
+  // Runs are ascending, so touched blocks come out ascending too. A block
+  // shared by several runs is summed once, with the furthest-reaching
+  // (latest) run's end as its coverage extent.
+  std::vector<std::pair<std::int64_t, std::int64_t>> touched;
+  for (const IoVec& r : runs) {
+    const std::int64_t end = r.offset + r.len;
+    for (std::int64_t b = r.offset / block_; b <= (end - 1) / block_; ++b) {
+      if (!touched.empty() && touched.back().first == b)
+        touched.back().second = end;
+      else
+        touched.emplace_back(b, end);
+    }
+  }
+  for (const auto& [b, end] : touched) update_sum(b, end);
+  // Checksums recorded first (torn-write detection), then the data. The
+  // inner default loops one write() per run, preserving FaultyStorage's
+  // per-range injection underneath.
+  inner_->writev(runs, payload);
+}
+
+void IntegrityStorage::readv(std::span<const IoVec> runs,
+                             std::span<std::byte> out) const {
+  checked_total(runs, out.size());
+  if (runs.empty()) return;
+  MutexLock lock(mu_);
+  for (const IoVec& r : runs)
+    if (r.offset < 0 ||
+        r.offset + r.len > static_cast<std::int64_t>(mirror_.size()))
+      throw std::out_of_range("IntegrityStorage::readv: range beyond subfile");
+  try {
+    inner_->readv(runs, out);
+  } catch (const std::out_of_range&) {
+    throw StorageCorruptionError(
+        "IntegrityStorage: stored data shorter than acknowledged writes "
+        "(torn write)");
+  }
+  // Verify each touched block once (runs ascending => blocks ascending).
+  Buffer scratch;
+  std::int64_t prev = -1;
+  for (const IoVec& r : runs) {
+    const std::int64_t end = r.offset + r.len;
+    for (std::int64_t b = std::max(prev + 1, r.offset / block_);
+         b <= (end - 1) / block_; ++b)
+      verify_block(b, scratch);
+    prev = std::max(prev, (end - 1) / block_);
+  }
+}
+
 std::int64_t IntegrityStorage::size() const {
   MutexLock lock(mu_);
-  return logical_size_;
+  return static_cast<std::int64_t>(mirror_.size());
 }
 
 std::unique_ptr<SubfileStorage> make_storage(const std::filesystem::path& dir,

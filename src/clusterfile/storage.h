@@ -37,6 +37,14 @@ class StorageCorruptionError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// One (offset, length) range of a vectorized storage operation. Run lists
+/// passed to writev/readv must be ascending and non-overlapping — exactly
+/// the shape a FALLS projection's run walk produces.
+struct IoVec {
+  std::int64_t offset = 0;
+  std::int64_t len = 0;
+};
+
 /// Linear-addressable subfile storage. Writes beyond the current size grow
 /// the subfile (zero-filled holes); empty writes are no-ops and never grow.
 class SubfileStorage {
@@ -45,6 +53,21 @@ class SubfileStorage {
 
   virtual void write(std::int64_t offset, std::span<const std::byte> data) = 0;
   virtual void read(std::int64_t offset, std::span<std::byte> out) const = 0;
+
+  /// Vectorized write: applies `runs` (ascending, non-overlapping) taking
+  /// their bytes from the concatenated `payload` (whose length must equal
+  /// the sum of the run lengths). Equivalent to one write() per run — the
+  /// default does exactly that, so decorators like FaultyStorage keep their
+  /// per-range semantics — but IntegrityStorage overrides it to do its
+  /// per-block CRC bookkeeping once per touched block instead of once per
+  /// run, which is what makes strided replica writes affordable.
+  virtual void writev(std::span<const IoVec> runs,
+                      std::span<const std::byte> payload);
+  /// Vectorized read: gathers `runs` (ascending, non-overlapping) into the
+  /// concatenated `out`. Same contract and default as writev.
+  virtual void readv(std::span<const IoVec> runs,
+                     std::span<std::byte> out) const;
+
   virtual std::int64_t size() const = 0;
   /// Pushes pending data toward the medium (no-op for memory).
   virtual void flush() = 0;
@@ -112,12 +135,22 @@ class FileStorage final : public SubfileStorage {
                              ///< per bounds-checked read)
 };
 
-/// Integrity decorator: records a CRC-32 per `block_bytes` block covering
+/// Integrity decorator: records a CRC-32C per `block_bytes` block covering
 /// the content each write intended, and verifies every block a read touches
 /// against the bytes the inner storage actually holds. A mismatch — or an
 /// inner file shorter than the recorded coverage (torn write) — throws
 /// StorageCorruptionError. Holes never written through this layer are
 /// unverified (they read as zeros by the storage growth contract).
+///
+/// Writes apply to an in-memory mirror of the intended content first; block
+/// checksums are computed from the mirror and only then are the bytes
+/// handed to the inner backend. That keeps the write path O(touched bytes)
+/// — no read-verify-rebuild of every touched block — while preserving the
+/// detection guarantee: anything the backend drops or rots disagrees with a
+/// mirror-derived checksum on the next verified read. Corruption is thus
+/// reported at read/scrub time; an overwrite of a rotten block succeeds but
+/// never launders the damage into a fresh checksum. The price is one
+/// in-memory copy of the subfile.
 ///
 /// size() reports the *intended* logical size (max end offset ever written
 /// plus the construction-time inner size), which stays honest even when a
@@ -131,6 +164,10 @@ class IntegrityStorage final : public SubfileStorage {
 
   void write(std::int64_t offset, std::span<const std::byte> data) override;
   void read(std::int64_t offset, std::span<std::byte> out) const override;
+  void writev(std::span<const IoVec> runs,
+              std::span<const std::byte> payload) override;
+  void readv(std::span<const IoVec> runs,
+             std::span<std::byte> out) const override;
   std::int64_t size() const override;
   void flush() override { inner_->flush(); }
   std::string kind() const override {
@@ -157,10 +194,19 @@ class IntegrityStorage final : public SubfileStorage {
   std::int64_t verify_block(std::int64_t b, Buffer& scratch) const
       PFM_REQUIRES(mu_);
 
+  /// Recomputes block `b`'s checksum from the mirror, extending its
+  /// recorded coverage to `end` (an absolute offset) if that reaches
+  /// further than what was covered before.
+  void update_sum(std::int64_t b, std::int64_t end) PFM_REQUIRES(mu_);
+
   mutable Mutex mu_{"IntegrityStorage::mu"};
   std::unique_ptr<SubfileStorage> inner_;
   std::int64_t block_;
-  std::int64_t logical_size_ PFM_GUARDED_BY(mu_) = 0;
+  /// Intended content: every byte acknowledged through this layer (holes
+  /// zero-filled), sized to the logical subfile size. Checksums are derived
+  /// from here, never from inner reads, so a backend that tears or rots can
+  /// not influence what the checksum claims the bytes should be.
+  Buffer mirror_ PFM_GUARDED_BY(mu_);
   std::unordered_map<std::int64_t, BlockSum> sums_ PFM_GUARDED_BY(mu_);
 };
 

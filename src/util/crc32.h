@@ -13,4 +13,11 @@ namespace pfm {
 /// fresh checksum; feed the previous return value to chain buffers).
 std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
 
+/// CRC-32C (Castagnoli, polynomial 0x82F63B78), same chaining convention.
+/// Hardware-accelerated via the SSE4.2 CRC32 instruction when the CPU has
+/// it (runtime-detected; the table fallback is bit-identical). Used for
+/// storage block checksums, which are process-internal and never cross the
+/// wire — the message protocol stays on the IEEE crc32 above.
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t crc = 0);
+
 }  // namespace pfm

@@ -41,12 +41,30 @@ Graph& graph() {
   return *g;
 }
 
-thread_local std::vector<const LockClass*> t_held;
-/// Edges this thread has already pushed into the graph; lets the hot path
-/// (same nesting repeated) skip the global lock.
-thread_local std::set<std::pair<const LockClass*, const LockClass*>>
-    t_seen_edges;
-thread_local std::uint64_t t_cache_epoch = 0;
+struct ThreadState {
+  std::vector<const LockClass*> held;
+  /// Edges this thread has already pushed into the graph; lets the hot
+  /// path (same nesting repeated) skip the global lock.
+  std::set<std::pair<const LockClass*, const LockClass*>> seen_edges;
+  std::uint64_t cache_epoch = 0;
+  ~ThreadState();
+};
+
+/// Trivially destructible, so it outlives the ThreadState TLS slot. A
+/// thread's TLS destructors can run before the last pfm::Mutex use on that
+/// thread — on the main thread, atexit-destroyed statics such as
+/// ThreadPool::shared() still lock and unlock during shutdown — and the
+/// hooks must then degrade to no-ops instead of touching freed storage
+/// (the same teardown-order reason graph() is leaked).
+thread_local bool t_state_dead = false;
+
+ThreadState::~ThreadState() { t_state_dead = true; }
+
+ThreadState* state() {
+  if (t_state_dead) return nullptr;
+  static thread_local ThreadState s;
+  return &s;
+}
 
 std::string stack_string(const std::vector<const LockClass*>& held) {
   if (held.empty()) return "(none)";
@@ -101,7 +119,9 @@ const LockClass* intern_class(const char* name) {
 }
 
 void note_acquire(const LockClass* c) {
-  std::vector<const LockClass*>& held = t_held;
+  ThreadState* ts = state();
+  if (ts == nullptr) return;
+  std::vector<const LockClass*>& held = ts->held;
   for (const LockClass* h : held) {
     PFM_CHECK(h != c,
               "lockdep: acquiring lock class '", c->name,
@@ -113,20 +133,20 @@ void note_acquire(const LockClass* c) {
 
   Graph& g = graph();
   const std::uint64_t epoch = g.epoch.load(std::memory_order_acquire);
-  if (t_cache_epoch != epoch) {
-    t_seen_edges.clear();
-    t_cache_epoch = epoch;
+  if (ts->cache_epoch != epoch) {
+    ts->seen_edges.clear();
+    ts->cache_epoch = epoch;
   }
   bool all_seen = true;
   for (const LockClass* h : held)
-    if (t_seen_edges.count({h, c}) == 0) all_seen = false;
+    if (ts->seen_edges.count({h, c}) == 0) all_seen = false;
   if (all_seen) return;
 
   std::lock_guard<std::mutex> lk(g.mu);  // pfm-lint: allow(raw-mutex)
   for (const LockClass* h : held) {
     auto& row = g.adj[h];
     if (row.count(c) != 0) {
-      t_seen_edges.insert({h, c});
+      ts->seen_edges.insert({h, c});
       continue;
     }
     // Adding h -> c; a pre-existing path c ->* h makes the order cyclic.
@@ -141,14 +161,18 @@ void note_acquire(const LockClass* c) {
                 prior.holder_stack, " -> ", path[1]->name);
     }
     row.emplace(c, Edge{stack_string(held)});
-    t_seen_edges.insert({h, c});
+    ts->seen_edges.insert({h, c});
   }
 }
 
-void note_held(const LockClass* c) { t_held.push_back(c); }
+void note_held(const LockClass* c) {
+  if (ThreadState* ts = state()) ts->held.push_back(c);
+}
 
 void note_release(const LockClass* c) {
-  std::vector<const LockClass*>& held = t_held;
+  ThreadState* ts = state();
+  if (ts == nullptr) return;
+  std::vector<const LockClass*>& held = ts->held;
   for (auto it = held.rbegin(); it != held.rend(); ++it) {
     if (*it == c) {
       held.erase(std::next(it).base());
@@ -161,23 +185,33 @@ void note_release(const LockClass* c) {
 }
 
 void check_no_locks_held(const char* what) {
-  PFM_CHECK(t_held.empty(), "lockdep: ", what,
+  ThreadState* ts = state();
+  if (ts == nullptr) return;
+  PFM_CHECK(ts->held.empty(), "lockdep: ", what,
             " would block while this thread holds pfm::Mutex(es): ",
-            stack_string(t_held),
+            stack_string(ts->held),
             " — blocking channel/pool waits must run lock-free");
 }
 
-std::size_t held_count() { return t_held.size(); }
+std::size_t held_count() {
+  ThreadState* ts = state();
+  return ts != nullptr ? ts->held.size() : 0;
+}
 
 void reset_for_test() {
-  PFM_CHECK(t_held.empty(),
-            "lockdep: reset_for_test with locks held: ", stack_string(t_held));
+  ThreadState* ts = state();
+  if (ts != nullptr) {
+    PFM_CHECK(ts->held.empty(), "lockdep: reset_for_test with locks held: ",
+              stack_string(ts->held));
+  }
   Graph& g = graph();
   std::lock_guard<std::mutex> lk(g.mu);  // pfm-lint: allow(raw-mutex)
   g.adj.clear();
   g.epoch.fetch_add(1, std::memory_order_acq_rel);
-  t_seen_edges.clear();
-  t_cache_epoch = g.epoch.load(std::memory_order_acquire);
+  if (ts != nullptr) {
+    ts->seen_edges.clear();
+    ts->cache_epoch = g.epoch.load(std::memory_order_acquire);
+  }
 }
 
 }  // namespace pfm::lockdep

@@ -20,6 +20,7 @@ ReliabilityCounters& ReliabilityCounters::operator+=(
   failovers += o.failovers;
   degraded += o.degraded;
   replica_failures += o.replica_failures;
+  quorum_short += o.quorum_short;
   return *this;
 }
 
@@ -27,7 +28,8 @@ bool ReliabilityCounters::all_zero() const {
   return retries == 0 && timeouts == 0 && stale_replies == 0 &&
          corruptions_detected == 0 && view_reinstalls == 0 &&
          duplicates_suppressed == 0 && failures == 0 && errors_sent == 0 &&
-         failovers == 0 && degraded == 0 && replica_failures == 0;
+         failovers == 0 && degraded == 0 && replica_failures == 0 &&
+         quorum_short == 0;
 }
 
 double Stats::mean() const {

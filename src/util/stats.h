@@ -31,6 +31,10 @@ struct ReliabilityCounters {
                                           ///< a full healthy replica set
   std::int64_t replica_failures = 0;      ///< replica requests abandoned while
                                           ///< the access still succeeded
+  std::int64_t quorum_short = 0;          ///< quorum writes whose straggler
+                                          ///< set was abandoned before every
+                                          ///< replica acked (groups, not
+                                          ///< requests; scrub owes a repair)
 
   ReliabilityCounters& operator+=(const ReliabilityCounters& o);
   bool all_zero() const;

@@ -124,7 +124,7 @@ TEST(Metadata, LoadRejectsMalformedManifests) {
   MetadataManager mm;
   EXPECT_THROW(mm.load(dir / "missing.txt"), std::runtime_error);
   EXPECT_THROW(mm.load(write("not-a-manifest 1\n")), std::invalid_argument);
-  EXPECT_THROW(mm.load(write("pfm-manifest 3\n")), std::invalid_argument);
+  EXPECT_THROW(mm.load(write("pfm-manifest 4\n")), std::invalid_argument);
   EXPECT_NO_THROW(mm.load(write("pfm-manifest 2\n")));  // empty v2 is valid
   EXPECT_THROW(mm.load(write("pfm-manifest 1\nfile x\ndisp 0\n")),
                std::invalid_argument);
@@ -187,6 +187,116 @@ TEST(Metadata, ReplicatedManifestRoundTrip) {
   // Unreplicated records stay unreplicated after a v2 round trip.
   EXPECT_TRUE(back.lookup("plain").replica_nodes.empty());
 
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Write quorum (manifest version 3)
+// ---------------------------------------------------------------------------
+
+TEST(Metadata, QuorumRecordValidation) {
+  MetadataManager mm;
+  FileRecord rec = sample_record("q", Partition2D::kRowBlocks);
+  rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  rec.write_quorum = 2;  // == replica count: full fan-out, but explicit
+  EXPECT_NO_THROW(mm.create(rec));
+  mm.remove("q");
+  rec.write_quorum = 3;  // exceeds the widest replica list
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);
+  rec.write_quorum = -1;
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);
+  // Without replica lists only 0 (full fan-out) and 1 are meaningful.
+  rec.replica_nodes.clear();
+  rec.write_quorum = 2;
+  EXPECT_THROW(mm.create(rec), std::invalid_argument);
+  rec.write_quorum = 1;
+  EXPECT_NO_THROW(mm.create(rec));
+}
+
+TEST(Metadata, QuorumManifestRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_quorum";
+  std::filesystem::create_directories(dir);
+  const auto manifest = dir / "manifest.txt";
+
+  MetadataManager mm;
+  FileRecord rec = sample_record("sloppy", Partition2D::kRowBlocks);
+  rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  rec.write_quorum = 1;
+  mm.create(rec);
+  mm.create(sample_record("plain", Partition2D::kColumnBlocks));
+  mm.save(manifest);
+
+  // The header advertises version 3 exactly because a record has a quorum.
+  {
+    std::ifstream is(manifest);
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    EXPECT_EQ(version, 3);
+  }
+
+  MetadataManager back;
+  back.load(manifest);
+  const FileRecord& s = back.lookup("sloppy");
+  EXPECT_EQ(s.write_quorum, 1);
+  EXPECT_EQ(s.replica_nodes, rec.replica_nodes);
+  // Records without a quorum line load as full fan-out.
+  EXPECT_EQ(back.lookup("plain").write_quorum, 0);
+
+  // Replicated-but-no-quorum records still save as version 2: the format
+  // never advances past what the content needs.
+  MetadataManager v2;
+  FileRecord flat = sample_record("mirrored", Partition2D::kRowBlocks);
+  flat.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  v2.create(flat);
+  v2.save(manifest);
+  {
+    std::ifstream is(manifest);
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    EXPECT_EQ(version, 2);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metadata, LoadRejectsMalformedQuorums) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_badq";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const std::string& text) {
+    const auto path = dir / "m.txt";
+    std::ofstream os(path);
+    os << text;
+    os.close();
+    return path;
+  };
+  MetadataManager mm;
+  const std::string body =
+      "file x\ndisp 0\nsize 12\nquorum %s\nsubfiles 1\n4,5 {(0,11,12,1)}\n";
+  const auto with_quorum = [&](const std::string& header,
+                               const std::string& q) {
+    std::string text = header + "\n" + body;
+    text.replace(text.find("%s"), 2, q);
+    return write(text);
+  };
+  // A quorum line needs a version-3 header.
+  EXPECT_THROW(mm.load(with_quorum("pfm-manifest 2", "1")),
+               std::invalid_argument);
+  // Zero, negative and non-numeric quorums are malformed (0 is expressed by
+  // omitting the line, exactly as unreplicated files omit replica lists).
+  EXPECT_THROW(mm.load(with_quorum("pfm-manifest 3", "0")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(with_quorum("pfm-manifest 3", "-1")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(with_quorum("pfm-manifest 3", "two")),
+               std::invalid_argument);
+  // A quorum wider than the replica lists can never be met.
+  EXPECT_THROW(mm.load(with_quorum("pfm-manifest 3", "3")),
+               std::invalid_argument);
+  // The same record with a satisfiable quorum loads.
+  EXPECT_NO_THROW(mm.load(with_quorum("pfm-manifest 3", "2")));
+  EXPECT_EQ(mm.lookup("x").write_quorum, 2);
   std::filesystem::remove_all(dir);
 }
 

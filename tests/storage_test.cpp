@@ -4,7 +4,9 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <span>
 #include <system_error>
+#include <vector>
 
 #include "clusterfile/storage.h"
 #include "clusterfile/storage_fault.h"
@@ -127,6 +129,30 @@ TEST_P(StorageTest, ReplicaNamesDoNotCollide) {
   EXPECT_EQ(r1->size(), 16);
 }
 
+// writev/readv: strided runs from one concatenated payload must behave
+// exactly like one write()/read() per run (the default implementation the
+// backends inherit), holes included.
+TEST_P(StorageTest, VectoredWriteReadRoundTrip) {
+  auto s = make();
+  const std::vector<IoVec> runs = {{0, 16}, {48, 16}, {100, 28}};
+  const Buffer payload = make_pattern_buffer(60, 17);
+  s->writev(runs, payload);
+  EXPECT_EQ(s->size(), 128);
+
+  Buffer gathered(60);
+  s->readv(runs, gathered);
+  EXPECT_TRUE(equal_bytes(gathered, payload));
+
+  // Per-run reads see the same bytes, and the gaps stayed zero-filled.
+  Buffer second(16);
+  s->read(48, second);
+  EXPECT_TRUE(equal_bytes(second,
+                          std::span<const std::byte>(payload).subspan(16, 16)));
+  Buffer hole(32);
+  s->read(16, hole);
+  for (std::byte b : hole) EXPECT_EQ(b, std::byte{0});
+}
+
 TEST(Storage, KindNames) {
   EXPECT_EQ(make_storage({}, 0)->kind(), "memory");
   const auto dir = test_dir("pfm_storage_kind");
@@ -224,7 +250,7 @@ TEST(IntegrityStorage, FullBlockOverwriteRepairsCorruption) {
   EXPECT_TRUE(equal_bytes(back, fresh));
 }
 
-TEST(IntegrityStorage, PartialOverwriteOfCorruptBlockThrows) {
+TEST(IntegrityStorage, PartialOverwriteOfCorruptBlockIsNotLaundered) {
   auto inner = std::make_unique<MemoryStorage>();
   MemoryStorage* raw = inner.get();
   IntegrityStorage st(std::move(inner), 64);
@@ -233,9 +259,83 @@ TEST(IntegrityStorage, PartialOverwriteOfCorruptBlockThrows) {
   raw->read(40, one);
   one[0] ^= std::byte{0x80};
   raw->write(40, one);
-  // A partial overwrite must not quietly launder the rotten remainder into
-  // a fresh checksum.
-  EXPECT_THROW(st.write(0, make_pattern_buffer(8, 14)), StorageCorruptionError);
+  // A partial overwrite succeeds (checksums come from the intent mirror,
+  // not from re-reading the backend) but must not quietly launder the
+  // rotten remainder into a fresh checksum: the stored byte still
+  // disagrees with the recorded sum, so the next read reports it.
+  EXPECT_NO_THROW(st.write(0, make_pattern_buffer(8, 14)));
+  Buffer back(64);
+  EXPECT_THROW(st.read(0, back), StorageCorruptionError);
+}
+
+// The vectorized override (one CRC bookkeeping pass per touched block
+// instead of one per run) must leave the exact state a run-at-a-time
+// sequence of write() calls would: same bytes, same checksums, so reads
+// through either instance agree.
+TEST(IntegrityStorage, VectoredWriteMatchesSequentialWrites) {
+  IntegrityStorage vec(std::make_unique<MemoryStorage>(), 64);
+  IntegrityStorage seq(std::make_unique<MemoryStorage>(), 64);
+  // Runs chosen to straddle block boundaries and share blocks: two runs in
+  // block 0, one spanning blocks 1-2, one alone in block 3.
+  const std::vector<IoVec> runs = {{8, 8}, {40, 16}, {100, 40}, {200, 10}};
+  Buffer payload = make_pattern_buffer(74, 18);
+  vec.writev(runs, payload);
+  std::size_t off = 0;
+  for (const IoVec& r : runs) {
+    seq.write(r.offset, std::span<const std::byte>(payload)
+                            .subspan(off, static_cast<std::size_t>(r.len)));
+    off += static_cast<std::size_t>(r.len);
+  }
+  ASSERT_EQ(vec.size(), seq.size());
+  Buffer a(static_cast<std::size_t>(vec.size()));
+  Buffer b(static_cast<std::size_t>(seq.size()));
+  vec.read(0, a);
+  seq.read(0, b);
+  EXPECT_TRUE(equal_bytes(a, b));
+  // And the gathered view matches what went in.
+  Buffer gathered(74);
+  vec.readv(runs, gathered);
+  EXPECT_TRUE(equal_bytes(gathered, payload));
+}
+
+// Corruption behind the integrity layer must surface through readv exactly
+// as it does through read — the gather path verifies every touched block.
+TEST(IntegrityStorage, VectoredReadDetectsBitRot) {
+  auto inner = std::make_unique<MemoryStorage>();
+  MemoryStorage* raw = inner.get();
+  IntegrityStorage st(std::move(inner), 64);
+  st.write(0, make_pattern_buffer(256, 19));
+  Buffer one(1);
+  raw->read(130, one);  // block 2
+  one[0] ^= std::byte{0x04};
+  raw->write(130, one);
+
+  const std::vector<IoVec> bad_runs = {{0, 16}, {128, 16}};
+  Buffer out(32);
+  EXPECT_THROW(st.readv(bad_runs, out), StorageCorruptionError);
+  // Runs avoiding the rotten block still gather fine.
+  const std::vector<IoVec> good_runs = {{0, 16}, {64, 16}, {192, 16}};
+  Buffer ok(48);
+  EXPECT_NO_THROW(st.readv(good_runs, ok));
+}
+
+// A tear under a vectorized write is caught like a tear under write():
+// the persisted prefix disagrees with the recorded checksums.
+TEST(IntegrityStorage, VectoredTornWriteIsDetected) {
+  StorageFaultPlan plan;
+  plan.seed = 5;
+  StorageFaultRule rule;
+  rule.op = StorageFaultRule::Op::kWrite;
+  rule.torn_write = 1.0;
+  plan.rules.push_back(rule);
+  IntegrityStorage torn(
+      std::make_unique<FaultyStorage>(std::make_unique<MemoryStorage>(), plan),
+      64);
+  const std::vector<IoVec> runs = {{0, 64}, {64, 64}};
+  torn.writev(runs, make_pattern_buffer(128, 20));
+  EXPECT_EQ(torn.size(), 128);  // intended size stays honest
+  Buffer back(128);
+  EXPECT_THROW(torn.read(0, back), StorageCorruptionError);
 }
 
 // ---------------------------------------------------------------------------

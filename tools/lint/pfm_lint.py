@@ -24,6 +24,12 @@ not know about:
                    production code waits on condition variables or channel
                    deadlines. Sleeping hides ordering bugs the lockdep /
                    TSan jobs exist to catch (tests may sleep).
+  bare-receive     src/clusterfile/ blocks on the wire only through
+                   Channel::receive_for with a deadline. A bare receive()
+                   in the client's windowed engine (or anything else on the
+                   Clusterfile hot path) hangs forever on a dead node —
+                   the retry/failover/straggler machinery never runs.
+                   Server loops (src/cluster/node.cpp) block by design.
 
 A finding can be waived per line (or per include) with a trailing comment:
     std::mutex mu;  // pfm-lint: allow(raw-mutex)
@@ -87,6 +93,14 @@ RULES = [
         "no sleeping in production code: wait on a CondVar or a channel "
         "deadline (sleeps hide the ordering bugs lockdep/TSan catch)",
     ),
+    (
+        "bare-receive",
+        re.compile(r"\breceive\s*\(\s*\)"),
+        lambda p: p.startswith("src/clusterfile/"),
+        "block on the wire with Channel::receive_for and a deadline: a bare "
+        "receive() hangs forever on a dead node and starves the "
+        "retry/failover/straggler machinery",
+    ),
 ]
 
 ALLOW = re.compile(r"pfm-lint:\s*allow\(([a-z0-9-]+)\)")
@@ -143,6 +157,16 @@ def self_test() -> int:
         ("src/cluster/node.cpp",
          "std::this_thread::sleep_for(std::chrono::seconds(1));", "sleep"),
         ("tests/soak.cpp", "std::this_thread::sleep_for(1ms);", None),
+        ("src/clusterfile/client.cpp", "auto msg = inbox.receive();",
+         "bare-receive"),
+        ("src/clusterfile/client.cpp",
+         "auto msg = inbox.receive_for(deadline);", None),  # deadline: fine
+        ("src/clusterfile/client.cpp", "auto msg = inbox.try_receive();",
+         None),  # non-blocking: fine
+        ("src/cluster/node.cpp", "auto msg = inbox.receive();",
+         None),  # the server loop blocks by design
+        ("src/clusterfile/io_server.cpp",
+         "auto m = ch.receive();  // pfm-lint: allow(bare-receive)", None),
     ]
     failures = 0
     root = pathlib.Path("/self-test")
