@@ -200,6 +200,10 @@ Json counters_json(const ReliabilityCounters& r) {
   j.set("degraded", Json::integer(r.degraded));
   j.set("replica_failures", Json::integer(r.replica_failures));
   j.set("quorum_short", Json::integer(r.quorum_short));
+  j.set("repairs_started", Json::integer(r.repairs_started));
+  j.set("repairs_completed", Json::integer(r.repairs_completed));
+  j.set("repairs_failed", Json::integer(r.repairs_failed));
+  j.set("bytes_re_replicated", Json::integer(r.bytes_re_replicated));
   return j;
 }
 

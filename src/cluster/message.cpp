@@ -21,6 +21,8 @@ const char* to_string(MsgKind k) {
     case MsgKind::kShutdown: return "SHUTDOWN";
     case MsgKind::kSyncRequest: return "SYNC_REQUEST";
     case MsgKind::kSyncReply: return "SYNC_REPLY";
+    case MsgKind::kPing: return "PING";
+    case MsgKind::kPong: return "PONG";
   }
   return "?";
 }
@@ -59,7 +61,7 @@ constexpr std::uint8_t kWireVersion = 1;
 constexpr std::uint8_t kFlagContiguous = 0x01;
 constexpr std::uint8_t kFlagChecksummed = 0x02;
 constexpr std::uint8_t kKnownFlags = kFlagContiguous | kFlagChecksummed;
-constexpr std::uint8_t kMaxKind = static_cast<std::uint8_t>(MsgKind::kSyncReply);
+constexpr std::uint8_t kMaxKind = static_cast<std::uint8_t>(MsgKind::kPong);
 constexpr std::uint8_t kMaxErr = static_cast<std::uint8_t>(ErrCode::kIoError);
 
 // Byte-at-a-time little-endian put/get: independent of host endianness and

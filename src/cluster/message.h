@@ -32,6 +32,9 @@ enum class MsgKind : std::uint8_t {
                  ///< write ranges it missed; v carries the requester's epoch
   kSyncReply,    ///< server -> server: missed ranges (meta "off:len;..." +
                  ///< concatenated payload); v carries the peer's epoch
+  kPing,         ///< detector -> server: liveness probe; v carries a probe
+                 ///< sequence number the pong echoes
+  kPong,         ///< server -> detector: liveness answer
 };
 
 const char* to_string(MsgKind k);

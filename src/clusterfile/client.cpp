@@ -29,8 +29,13 @@ std::uint64_t next_req_id() {
 
 }  // namespace
 
-ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
-    : net_(net), node_id_(node_id), meta_(std::move(meta)) {
+ClusterfileClient::ClusterfileClient(
+    Network& net, int node_id, FileMeta meta,
+    std::shared_ptr<const PlacementDirectory> placement)
+    : net_(net),
+      node_id_(node_id),
+      meta_(std::move(meta)),
+      placement_(std::move(placement)) {
   if (!meta_.physical)
     throw std::invalid_argument("ClusterfileClient: no physical pattern");
   if (meta_.io_nodes.size() != meta_.physical->element_count())
@@ -50,11 +55,44 @@ ClusterfileClient::ClusterfileClient(Network& net, int node_id, FileMeta meta)
             "ClusterfileClient: replica list must start with the primary");
   }
   set_write_quorum(meta_.write_quorum);
+  // A directory created before this client may already be ahead of the
+  // FileMeta snapshot (repairs between cluster start and client creation):
+  // force the first access to reconcile.
+  if (placement_) placement_seen_ = -1;
+}
+
+void ClusterfileClient::maybe_refresh_placement() {
+  if (!placement_) return;
+  const std::int64_t epoch = placement_->epoch();
+  if (epoch == placement_seen_) return;
+  const std::vector<std::vector<int>> snap = placement_->snapshot();
+  PFM_CHECK(snap.size() == meta_.replicas.size(),
+            "placement directory covers ", snap.size(), " subfiles, file has ",
+            meta_.replicas.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    meta_.replicas[i] = snap[i];
+    meta_.io_nodes[i] = snap[i][0];
+  }
+  // Installed views baked the replica chain into their targets at set_view
+  // time; re-aim them. The new replica has no projections yet — the first
+  // request it sees answers kUnknownView and the transact engine
+  // re-installs the view in-band.
+  for (ViewState& state : views_) {
+    for (SubTarget& t : state.targets) {
+      t.replicas = snap[t.subfile];
+      t.io_node = t.replicas[0];
+    }
+  }
+  // Plans cache each target's serving node; drop them so the next access
+  // re-materializes against the new primaries.
+  invalidate_plans();
+  placement_seen_ = epoch;
 }
 
 std::int64_t ClusterfileClient::set_view(FallsSet falls,
                                          std::int64_t view_pattern_size) {
   AccessCanary::Scope guard(canary_);
+  maybe_refresh_placement();
   const PartitioningPattern& phys = *meta_.physical;
   // The view FALLS come straight from the application: reject malformed
   // input here, where the error names the caller's mistake, instead of
@@ -754,7 +792,12 @@ void ClusterfileClient::straggler_abandon(std::uint64_t req_id) {
     *s.group_short = true;
     ++rel_.quorum_short;
   }
-  scrub_debt_.push_back(s.subfile);
+  // Deduplicated: the same subfile abandoned across many retries (or many
+  // groups) owes exactly one scrub, and the debt set stays bounded by the
+  // subfile count instead of growing with the failure rate.
+  if (std::find(scrub_debt_.begin(), scrub_debt_.end(), s.subfile) ==
+      scrub_debt_.end())
+    scrub_debt_.push_back(s.subfile);
   stragglers_.erase(it);
 }
 
@@ -794,6 +837,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::write(
     std::int64_t view_id, std::int64_t v, std::int64_t w,
     std::span<const std::byte> data) {
   AccessCanary::Scope guard(canary_);
+  maybe_refresh_placement();
   if (v > w) throw std::invalid_argument("ClusterfileClient::write: v > w");
   if (static_cast<std::int64_t>(data.size()) < w - v + 1)
     throw std::invalid_argument("ClusterfileClient::write: short buffer");
@@ -892,6 +936,7 @@ ClusterfileClient::AccessTimings ClusterfileClient::read(
     std::int64_t view_id, std::int64_t v, std::int64_t w,
     std::span<std::byte> out_buf) {
   AccessCanary::Scope guard(canary_);
+  maybe_refresh_placement();
   if (v > w) throw std::invalid_argument("ClusterfileClient::read: v > w");
   if (static_cast<std::int64_t>(out_buf.size()) < w - v + 1)
     throw std::invalid_argument("ClusterfileClient::read: short buffer");

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "cluster/network.h"
+#include "clusterfile/placement.h"
 #include "file_model/pattern.h"
 #include "redist/gather_scatter.h"
 #include "util/lockdep.h"
@@ -123,7 +124,12 @@ struct SubfileAccess {
 
 class ClusterfileClient {
  public:
-  ClusterfileClient(Network& net, int node_id, FileMeta meta);
+  /// `placement`, when given, is the live replica-placement directory: the
+  /// client compares its epoch at the start of every access and re-snapshots
+  /// replica targets when the self-heal repair path re-placed subfiles
+  /// (DESIGN.md "Self-healing"). Null keeps FileMeta::replicas static.
+  ClusterfileClient(Network& net, int node_id, FileMeta meta,
+                    std::shared_ptr<const PlacementDirectory> placement = {});
 
   int node_id() const { return node_id_; }
 
@@ -208,8 +214,10 @@ class ClusterfileClient {
   void drain_stragglers();
 
   /// Subfiles whose write fan-out abandoned a replica (quorum shortfall):
-  /// the divergence scrub/re-sync must repair. Returns the accumulated list
-  /// (duplicates possible, ascending-insertion order) and clears it.
+  /// the divergence scrub/re-sync must repair. Deduplicated — a subfile
+  /// abandoned many times across retries appears once — so the set is
+  /// bounded by the subfile count. Returns the accumulated list
+  /// (insertion order) and clears it.
   std::vector<int> take_scrub_debt() {
     return std::exchange(scrub_debt_, {});
   }
@@ -384,10 +392,17 @@ class ClusterfileClient {
   void send_or_throw(Message msg);
   /// Stamps req_id (and the checksum when the network asks for it).
   void seal(Message& msg, std::uint64_t req_id);
+  /// Re-snapshots replica targets from the placement directory when its
+  /// epoch moved: meta_, every installed view's SubTargets and the plan
+  /// cache (PlanTarget caches io_node). Called at the start of every
+  /// access, under the canary.
+  void maybe_refresh_placement();
 
   Network& net_;
   int node_id_;
   FileMeta meta_;
+  std::shared_ptr<const PlacementDirectory> placement_;
+  std::int64_t placement_seen_ = 0;
   std::vector<ViewState> views_;
   LruCache<PlanKey, std::shared_ptr<const AccessPlan>, PlanKeyHash>
       plan_cache_{kDefaultPlanCacheCapacity};

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace pfm {
@@ -19,6 +20,13 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
   if (config_.write_quorum < 0 || config_.write_quorum > config_.replication)
     throw std::invalid_argument(
         "Clusterfile: write_quorum must be in [0, replication]");
+  if (config_.self_heal && config_.replication < 2)
+    throw std::invalid_argument(
+        "Clusterfile: self_heal needs replication > 1 (a lone copy has no "
+        "surviving source to repair from)");
+  if (config_.max_concurrent_repairs < 1)
+    throw std::invalid_argument(
+        "Clusterfile: max_concurrent_repairs must be >= 1");
   if (!config_.storage_faults) config_.storage_faults = storage_fault_plan_from_env();
   // Integrity checking turns on automatically exactly when something can
   // damage stored bytes (replication implies scrub, faults imply damage);
@@ -33,16 +41,21 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
       std::make_shared<const PartitioningPattern>(std::move(physical));
   const std::size_t subfiles = meta_.physical->element_count();
 
-  net_ = std::make_unique<Network>(config_.compute_nodes + config_.io_nodes,
-                                   config_.net);
+  // One extra endpoint past the node ids: the failure detector's dedicated
+  // inbox (allocated unconditionally so node ids are config-independent).
+  net_ = std::make_unique<Network>(
+      config_.compute_nodes + config_.io_nodes + 1, config_.net);
   if (config_.overlap) {
     if (config_.io_nodes > config_.compute_nodes)
       throw std::invalid_argument(
           "Clusterfile: overlapping node sets need io_nodes <= compute_nodes");
     // Compute endpoint c is machine c; I/O endpoint i shares machine i.
+    // The detector endpoint gets a machine of its own — probes cross the
+    // wire like any monitoring host's would.
     std::vector<int> machines;
     for (int c = 0; c < config_.compute_nodes; ++c) machines.push_back(c);
     for (int i = 0; i < config_.io_nodes; ++i) machines.push_back(i);
+    machines.push_back(config_.compute_nodes);
     net_->set_machines(std::move(machines));
   }
   // Subfile i is served by I/O node (compute_nodes + i % io_nodes); replica
@@ -64,13 +77,41 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
         PFM_DCHECK(node >= config_.compute_nodes && node < net_->node_count(),
                    "subfile ", i, " assigned to non-I/O node ", node);
   }
-  crashed_.assign(static_cast<std::size_t>(config_.io_nodes), 0);
+  {
+    MutexLock lock(crash_mu_);
+    crashed_.assign(static_cast<std::size_t>(config_.io_nodes), 0);
+  }
+  placement_ = std::make_shared<PlacementDirectory>(meta_.replicas);
 
   start_servers(nullptr);
+  start_clients();
 
+  if (config_.self_heal) {
+    // Scheduler before detector: the detector's on_dead callback enqueues
+    // into the scheduler, so it must already exist when probing starts.
+    repairer_ = std::make_unique<RepairScheduler>(
+        [this](const RepairPlanEntry& e, std::int64_t* bytes) {
+          return execute_repair(e, bytes);
+        },
+        config_.max_concurrent_repairs);
+    std::vector<int> monitored;
+    for (int i = 0; i < config_.io_nodes; ++i)
+      monitored.push_back(config_.compute_nodes + i);
+    detector_ = std::make_unique<FailureDetector>(
+        *net_, config_.compute_nodes + config_.io_nodes, std::move(monitored),
+        FailureDetector::Options::from_env(config_.heartbeat),
+        /*on_dead=*/[this](int node) { on_node_dead(node); },
+        /*on_alive=*/FailureDetector::Callback{});
+  }
+}
+
+void Clusterfile::start_clients() {
+  clients_.clear();
   clients_.reserve(static_cast<std::size_t>(config_.compute_nodes));
   for (int c = 0; c < config_.compute_nodes; ++c)
-    clients_.push_back(std::make_unique<ClusterfileClient>(*net_, c, meta_));
+    clients_.push_back(std::make_unique<ClusterfileClient>(
+        *net_, c, meta_,
+        std::shared_ptr<const PlacementDirectory>(placement_)));
 }
 
 void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
@@ -103,6 +144,20 @@ void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
 }
 
 Clusterfile::~Clusterfile() {
+  // Shutdown order matters. The detector first (no new dead declarations),
+  // then the repair workers (nothing else touches the servers), then a
+  // bounded straggler drain — closing the network with quorum stragglers
+  // still pending used to drop them silently, leaving replicas divergent
+  // with no accounting. The drain is bounded by each straggler's remaining
+  // RetryPolicy schedule, and whatever it abandons is surfaced.
+  if (detector_) detector_->stop();
+  if (repairer_) repairer_->stop();
+  for (auto& c : clients_) c->drain_stragglers();
+  const std::int64_t abandoned = stragglers_abandoned();
+  if (abandoned > 0)
+    PFM_WARN("clusterfile: shutdown abandoned ", abandoned,
+             " quorum straggler(s); epoch re-sync or scrub must repair the "
+             "replicas they missed");
   for (auto& s : servers_) s->stop();
   net_->close_all();
 }
@@ -114,20 +169,19 @@ ClusterfileClient& Clusterfile::client(int c) {
 }
 
 IoServer& Clusterfile::server_for(std::size_t subfile) {
-  if (subfile >= meta_.io_nodes.size())
+  if (subfile >= placement_->subfile_count())
     throw std::out_of_range("Clusterfile::server_for: bad subfile");
-  const int node = meta_.io_nodes[subfile] - config_.compute_nodes;
-  return *servers_[static_cast<std::size_t>(node)];
+  return server_at_node(placement_->primary_of(subfile));
 }
 
 const SubfileStorage& Clusterfile::subfile_storage(std::size_t subfile) {
   return server_for(subfile).storage(static_cast<int>(subfile));
 }
 
-const std::vector<int>& Clusterfile::replica_nodes(std::size_t subfile) const {
-  if (subfile >= meta_.replicas.size())
+std::vector<int> Clusterfile::replica_nodes(std::size_t subfile) const {
+  if (subfile >= placement_->subfile_count())
     throw std::out_of_range("Clusterfile::replica_nodes: bad subfile");
-  return meta_.replicas[subfile];
+  return placement_->replicas_of(subfile);
 }
 
 IoServer& Clusterfile::server_at_node(int node_id) {
@@ -139,7 +193,7 @@ IoServer& Clusterfile::server_at_node(int node_id) {
 
 SubfileStorage& Clusterfile::replica_storage(std::size_t subfile,
                                              std::size_t replica) {
-  const std::vector<int>& nodes = replica_nodes(subfile);
+  const std::vector<int> nodes = replica_nodes(subfile);
   if (replica >= nodes.size())
     throw std::out_of_range("Clusterfile::replica_storage: bad replica");
   return server_at_node(nodes[replica]).storage_mut(static_cast<int>(subfile));
@@ -163,34 +217,57 @@ void Clusterfile::crash_server(std::size_t io_index) {
   // wire (the dead-machine experience — clients see timeouts, not errors).
   faults().isolate(node);
   servers_[io_index]->stop();
+  MutexLock lock(crash_mu_);
   crashed_[io_index] = 1;
+}
+
+bool Clusterfile::is_crashed(std::size_t io_index) const {
+  MutexLock lock(crash_mu_);
+  return crashed_[io_index] != 0;
+}
+
+bool Clusterfile::node_unusable(int node) const {
+  if (is_crashed(static_cast<std::size_t>(node - config_.compute_nodes)))
+    return true;
+  return detector_ && detector_->is_dead(node);
 }
 
 ResyncStats Clusterfile::restart_server(std::size_t io_index) {
   if (io_index >= servers_.size())
     throw std::out_of_range("Clusterfile::restart_server: bad I/O node");
+  // A repair worker may hold a reference to the IoServer object this
+  // replaces — wait it out before destroying anything.
+  if (repairer_) repairer_->await_idle();
   const int node = config_.compute_nodes + static_cast<int>(io_index);
   IoServer::SubfileStorages storages = servers_[io_index]->take_storages();
   servers_[io_index] = std::make_unique<IoServer>(
       *net_, node, std::move(storages), /*track_epochs=*/config_.replication > 1);
   faults().restore(node);
-  crashed_[io_index] = 0;
+  {
+    MutexLock lock(crash_mu_);
+    crashed_[io_index] = 0;
+  }
 
   // Re-sync: each hosted subfile pulls the writes the dead period missed
   // from the first live peer replica that answers. Every live replica saw
-  // the same fan-out writes, so any one of them is authoritative.
+  // the same fan-out writes, so any one of them is authoritative. A subfile
+  // the repair planner moved off this node while it was down is skipped —
+  // the node still stores the stale copy, but the published placement no
+  // longer aims anyone at it.
   ResyncStats rs;
   Timer t;
   if (config_.replication > 1) {
     for (const int subfile : servers_[io_index]->subfile_ids()) {
+      const std::vector<int> peers =
+          placement_->replicas_of(static_cast<std::size_t>(subfile));
+      if (std::find(peers.begin(), peers.end(), node) == peers.end())
+        continue;
       bool synced = false;
       bool had_peer = false;
-      for (const int peer :
-           meta_.replicas[static_cast<std::size_t>(subfile)]) {
+      for (const int peer : peers) {
         if (peer == node) continue;
-        const std::size_t peer_idx =
-            static_cast<std::size_t>(peer - config_.compute_nodes);
-        if (crashed_[peer_idx]) continue;
+        if (is_crashed(static_cast<std::size_t>(peer - config_.compute_nodes)))
+          continue;
         had_peer = true;
         const IoServer::SyncOutcome out = servers_[io_index]->sync_subfile(
             subfile, peer, /*attempts=*/5, std::chrono::milliseconds(400));
@@ -207,10 +284,21 @@ ResyncStats Clusterfile::restart_server(std::size_t io_index) {
     }
   }
   rs.elapsed_us = static_cast<std::int64_t>(t.elapsed_us());
+
+  // A rejoin can unblock repairs that were skipped for lack of a usable
+  // replacement (planner: "they stay under-replicated until a node
+  // returns"). Re-plan every other still-dead node; subfiles already
+  // repaired produce no entries, so this is idempotent.
+  if (repairer_ && detector_)
+    for (const int dead : detector_->dead_nodes())
+      if (dead != node) on_node_dead(dead);
   return rs;
 }
 
 ScrubReport Clusterfile::scrub() {
+  // Scrub walks replica storage directly; let in-flight repairs (which own
+  // the replacement copies they are filling) finish first.
+  if (repairer_) repairer_->await_idle();
   ScrubReport rep;
   const std::int64_t block =
       integrity_block_ > 0 ? integrity_block_ : IntegrityStorage::kDefaultBlock;
@@ -222,10 +310,10 @@ ScrubReport Clusterfile::scrub() {
       std::int64_t epoch = 0;
     };
     std::vector<Rep> reps;
-    for (const int node : meta_.replicas[i]) {
+    for (const int node : placement_->replicas_of(i)) {
       const std::size_t idx =
           static_cast<std::size_t>(node - config_.compute_nodes);
-      if (crashed_[idx]) continue;
+      if (is_crashed(idx)) continue;
       IoServer& srv = *servers_[idx];
       reps.push_back(
           {&srv.storage_mut(static_cast<int>(i)), srv.subfile_epoch(static_cast<int>(i))});
@@ -327,6 +415,165 @@ ReliabilityCounters Clusterfile::server_reliability() const {
   return total;
 }
 
+ReliabilityCounters Clusterfile::repair_reliability() const {
+  return repairer_ ? repairer_->counters() : ReliabilityCounters{};
+}
+
+void Clusterfile::await_repairs() {
+  if (!repairer_) return;
+  repairer_->await_idle();
+  if (!detector_) return;
+  // Converge: a node that rejoined may have unblocked repairs that were
+  // skipped earlier for lack of a usable replacement, and a repair that
+  // lost its source mid-copy is terminal in the scheduler but re-plannable
+  // from current placement. Bounded rounds so persistently failing
+  // repairs cannot spin this into a livelock.
+  for (int round = 0; round < 4; ++round) {
+    bool planned = false;
+    for (const int dead : detector_->dead_nodes()) {
+      std::vector<RepairPlanEntry> plan = plan_repairs(
+          placement_->snapshot(), dead, config_.compute_nodes,
+          config_.io_nodes, [this](int n) { return node_unusable(n); });
+      if (plan.empty()) continue;
+      planned = true;
+      repairer_->enqueue(std::move(plan));
+    }
+    if (!planned) return;
+    repairer_->await_idle();
+  }
+}
+
+bool Clusterfile::repairs_active() const {
+  return repairer_ && repairer_->pending() > 0;
+}
+
+std::vector<int> Clusterfile::under_replicated_subfiles() const {
+  std::vector<int> out;
+  const std::vector<std::vector<int>> snap = placement_->snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    int usable = 0;
+    for (const int node : snap[i])
+      if (!node_unusable(node)) ++usable;
+    if (usable < config_.replication) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void Clusterfile::on_node_dead(int node) {
+  if (!repairer_) return;
+  std::vector<RepairPlanEntry> plan = plan_repairs(
+      placement_->snapshot(), node, config_.compute_nodes, config_.io_nodes,
+      [this](int n) { return node_unusable(n); });
+  PFM_INFO("clusterfile: node ", node, " declared dead; ", plan.size(),
+           " subfile repair(s) planned");
+  if (!plan.empty()) repairer_->enqueue(std::move(plan));
+}
+
+bool Clusterfile::execute_repair(const RepairPlanEntry& entry,
+                                 std::int64_t* bytes) {
+  const int dst = entry.replacement_node;
+  const std::size_t dst_idx =
+      static_cast<std::size_t>(dst - config_.compute_nodes);
+  if (is_crashed(dst_idx)) {
+    PFM_WARN("repair: replacement node ", dst, " crashed before subfile ",
+             entry.subfile, " could be re-replicated");
+    return false;
+  }
+  // Safe to hold across the copy: servers_ entries are only replaced by
+  // restart_server/relayout, and both await_idle() on the scheduler first.
+  IoServer& dstsrv = *servers_[dst_idx];
+
+  if (!dstsrv.has_subfile(entry.subfile)) {
+    // A fresh replica at epoch 0: the first sync below is forcibly a full
+    // transfer — the degenerate whole-subfile PROJ of the repair plan. The
+    // storage slot comes from a global counter past the configured replica
+    // indices, so on disk the new copy never collides with the dead node's
+    // surviving file.
+    const int slot =
+        config_.replication + repair_slot_.fetch_add(1, std::memory_order_relaxed);
+    const StorageFaultPlan* faults =
+        config_.storage_faults ? &*config_.storage_faults : nullptr;
+    auto storage =
+        make_storage(config_.storage_dir, entry.subfile, slot, faults);
+    if (integrity_block_ > 0)
+      storage = std::make_unique<IntegrityStorage>(std::move(storage),
+                                                   integrity_block_);
+    dstsrv.adopt_subfile(entry.subfile, std::move(storage));
+  }
+
+  // Copy sources: the surviving replicas, preferred by write epoch (same
+  // authority rule as scrub), rotated on failure.
+  struct Source {
+    int node = 0;
+    std::int64_t epoch = 0;
+  };
+  std::vector<Source> sources;
+  for (const int src : entry.new_replicas) {
+    if (src == dst || node_unusable(src)) continue;
+    sources.push_back({src, server_at_node(src).subfile_epoch(entry.subfile)});
+  }
+  if (sources.empty()) {
+    PFM_WARN("repair: no live source for subfile ", entry.subfile);
+    return false;
+  }
+  std::stable_sort(sources.begin(), sources.end(),
+                   [](const Source& a, const Source& b) {
+                     return a.epoch > b.epoch;
+                   });
+
+  // One shared delivery budget for the whole repair (the PR-6 discipline):
+  // per-attempt timeouts follow the backoff schedule and their sum is the
+  // hard deadline across every source tried.
+  const RetryPolicy& rp = config_.repair_retry;
+  std::chrono::milliseconds per = rp.base_timeout;
+  std::chrono::milliseconds budget{0};
+  {
+    std::chrono::milliseconds t = rp.base_timeout;
+    for (int a = 0; a < rp.max_attempts; ++a) {
+      budget += t;
+      t = std::min(std::chrono::milliseconds(static_cast<std::int64_t>(
+                       static_cast<double>(t.count()) * rp.backoff)),
+                   rp.max_timeout);
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  std::int64_t copied = 0;
+  for (int attempt = 0; attempt < rp.max_attempts; ++attempt) {
+    const Source& src = sources[static_cast<std::size_t>(attempt) % sources.size()];
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto slice = std::min(
+        per, std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    const IoServer::SyncOutcome out =
+        dstsrv.sync_subfile(entry.subfile, src.node, /*attempts=*/1, slice);
+    per = std::min(std::chrono::milliseconds(static_cast<std::int64_t>(
+                       static_cast<double>(per.count()) * rp.backoff)),
+                   rp.max_timeout);
+    if (!out.ok) continue;
+    copied += out.bytes;
+    // Publish first, then close the gap: foreground writes that landed on
+    // the survivors while the bulk copy ran are pulled over by catch-up
+    // syncs until one moves nothing. After the publish every *new* write
+    // fans out to the replacement too, so the gap only shrinks.
+    placement_->update(static_cast<std::size_t>(entry.subfile),
+                       entry.new_replicas);
+    for (int c = 0; c < 3; ++c) {
+      const IoServer::SyncOutcome catchup =
+          dstsrv.sync_subfile(entry.subfile, src.node, /*attempts=*/1, slice);
+      if (!catchup.ok) break;
+      copied += catchup.bytes;
+      if (catchup.bytes == 0) break;
+    }
+    if (bytes != nullptr) *bytes = copied;
+    PFM_INFO("repair: subfile ", entry.subfile, " re-replicated to node ",
+             dst, " from node ", src.node, " (", copied, " bytes)");
+    return true;
+  }
+  PFM_WARN("repair: delivery budget exhausted for subfile ", entry.subfile,
+           " -> node ", dst);
+  return false;
+}
+
 double Clusterfile::mean_server_scatter_us() const {
   double total = 0;
   for (const auto& s : servers_) total += s->scatter_us();
@@ -345,6 +592,20 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
   if (new_physical.displacement() != old.displacement())
     throw std::invalid_argument("Clusterfile::relayout: displacement changed");
   PFM_CHECK(file_size >= 0, "relayout: negative file size ", file_size);
+
+  // Let in-flight repairs land, then adopt the repaired placement as the
+  // new baseline: the relayouted copies go wherever repair moved them. The
+  // PlacementDirectory itself is never replaced (the detector callback and
+  // repair workers read the pointer concurrently); its table already says
+  // exactly what meta_ is being synced to.
+  if (repairer_) repairer_->await_idle();
+  {
+    const std::vector<std::vector<int>> snap = placement_->snapshot();
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      meta_.replicas[i] = snap[i];
+      meta_.io_nodes[i] = snap[i][0];
+    }
+  }
 
   // Collect current subfile contents (unwritten tails read as zeros).
   std::vector<Buffer> src(old.element_count());
@@ -372,9 +633,7 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
   meta_.physical =
       std::make_shared<const PartitioningPattern>(std::move(new_physical));
   start_servers(&dst);
-  clients_.clear();
-  for (int c = 0; c < config_.compute_nodes; ++c)
-    clients_.push_back(std::make_unique<ClusterfileClient>(*net_, c, meta_));
+  start_clients();
   return stats;
 }
 

@@ -6,14 +6,18 @@
 // paper's evaluation uses one subfile per I/O node.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "cluster/failure_detector.h"
 #include "clusterfile/client.h"
 #include "clusterfile/io_server.h"
+#include "clusterfile/placement.h"
+#include "clusterfile/repair.h"
 #include "clusterfile/storage_fault.h"
 #include "redist/execute.h"
 
@@ -52,6 +56,22 @@ struct ClusterConfig {
   /// replication > 1 or storage faults are configured, off otherwise.
   /// -1 = force off; > 0 = explicit block size.
   std::int64_t integrity_block = 0;
+  /// Self-healing (DESIGN.md "Self-healing"): run a heartbeat failure
+  /// detector over the I/O nodes and, when one is declared dead,
+  /// re-replicate every subfile it hosted onto a surviving node via the
+  /// repair scheduler, then republish the placement so clients re-aim.
+  /// Requires replication > 1.
+  bool self_heal = false;
+  /// Heartbeat thresholds; the PFM_HEARTBEAT_{INTERVAL_MS,TIMEOUT_MS,
+  /// SUSPECT_N} environment knobs override these defaults.
+  FailureDetector::Options heartbeat{};
+  /// Worker bound on concurrent subfile re-replications.
+  int max_concurrent_repairs = 2;
+  /// Delivery budget of one subfile repair: per-attempt sync timeouts
+  /// follow this backoff schedule, and the summed schedule is the repair's
+  /// hard deadline across every source it tries (the shared per-access
+  /// budget discipline of client accesses).
+  RetryPolicy repair_retry{};
 };
 
 /// What restart_server's re-sync pulled from the surviving replicas.
@@ -100,12 +120,14 @@ class Clusterfile {
 
   /// The client running on compute node c.
   ClusterfileClient& client(int c);
-  /// The I/O server holding subfile i's primary replica.
+  /// The I/O server holding subfile i's primary replica (per the current
+  /// placement — repair may have moved it since creation).
   IoServer& server_for(std::size_t subfile);
   /// Storage of subfile i's primary replica (wherever it lives).
   const SubfileStorage& subfile_storage(std::size_t subfile);
-  /// I/O node ids holding subfile i, primary first.
-  const std::vector<int>& replica_nodes(std::size_t subfile) const;
+  /// I/O node ids holding subfile i, primary first. By value: repair
+  /// republishes placements concurrently with readers.
+  std::vector<int> replica_nodes(std::size_t subfile) const;
   /// Storage of replica r of subfile i (r indexes replica_nodes). The
   /// cluster must be quiescent — the replica's server loop owns the storage
   /// while requests are in flight.
@@ -149,6 +171,24 @@ class Clusterfile {
   /// suppressed, corruptions caught, errors sent).
   ReliabilityCounters client_reliability() const;
   ReliabilityCounters server_reliability() const;
+  /// Repair-scheduler counters (repairs_started/completed/failed,
+  /// bytes_re_replicated; the other fields stay zero). Empty when
+  /// self-healing is off.
+  ReliabilityCounters repair_reliability() const;
+
+  /// The heartbeat failure detector, or nullptr when self_heal is off.
+  /// mark_dead/mark_alive on it drive the repair hooks directly (tests).
+  FailureDetector* detector() { return detector_.get(); }
+  /// Blocks until no repair is queued or executing. Each repair's execution
+  /// is bounded by its delivery budget, so this terminates.
+  void await_repairs();
+  /// True while a repair is queued or executing.
+  bool repairs_active() const;
+  /// Current placement version (0 until the first repair publishes).
+  std::int64_t placement_epoch() const { return placement_->epoch(); }
+  /// Subfiles whose usable replica count (placement nodes that are neither
+  /// crashed nor detector-dead) is below the configured replication.
+  std::vector<int> under_replicated_subfiles() const;
 
   /// Blocks until no client holds a background quorum straggler: each one
   /// either acks or exhausts its retry schedule (bounded by RetryPolicy).
@@ -178,15 +218,37 @@ class Clusterfile {
 
  private:
   void start_servers(const std::vector<Buffer>* initial);
+  void start_clients();
   IoServer& server_at_node(int node_id);
+  /// Detector on_dead hook: plans repairs for the lost node's subfiles and
+  /// enqueues them. Runs on the detector (or overriding) thread.
+  void on_node_dead(int node);
+  /// RepairScheduler execute hook: adopts fresh storage on the replacement
+  /// node, copies from the best surviving replica under the repair delivery
+  /// budget, publishes the new placement, then closes the foreground-write
+  /// gap with catch-up syncs. Runs on a repair worker thread.
+  bool execute_repair(const RepairPlanEntry& entry, std::int64_t* bytes);
+  bool is_crashed(std::size_t io_index) const PFM_EXCLUDES(crash_mu_);
+  /// Node is unusable as a repair source or target: crashed, or declared
+  /// dead by the detector.
+  bool node_unusable(int node) const;
 
   ClusterConfig config_;
   std::int64_t integrity_block_ = 0;  ///< resolved from config (0 = off)
   std::unique_ptr<Network> net_;
   FileMeta meta_;
+  std::shared_ptr<PlacementDirectory> placement_;
   std::vector<std::unique_ptr<IoServer>> servers_;  ///< one per I/O node
-  std::vector<char> crashed_;                       ///< per I/O node
+  mutable Mutex crash_mu_{"Clusterfile::crash_mu"};
+  /// Per I/O node; read by repair workers, written by crash/restart.
+  std::vector<char> crashed_ PFM_GUARDED_BY(crash_mu_);
   std::vector<std::unique_ptr<ClusterfileClient>> clients_;
+  /// Distinct storage slot per repaired copy, so a replacement's file never
+  /// collides with the dead node's surviving one.
+  std::atomic<int> repair_slot_{0};
+  std::unique_ptr<RepairScheduler> repairer_;  ///< before detector_: the
+                                               ///< detector enqueues into it
+  std::unique_ptr<FailureDetector> detector_;
 };
 
 }  // namespace pfm

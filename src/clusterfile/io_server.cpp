@@ -75,6 +75,9 @@ IoServer::IoServer(Network& net, int node_id, SubfileStorages subfiles,
       node_id_(node_id),
       track_epochs_(track_epochs),
       loop_(net, node_id, [this](Message&& m) { handle(std::move(m)); }) {
+  // loop_ is the last member, so its thread is already running: the map is
+  // populated under mu_ like every other access.
+  MutexLock lock(mu_);
   for (auto& [id, storage] : subfiles) {
     if (!storage) throw std::invalid_argument("IoServer: null storage");
     Subfile sub;
@@ -88,13 +91,29 @@ IoServer::~IoServer() { stop(); }
 
 IoServer::SubfileStorages IoServer::take_storages() {
   stop();
+  MutexLock lock(mu_);
   SubfileStorages out;
   for (auto& [id, sub] : subfiles_) out.emplace_back(id, std::move(sub.storage));
   subfiles_.clear();
   return out;
 }
 
+bool IoServer::has_subfile(int subfile_id) const {
+  MutexLock lock(mu_);
+  return subfiles_.count(subfile_id) > 0;
+}
+
+bool IoServer::adopt_subfile(int subfile_id,
+                             std::unique_ptr<SubfileStorage> storage) {
+  if (!storage) throw std::invalid_argument("IoServer: null storage");
+  Subfile sub;
+  sub.storage = std::move(storage);
+  MutexLock lock(mu_);
+  return subfiles_.emplace(subfile_id, std::move(sub)).second;
+}
+
 const SubfileStorage& IoServer::storage(int subfile_id) const {
+  MutexLock lock(mu_);
   const auto it = subfiles_.find(subfile_id);
   if (it == subfiles_.end())
     throw std::out_of_range("IoServer::storage: subfile not served here");
@@ -102,6 +121,7 @@ const SubfileStorage& IoServer::storage(int subfile_id) const {
 }
 
 SubfileStorage& IoServer::storage_mut(int subfile_id) {
+  MutexLock lock(mu_);
   const auto it = subfiles_.find(subfile_id);
   if (it == subfiles_.end())
     throw std::out_of_range("IoServer::storage_mut: subfile not served here");
@@ -109,6 +129,7 @@ SubfileStorage& IoServer::storage_mut(int subfile_id) {
 }
 
 std::vector<int> IoServer::subfile_ids() const {
+  MutexLock lock(mu_);
   std::vector<int> out;
   out.reserve(subfiles_.size());
   for (const auto& [id, sub] : subfiles_) out.push_back(id);
@@ -116,10 +137,10 @@ std::vector<int> IoServer::subfile_ids() const {
 }
 
 std::int64_t IoServer::subfile_epoch(int subfile_id) const {
+  MutexLock lock(mu_);
   const auto it = subfiles_.find(subfile_id);
   if (it == subfiles_.end())
     throw std::out_of_range("IoServer::subfile_epoch: subfile not served here");
-  MutexLock lock(mu_);
   return it->second.storage->epoch();
 }
 
@@ -193,6 +214,7 @@ void IoServer::handle(Message&& msg) {
       case MsgKind::kRead: handle_read(std::move(msg)); return;
       case MsgKind::kSyncRequest: handle_sync_request(std::move(msg)); return;
       case MsgKind::kSyncReply: handle_sync_reply(std::move(msg)); return;
+      case MsgKind::kPing: handle_ping(msg); return;
       case MsgKind::kError: handle_error_reply(msg); return;
       default:
         PFM_WARN("IoServer ", node_id_, ": unexpected message ",
@@ -220,7 +242,20 @@ void IoServer::handle(Message&& msg) {
   }
 }
 
+void IoServer::handle_ping(const Message& msg) {
+  // Liveness answer straight off the loop thread: a server that can pong
+  // is a server that can serve. The probe sequence in v is echoed so the
+  // detector matches answers to rounds.
+  Message pong;
+  pong.kind = MsgKind::kPong;
+  pong.dst_node = msg.src_node;
+  pong.v = msg.v;
+  if (net_.checksums_enabled()) stamp_checksum(pong);
+  net_.send(node_id_, std::move(pong));
+}
+
 IoServer::Subfile& IoServer::subfile_for(const Message& msg) {
+  MutexLock lock(mu_);
   const auto it = subfiles_.find(msg.subfile);
   if (it == subfiles_.end())
     throw ProtocolError(ErrCode::kUnknownSubfile,
@@ -388,15 +423,17 @@ void IoServer::handle_sync_reply(Message&& msg) {
   // peer — it already did its part.
   SyncOutcome out;
   try {
-    const auto it = subfiles_.find(msg.subfile);
-    if (it == subfiles_.end())
-      throw std::runtime_error("sync reply for a subfile not served here");
-    Subfile& sub = it->second;
+    Subfile* subp = nullptr;
     std::int64_t my_epoch = 0;
     {
       MutexLock lock(mu_);
-      my_epoch = sub.storage->epoch();
+      const auto it = subfiles_.find(msg.subfile);
+      if (it == subfiles_.end())
+        throw std::runtime_error("sync reply for a subfile not served here");
+      subp = &it->second;
+      my_epoch = subp->storage->epoch();
     }
+    Subfile& sub = *subp;
     if (msg.v > my_epoch) {
       const Ranges ranges = parse_ranges(msg.meta);
       std::int64_t off = 0;
@@ -460,11 +497,15 @@ void IoServer::handle_error_reply(const Message& msg) {
 IoServer::SyncOutcome IoServer::sync_subfile(
     int subfile_id, int peer_node, int attempts,
     std::chrono::milliseconds per_attempt) {
-  const auto it = subfiles_.find(subfile_id);
-  if (it == subfiles_.end()) {
-    SyncOutcome out;
-    out.error = "subfile not served here";
-    return out;
+  std::map<int, Subfile>::iterator it;
+  {
+    MutexLock lock(mu_);
+    it = subfiles_.find(subfile_id);
+    if (it == subfiles_.end()) {
+      SyncOutcome out;
+      out.error = "subfile not served here";
+      return out;
+    }
   }
   for (int attempt = 0; attempt < attempts; ++attempt) {
     const std::uint64_t id = next_sync_req_id();

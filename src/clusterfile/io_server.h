@@ -64,7 +64,18 @@ class IoServer {
   ~IoServer();
 
   int node_id() const { return node_id_; }
-  std::size_t subfile_count() const { return subfiles_.size(); }
+  std::size_t subfile_count() const {
+    MutexLock lock(mu_);
+    return subfiles_.size();
+  }
+  bool has_subfile(int subfile_id) const;
+  /// Starts serving a new subfile over the given storage while the loop is
+  /// live — the self-heal path placing a replacement replica here. The
+  /// subfile begins with no projections (clients re-install on the first
+  /// kUnknownView) and at the storage's own epoch (0 for fresh storage, so
+  /// the first sync pull is a full transfer). False when the subfile is
+  /// already served here.
+  bool adopt_subfile(int subfile_id, std::unique_ptr<SubfileStorage> storage);
   const SubfileStorage& storage(int subfile_id) const;
   /// Mutable storage access for scrub/repair. The caller must ensure the
   /// cluster is quiescent — the server's loop thread owns these storages
@@ -128,6 +139,7 @@ class IoServer {
   };
 
   void handle(Message&& msg);
+  void handle_ping(const Message& msg);
   void handle_set_view(Message&& msg);
   void handle_write(Message&& msg);
   void handle_read(Message&& msg);
@@ -143,13 +155,16 @@ class IoServer {
   Network& net_;
   int node_id_;
   bool track_epochs_ = false;
-  /// Map *structure* mutated only while the loop is quiescent (constructor,
-  /// take_storages); the loop thread owns storage data and projections
-  /// between requests, while the nested projections / write_log containers
-  /// and the storage epoch are touched under mu_ (the annotation lives on
-  /// the access sites — nested members cannot name the outer mutex).
-  std::map<int, Subfile> subfiles_;
   mutable Mutex mu_{"IoServer::mu"};
+  /// Map *lookups and structure* go through mu_: adopt_subfile inserts
+  /// while the loop is live (self-heal), so every find crosses the lock.
+  /// Entries are never erased while the loop runs (take_storages stops it
+  /// first) and std::map nodes are stable, so a Subfile& obtained under
+  /// the lock stays valid afterwards: the loop thread owns storage data
+  /// and projections between requests, while the nested projections /
+  /// write_log containers and the storage epoch are touched under mu_
+  /// (the annotation cannot reach nested members, only the map itself).
+  std::map<int, Subfile> subfiles_ PFM_GUARDED_BY(mu_);
   /// Pending sync_subfile calls by req_id, filled by the loop thread.
   struct SyncWait {
     SyncOutcome out;

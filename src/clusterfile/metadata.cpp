@@ -48,8 +48,45 @@ void MetadataManager::create(FileRecord record) {
       record.write_quorum > static_cast<int>(widest))
     throw std::invalid_argument(
         "MetadataManager: write quorum outside [0, replica count]");
+  if (record.placement_epoch < 0)
+    throw std::invalid_argument("MetadataManager: negative placement epoch");
   record.pattern();  // validates the partitioning pattern
   files_.emplace(record.name, std::move(record));
+}
+
+void MetadataManager::update_placement(
+    const std::string& name, std::vector<std::vector<int>> replica_nodes,
+    std::int64_t placement_epoch) {
+  AccessCanary::Scope guard(canary_);
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    throw std::out_of_range("MetadataManager: no such file: " + name);
+  FileRecord& rec = it->second;
+  if (placement_epoch <= rec.placement_epoch)
+    throw std::invalid_argument(
+        "MetadataManager: placement epoch must advance");
+  if (replica_nodes.size() != rec.subfile_falls.size())
+    throw std::invalid_argument(
+        "MetadataManager: replica_nodes count mismatch");
+  std::size_t widest = 1;
+  for (const auto& reps : replica_nodes) {
+    if (reps.empty())
+      throw std::invalid_argument("MetadataManager: empty replica list");
+    for (std::size_t a = 0; a < reps.size(); ++a)
+      for (std::size_t b = a + 1; b < reps.size(); ++b)
+        if (reps[a] == reps[b])
+          throw std::invalid_argument(
+              "MetadataManager: duplicate replica node");
+    widest = std::max(widest, reps.size());
+  }
+  if (rec.write_quorum > static_cast<int>(widest))
+    throw std::invalid_argument(
+        "MetadataManager: placement leaves the write quorum unsatisfiable");
+  // The primary is the list head by definition; io_nodes follows it.
+  for (std::size_t i = 0; i < replica_nodes.size(); ++i)
+    rec.io_nodes[i] = replica_nodes[i][0];
+  rec.replica_nodes = std::move(replica_nodes);
+  rec.placement_epoch = placement_epoch;
 }
 
 bool MetadataManager::remove(const std::string& name) {
@@ -104,6 +141,7 @@ std::vector<std::string> MetadataManager::list() const {
 //   file <name>
 //   disp <displacement>
 //   size <size>
+//   placement <epoch>                    (version 4, only when epoch > 0)
 //   quorum <w>                           (version 3, only when w > 0)
 //   subfiles <count>
 //   <nodes> <falls tuple notation>       (count lines)
@@ -111,24 +149,32 @@ std::vector<std::string> MetadataManager::list() const {
 // emitted whenever any record carries replica placement — writes the full
 // comma-separated replica list, primary first (e.g. "5,7"); version 3 —
 // emitted whenever any record carries a write quorum — additionally allows
-// the optional `quorum` line between size and subfiles. load() accepts all
-// three versions and rejects a quorum line in the older two.
+// the optional `quorum` line between size and subfiles; version 4 —
+// emitted whenever any record carries a repair-advanced placement epoch —
+// additionally allows the optional `placement` line before `quorum`.
+// load() accepts all four versions and rejects each optional line in the
+// versions that predate it.
 void MetadataManager::save(const std::filesystem::path& manifest) const {
   bool replicated = false;
   bool quorum = false;
+  bool placed = false;
   for (const auto& [name, rec] : files_) {
     if (!rec.replica_nodes.empty()) replicated = true;
     if (rec.write_quorum > 0) quorum = true;
+    if (rec.placement_epoch > 0) placed = true;
   }
   const std::filesystem::path tmp = manifest.string() + ".tmp";
   {
     std::ofstream os(tmp);
     if (!os) throw std::runtime_error("MetadataManager: cannot write " + tmp.string());
-    os << "pfm-manifest " << (quorum ? 3 : replicated ? 2 : 1) << "\n";
+    os << "pfm-manifest "
+       << (placed ? 4 : quorum ? 3 : replicated ? 2 : 1) << "\n";
     for (const auto& [name, rec] : files_) {
       os << "file " << name << "\n";
       os << "disp " << rec.displacement << "\n";
       os << "size " << rec.size << "\n";
+      if (rec.placement_epoch > 0)
+        os << "placement " << rec.placement_epoch << "\n";
       if (rec.write_quorum > 0) os << "quorum " << rec.write_quorum << "\n";
       os << "subfiles " << rec.subfile_falls.size() << "\n";
       for (std::size_t i = 0; i < rec.subfile_falls.size(); ++i) {
@@ -185,7 +231,7 @@ void MetadataManager::load(std::istream& is) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "pfm-manifest" ||
-      (version != 1 && version != 2 && version != 3))
+      version < 1 || version > 4)
     bad_manifest("bad header");
 
   std::map<std::string, FileRecord> loaded;
@@ -198,6 +244,15 @@ void MetadataManager::load(std::istream& is) {
     rec.size = manifest_i64(expect_keyword(is, "size"), "size");
     std::string word;
     if (!(is >> word)) bad_manifest("expected subfiles");
+    if (word == "placement") {
+      if (version < 4) bad_manifest("placement line in a pre-4 manifest");
+      std::string value;
+      if (!(is >> value)) bad_manifest("missing value after placement");
+      const std::int64_t e = manifest_i64(value, "placement");
+      if (e < 1) bad_manifest("bad placement epoch '" + value + "'");
+      rec.placement_epoch = e;
+      if (!(is >> word)) bad_manifest("expected subfiles");
+    }
     if (word == "quorum") {
       if (version < 3) bad_manifest("quorum line in a pre-3 manifest");
       std::string value;

@@ -35,6 +35,11 @@ struct FileRecord {
   /// write_quorum): 0 = wait for the full fan-out. Must not exceed the
   /// widest replica list. Persisted by manifest version 3.
   int write_quorum = 0;
+  /// Placement version: 0 for the as-created placement, bumped each time
+  /// the self-heal repair path re-places replicas (PlacementDirectory
+  /// epoch at publish time). Persisted by manifest version 4; clients
+  /// compare it to detect stale replica lists.
+  std::int64_t placement_epoch = 0;
 
   /// The validated partitioning pattern (constructed on demand).
   PartitioningPattern pattern() const;
@@ -57,6 +62,12 @@ class MetadataManager {
   void update_size(const std::string& name, std::int64_t size);
   /// Replaces the physical layout (used by relayout).
   void update_layout(const std::string& name, std::vector<FallsSet> subfile_falls);
+  /// Replaces the replica placement after a self-heal re-replication:
+  /// validates like create() (primary-first, no duplicates, quorum still
+  /// satisfiable) and requires the placement epoch to advance.
+  void update_placement(const std::string& name,
+                        std::vector<std::vector<int>> replica_nodes,
+                        std::int64_t placement_epoch);
 
   std::vector<std::string> list() const;
   std::size_t count() const { return files_.size(); }

@@ -1,0 +1,52 @@
+// Shared replica-placement directory (DESIGN.md "Self-healing").
+//
+// The repair planner re-places subfiles away from dead nodes while clients
+// keep running, so "which nodes hold subfile i" is no longer a constant of
+// FileMeta: it is versioned, concurrently-read state. The directory holds
+// the authoritative replica lists plus a monotonically increasing
+// placement epoch (persisted as manifest version 4's `placement` line);
+// clients compare the epoch at the start of every access and re-snapshot
+// their targets when it moved — the in-band analogue of a metadata-server
+// round trip, after which the first request to a fresh replica answers
+// kUnknownView and the PR-3 re-install path ships it the projections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace pfm {
+
+class PlacementDirectory {
+ public:
+  /// Initial placement: replicas[i] lists the nodes of subfile i, primary
+  /// first. Starts at epoch 0 — the "as created" placement.
+  explicit PlacementDirectory(std::vector<std::vector<int>> replicas);
+
+  std::size_t subfile_count() const PFM_EXCLUDES(mu_);
+  /// Current placement of one subfile, primary first (by value: the list
+  /// may be republished concurrently).
+  std::vector<int> replicas_of(std::size_t subfile) const PFM_EXCLUDES(mu_);
+  /// Current primary node of one subfile.
+  int primary_of(std::size_t subfile) const PFM_EXCLUDES(mu_);
+  /// The whole table at once (one lock crossing for client refresh).
+  std::vector<std::vector<int>> snapshot() const PFM_EXCLUDES(mu_);
+
+  /// Replaces one subfile's replica list (primary first, non-empty) and
+  /// bumps the placement epoch. Called by the repair scheduler only.
+  void update(std::size_t subfile, std::vector<int> replicas)
+      PFM_EXCLUDES(mu_);
+
+  /// Monotonic version of the table; cheap enough to poll per access.
+  std::int64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  mutable Mutex mu_{"PlacementDirectory::mu"};
+  std::vector<std::vector<int>> replicas_ PFM_GUARDED_BY(mu_);
+  std::atomic<std::int64_t> epoch_{0};
+};
+
+}  // namespace pfm

@@ -21,6 +21,10 @@ ReliabilityCounters& ReliabilityCounters::operator+=(
   degraded += o.degraded;
   replica_failures += o.replica_failures;
   quorum_short += o.quorum_short;
+  repairs_started += o.repairs_started;
+  repairs_completed += o.repairs_completed;
+  repairs_failed += o.repairs_failed;
+  bytes_re_replicated += o.bytes_re_replicated;
   return *this;
 }
 
@@ -29,7 +33,9 @@ bool ReliabilityCounters::all_zero() const {
          corruptions_detected == 0 && view_reinstalls == 0 &&
          duplicates_suppressed == 0 && failures == 0 && errors_sent == 0 &&
          failovers == 0 && degraded == 0 && replica_failures == 0 &&
-         quorum_short == 0;
+         quorum_short == 0 && repairs_started == 0 &&
+         repairs_completed == 0 && repairs_failed == 0 &&
+         bytes_re_replicated == 0;
 }
 
 double Stats::mean() const {

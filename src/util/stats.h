@@ -35,6 +35,14 @@ struct ReliabilityCounters {
                                           ///< set was abandoned before every
                                           ///< replica acked (groups, not
                                           ///< requests; scrub owes a repair)
+  std::int64_t repairs_started = 0;       ///< subfile re-replications begun
+                                          ///< by the self-healing layer
+  std::int64_t repairs_completed = 0;     ///< re-replications that restored a
+                                          ///< replica to full epoch parity
+  std::int64_t repairs_failed = 0;        ///< re-replications abandoned after
+                                          ///< the shared retry budget
+  std::int64_t bytes_re_replicated = 0;   ///< payload bytes copied onto
+                                          ///< replacement replicas
 
   ReliabilityCounters& operator+=(const ReliabilityCounters& o);
   bool all_zero() const;

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/fault.h"
@@ -983,6 +987,253 @@ TEST(FaultSoak, QuorumGridIsByteIdenticalAfterDrain) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: heartbeat failure detector + repair planner/scheduler
+// ---------------------------------------------------------------------------
+
+ClusterConfig self_heal_config() {
+  ClusterConfig cfg;
+  cfg.replication = 2;
+  cfg.self_heal = true;
+  // Generous windows so a loaded CI machine cannot fake a missed pong.
+  cfg.heartbeat.interval_ms = 30;
+  cfg.heartbeat.timeout_ms = 20;
+  cfg.heartbeat.suspect_n = 3;
+  return cfg;
+}
+
+// A node whose link flaps (every other probe lost) oscillates between
+// alive and suspect but must never be falsely declared dead: a single pong
+// inside the suspicion window resets the miss counter.
+TEST(SelfHeal, FlappingNodeNeverFalselyDeclaredDead) {
+  Network net(2, NetParams{});
+  std::atomic<bool> stop{false};
+  std::thread responder([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto m = net.inbox(1).receive_for(std::chrono::milliseconds(20));
+      if (!m.has_value()) continue;
+      if (m->kind == MsgKind::kShutdown) break;
+      if (m->kind != MsgKind::kPing) continue;
+      if (m->v % 2 != 0) continue;  // the flap: drop every odd probe
+      Message pong;
+      pong.kind = MsgKind::kPong;
+      pong.dst_node = 0;
+      pong.v = m->v;
+      net.send(1, std::move(pong));
+    }
+  });
+  std::atomic<int> deaths{0};
+  FailureDetector::Options opts;
+  opts.interval_ms = 20;
+  opts.timeout_ms = 10;
+  opts.suspect_n = 4;  // > 1 consecutive losses the flap can produce
+  FailureDetector det(net, 0, {1}, opts, [&](int) { ++deaths; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  det.stop();
+  stop.store(true, std::memory_order_release);
+  responder.join();
+
+  EXPECT_EQ(deaths.load(), 0);
+  EXPECT_NE(det.health(1), NodeHealth::kDead);
+  const FailureDetector::Counters c = det.counters();
+  EXPECT_GT(c.pings_sent, 10);
+  EXPECT_GT(c.pongs_received, 4);
+  EXPECT_GT(c.suspect_events, 0);  // the flap is visible, just never fatal
+  EXPECT_EQ(c.dead_declarations, 0);
+}
+
+// Fault-free cluster: probes flow, nothing is ever suspected dead, no
+// repair runs, and the placement never moves.
+TEST(SelfHeal, DetectorStaysQuietOnAHealthyCluster) {
+  Clusterfile fs(self_heal_config(),
+                 pattern2d(Partition2D::kRowBlocks, 16, 4));
+  auto& client = fs.client(0);
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  const std::int64_t vid = client.set_view(views[0], 256);
+  const Buffer data = make_pattern_buffer(64, 91);
+  client.write(vid, 0, 63, data);
+  // Several probe rounds elapse under (idle) foreground state.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  Buffer back(64);
+  client.read(vid, 0, 63, back);
+  EXPECT_EQ(back, data);
+
+  ASSERT_NE(fs.detector(), nullptr);
+  const FailureDetector::Counters c = fs.detector()->counters();
+  EXPECT_GT(c.pings_sent, 0);
+  EXPECT_GT(c.pongs_received, 0);
+  EXPECT_EQ(c.dead_declarations, 0);
+  EXPECT_TRUE(fs.repair_reliability().all_zero());
+  EXPECT_EQ(fs.placement_epoch(), 0);
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+}
+
+// Operator override: mark_dead plans and executes repairs even though the
+// node still answers probes; mark_alive lets it rejoin. The client keeps
+// reading correct bytes throughout, re-aiming off the placement epoch.
+TEST(SelfHeal, MarkDeadRepairsThenMarkAliveRejoins) {
+  Clusterfile fs(self_heal_config(),
+                 pattern2d(Partition2D::kRowBlocks, 16, 4));
+  auto& client = fs.client(0);
+  client.set_retry_policy(soak_policy());
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  const std::int64_t vid = client.set_view(views[0], 256);
+  const Buffer data = make_pattern_buffer(64, 92);
+  client.write(vid, 0, 63, data);
+
+  fs.detector()->mark_dead(4);  // hosts subfile 0 (primary) and 3 (backup)
+  EXPECT_TRUE(fs.detector()->is_dead(4));
+  fs.await_repairs();
+
+  const ReliabilityCounters rc = fs.repair_reliability();
+  EXPECT_EQ(rc.repairs_started, 2);
+  EXPECT_EQ(rc.repairs_completed, 2);
+  EXPECT_EQ(rc.repairs_failed, 0);
+  EXPECT_GT(rc.bytes_re_replicated, 0);
+  EXPECT_GT(fs.placement_epoch(), 0);
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const std::vector<int> nodes = fs.replica_nodes(i);
+    EXPECT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(std::count(nodes.begin(), nodes.end(), 4), 0)
+        << "subfile " << i << " still placed on the dead node";
+  }
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+
+  // Reads go through the repaired placement, byte-identical.
+  Buffer back(64);
+  const auto t = client.read(vid, 0, 63, back);
+  EXPECT_TRUE(t.ok());
+  EXPECT_EQ(back, data);
+  // The re-replicated pairs agree block by block.
+  EXPECT_TRUE(fs.scrub().clean());
+
+  // Rejoin: the override lifts and probing resumes; the node's stale
+  // copies are in no placement, so writes and reads stay correct.
+  fs.detector()->mark_alive(4);
+  EXPECT_EQ(fs.detector()->health(4), NodeHealth::kAlive);
+  const Buffer data2 = make_pattern_buffer(64, 93);
+  client.write(vid, 0, 63, data2);
+  client.read(vid, 0, 63, back);
+  EXPECT_EQ(back, data2);
+  EXPECT_TRUE(fs.scrub().clean());
+}
+
+// End-to-end crash: missed pongs cross the suspicion threshold, the dead
+// declaration fires the repair hook, and the node's subfiles come back to
+// full replication on surviving nodes — no operator involved.
+TEST(SelfHeal, CrashedNodeIsAutoDetectedAndRepaired) {
+  Clusterfile fs(self_heal_config(),
+                 pattern2d(Partition2D::kRowBlocks, 16, 4));
+  auto& client = fs.client(0);
+  client.set_retry_policy(soak_policy());
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  const std::int64_t vid = client.set_view(views[0], 256);
+  const Buffer data = make_pattern_buffer(64, 94);
+  client.write(vid, 0, 63, data);
+
+  fs.crash_server(1);  // node 5: subfile 1 primary, subfile 0 backup
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (fs.repair_reliability().repairs_completed < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  fs.await_repairs();
+
+  EXPECT_TRUE(fs.detector()->is_dead(5));
+  EXPECT_GE(fs.detector()->counters().dead_declarations, 1);
+  const ReliabilityCounters rc = fs.repair_reliability();
+  EXPECT_EQ(rc.repairs_completed, 2);
+  EXPECT_EQ(rc.repairs_failed, 0);
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const std::vector<int> nodes = fs.replica_nodes(i);
+    EXPECT_EQ(std::count(nodes.begin(), nodes.end(), 5), 0)
+        << "subfile " << i;
+  }
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+
+  Buffer back(64);
+  const auto t = client.read(vid, 0, 63, back);
+  EXPECT_TRUE(t.ok());
+  EXPECT_EQ(back, data);
+
+  // Rejoin over surviving storage: every subfile this node still hosts was
+  // repaired away, so the re-sync has nothing to pull, and probing revives
+  // the node automatically.
+  const ResyncStats rs = fs.restart_server(1);
+  EXPECT_EQ(rs.failures, 0);
+  EXPECT_EQ(rs.subfiles, 0);
+  const auto revive_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (fs.detector()->is_dead(5) &&
+         std::chrono::steady_clock::now() < revive_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(fs.detector()->is_dead(5));
+  client.read(vid, 0, 63, back);
+  EXPECT_EQ(back, data);
+}
+
+// Clusterfile shutdown used to close the network with quorum stragglers
+// still pending, silently dropping them. The destructor now drains them
+// (bounded by each straggler's remaining retry schedule): a backup that was
+// merely unreachable at write time catches up before the cluster goes away.
+TEST(Quorum, ShutdownDrainsPendingStragglersToDisk) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "pfm_shutdown_drain";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    ClusterConfig cfg;
+    cfg.replication = 2;
+    cfg.write_quorum = 1;
+    cfg.storage_dir = dir;
+    Clusterfile fs(cfg, pattern2d(Partition2D::kRowBlocks, 16, 4));
+    auto& client = fs.client(0);
+    client.set_retry_policy(soak_policy());
+    // A row-block view congruent with the physical partition: the write
+    // touches subfile 0 only, whose replicas live on nodes 4 and 5.
+    const auto views = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    fs.faults().isolate(5);  // backup unreachable, primary satisfies W=1
+    client.write(vid, 0, 63, make_pattern_buffer(64, 95));
+    EXPECT_GT(client.stragglers_pending(), 0u);
+    fs.faults().restore(5);
+    // No explicit drain: destruction must finish the straggler itself.
+  }
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream is(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string primary = slurp(dir / "subfile_0");
+  const std::string backup = slurp(dir / "subfile_0.r1");
+  EXPECT_FALSE(primary.empty());
+  EXPECT_EQ(primary, backup);  // the drained straggler landed on disk
+  std::filesystem::remove_all(dir);
+}
+
+// Two abandoned stragglers for the same subfile owe scrub one visit, not
+// two: take_scrub_debt() is deduplicated (and thereby bounded by the
+// subfile count, however many writes were abandoned).
+TEST(Quorum, AbandonedStragglerScrubDebtIsDeduplicated) {
+  ClusterConfig cfg;
+  cfg.replication = 2;
+  cfg.write_quorum = 1;
+  Clusterfile fs(cfg, pattern2d(Partition2D::kRowBlocks, 16, 4));
+  auto& client = fs.client(0);
+  client.set_retry_policy(fast_policy());  // small budget: abandon quickly
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  const std::int64_t vid = client.set_view(views[0], 256);
+  fs.faults().isolate(5);  // subfile 0's backup stays unreachable
+  client.write(vid, 0, 63, make_pattern_buffer(64, 96));
+  client.write(vid, 0, 63, make_pattern_buffer(64, 97));
+  client.drain_stragglers();
+  EXPECT_GE(client.stragglers_abandoned(), 2);
+  const std::vector<int> debt = client.take_scrub_debt();
+  EXPECT_EQ(debt, std::vector<int>{0});
+  EXPECT_TRUE(client.take_scrub_debt().empty());  // take = transfer, once
+  fs.faults().restore(5);
 }
 
 }  // namespace

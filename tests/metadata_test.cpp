@@ -124,7 +124,7 @@ TEST(Metadata, LoadRejectsMalformedManifests) {
   MetadataManager mm;
   EXPECT_THROW(mm.load(dir / "missing.txt"), std::runtime_error);
   EXPECT_THROW(mm.load(write("not-a-manifest 1\n")), std::invalid_argument);
-  EXPECT_THROW(mm.load(write("pfm-manifest 4\n")), std::invalid_argument);
+  EXPECT_THROW(mm.load(write("pfm-manifest 5\n")), std::invalid_argument);
   EXPECT_NO_THROW(mm.load(write("pfm-manifest 2\n")));  // empty v2 is valid
   EXPECT_THROW(mm.load(write("pfm-manifest 1\nfile x\ndisp 0\n")),
                std::invalid_argument);
@@ -297,6 +297,131 @@ TEST(Metadata, LoadRejectsMalformedQuorums) {
   // The same record with a satisfiable quorum loads.
   EXPECT_NO_THROW(mm.load(with_quorum("pfm-manifest 3", "2")));
   EXPECT_EQ(mm.lookup("x").write_quorum, 2);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Repair-advanced placement (manifest version 4)
+// ---------------------------------------------------------------------------
+
+TEST(Metadata, UpdatePlacementValidates) {
+  MetadataManager mm;
+  FileRecord rec = sample_record("p", Partition2D::kRowBlocks);
+  rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  rec.write_quorum = 2;
+  mm.create(rec);
+
+  // A repair moved subfile 0 off node 4 onto node 6.
+  mm.update_placement("p", {{5, 6}, {5, 6}, {6, 7}, {7, 5}}, 1);
+  const FileRecord& after = mm.lookup("p");
+  EXPECT_EQ(after.placement_epoch, 1);
+  EXPECT_EQ(after.replica_nodes[0], (std::vector<int>{5, 6}));
+  EXPECT_EQ(after.io_nodes[0], 5);  // primary follows the new list
+
+  // The epoch must advance.
+  EXPECT_THROW(mm.update_placement("p", {{5, 6}, {5, 6}, {6, 7}, {7, 5}}, 1),
+               std::invalid_argument);
+  // Per-subfile list count must match.
+  EXPECT_THROW(mm.update_placement("p", {{5, 6}}, 2), std::invalid_argument);
+  // Duplicate nodes in a list are rejected.
+  EXPECT_THROW(
+      mm.update_placement("p", {{5, 5}, {5, 6}, {6, 7}, {7, 5}}, 2),
+      std::invalid_argument);
+  // A placement narrower than the quorum can never satisfy it.
+  EXPECT_THROW(mm.update_placement("p", {{5}, {5}, {6}, {7}}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(mm.update_placement("missing", {{5}}, 2), std::out_of_range);
+}
+
+TEST(Metadata, PlacedManifestRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_placed";
+  std::filesystem::create_directories(dir);
+  const auto manifest = dir / "manifest.txt";
+
+  MetadataManager mm;
+  FileRecord rec = sample_record("healed", Partition2D::kRowBlocks);
+  rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  rec.write_quorum = 1;
+  mm.create(rec);
+  mm.create(sample_record("plain", Partition2D::kColumnBlocks));
+  mm.update_placement("healed", {{5, 6}, {5, 6}, {6, 7}, {7, 5}}, 3);
+  mm.save(manifest);
+
+  // The header advertises version 4 exactly because a record carries a
+  // repair-advanced placement epoch.
+  {
+    std::ifstream is(manifest);
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    EXPECT_EQ(version, 4);
+  }
+
+  MetadataManager back;
+  back.load(manifest);
+  const FileRecord& h = back.lookup("healed");
+  EXPECT_EQ(h.placement_epoch, 3);
+  EXPECT_EQ(h.replica_nodes,
+            (std::vector<std::vector<int>>{{5, 6}, {5, 6}, {6, 7}, {7, 5}}));
+  EXPECT_EQ(h.write_quorum, 1);
+  EXPECT_EQ(back.lookup("plain").placement_epoch, 0);
+
+  // Epoch-0 records never advance the format: quorum alone still saves 3.
+  MetadataManager v3;
+  FileRecord flat = sample_record("sloppy", Partition2D::kRowBlocks);
+  flat.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  flat.write_quorum = 1;
+  v3.create(flat);
+  v3.save(manifest);
+  {
+    std::ifstream is(manifest);
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    EXPECT_EQ(version, 3);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metadata, LoadRejectsMalformedPlacements) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_badp";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const std::string& text) {
+    const auto path = dir / "m.txt";
+    std::ofstream os(path);
+    os << text;
+    os.close();
+    return path;
+  };
+  MetadataManager mm;
+  const std::string body =
+      "file x\ndisp 0\nsize 12\nplacement %s\nsubfiles 1\n4,5 {(0,11,12,1)}\n";
+  const auto with_placement = [&](const std::string& header,
+                                  const std::string& e) {
+    std::string text = header + "\n" + body;
+    text.replace(text.find("%s"), 2, e);
+    return write(text);
+  };
+  // A placement line needs a version-4 header: every pre-4 reader rejects
+  // it rather than silently dropping the repaired placement.
+  EXPECT_THROW(mm.load(with_placement("pfm-manifest 1", "1")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(with_placement("pfm-manifest 2", "1")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(with_placement("pfm-manifest 3", "1")),
+               std::invalid_argument);
+  // Zero, negative and non-numeric epochs are malformed (epoch 0 is
+  // expressed by omitting the line).
+  EXPECT_THROW(mm.load(with_placement("pfm-manifest 4", "0")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(with_placement("pfm-manifest 4", "-2")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(with_placement("pfm-manifest 4", "soon")),
+               std::invalid_argument);
+  // The same record with a positive epoch loads.
+  EXPECT_NO_THROW(mm.load(with_placement("pfm-manifest 4", "7")));
+  EXPECT_EQ(mm.lookup("x").placement_epoch, 7);
   std::filesystem::remove_all(dir);
 }
 

@@ -57,7 +57,7 @@ TEST(WireFormat, RoundTripAllFields) {
 }
 
 TEST(WireFormat, RoundTripEveryKindAndErr) {
-  for (int k = 0; k <= static_cast<int>(MsgKind::kSyncReply); ++k) {
+  for (int k = 0; k <= static_cast<int>(MsgKind::kPong); ++k) {
     for (int e = 0; e <= static_cast<int>(ErrCode::kIoError); ++e) {
       Message m;
       m.kind = static_cast<MsgKind>(k);

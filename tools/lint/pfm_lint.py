@@ -24,11 +24,13 @@ not know about:
                    production code waits on condition variables or channel
                    deadlines. Sleeping hides ordering bugs the lockdep /
                    TSan jobs exist to catch (tests may sleep).
-  bare-receive     src/clusterfile/ blocks on the wire only through
-                   Channel::receive_for with a deadline. A bare receive()
-                   in the client's windowed engine (or anything else on the
-                   Clusterfile hot path) hangs forever on a dead node —
-                   the retry/failover/straggler machinery never runs.
+  bare-receive     src/clusterfile/ and the failure detector / repair
+                   path block on the wire only through Channel::receive_for
+                   with a deadline. A bare receive() in the client's
+                   windowed engine, the heartbeat loop, or a repair worker
+                   hangs forever on a dead node — the retry/failover/
+                   straggler machinery never runs, and a detector that
+                   blocks on the nodes it monitors cannot detect anything.
                    Server loops (src/cluster/node.cpp) block by design.
 
 A finding can be waived per line (or per include) with a trailing comment:
@@ -96,7 +98,8 @@ RULES = [
     (
         "bare-receive",
         re.compile(r"\breceive\s*\(\s*\)"),
-        lambda p: p.startswith("src/clusterfile/"),
+        lambda p: p.startswith("src/clusterfile/")
+        or p.startswith("src/cluster/failure_detector"),
         "block on the wire with Channel::receive_for and a deadline: a bare "
         "receive() hangs forever on a dead node and starves the "
         "retry/failover/straggler machinery",
@@ -163,6 +166,10 @@ def self_test() -> int:
          "auto msg = inbox.receive_for(deadline);", None),  # deadline: fine
         ("src/clusterfile/client.cpp", "auto msg = inbox.try_receive();",
          None),  # non-blocking: fine
+        ("src/cluster/failure_detector.cpp", "auto pong = ch.receive();",
+         "bare-receive"),
+        ("src/cluster/failure_detector.cpp",
+         "auto pong = ch.receive_for(window);", None),  # deadline: fine
         ("src/cluster/node.cpp", "auto msg = inbox.receive();",
          None),  # the server loop blocks by design
         ("src/clusterfile/io_server.cpp",
