@@ -138,6 +138,24 @@ void FailureDetector::mark_alive(int node) {
   if (fire && on_alive_) on_alive_(node);
 }
 
+void FailureDetector::add_monitored(int node) {
+  MutexLock lock(mu_);
+  for (const Peer& p : peers_)
+    if (p.node == node) return;
+  Peer p;
+  p.node = node;
+  peers_.push_back(p);
+}
+
+void FailureDetector::remove_monitored(int node) {
+  MutexLock lock(mu_);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].node != node) continue;
+    peers_.erase(peers_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+}
+
 bool FailureDetector::pump_until(std::chrono::steady_clock::time_point deadline) {
   Channel& inbox = net_.inbox(self_);
   while (true) {

@@ -79,6 +79,14 @@ class FailureDetector {
   void mark_dead(int node) PFM_EXCLUDES(mu_);
   void mark_alive(int node) PFM_EXCLUDES(mu_);
 
+  /// Elastic membership: starts/stops monitoring a node at runtime. A node
+  /// added twice is a no-op; an added node starts alive and is probed from
+  /// the next round. Removing drops the node's state entirely without
+  /// firing any callback — the caller decided its fate (decommission), so
+  /// a dead declaration would be noise.
+  void add_monitored(int node) PFM_EXCLUDES(mu_);
+  void remove_monitored(int node) PFM_EXCLUDES(mu_);
+
   struct Counters {
     std::int64_t pings_sent = 0;
     std::int64_t pongs_received = 0;

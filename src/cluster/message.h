@@ -28,10 +28,15 @@ enum class MsgKind : std::uint8_t {
   kAck,          ///< server -> client: write/view acknowledgment
   kError,        ///< server -> client: request failed; meta holds the reason
   kShutdown,     ///< stop the server loop (immune to fault injection)
-  kSyncRequest,  ///< server -> server: restarted replica asks a peer for the
-                 ///< write ranges it missed; v carries the requester's epoch
+  kSyncRequest,  ///< server -> server: restarted or migrating replica asks a
+                 ///< peer for the write ranges it missed; v carries the
+                 ///< requester's epoch, w a chunk byte limit (0: unlimited),
+                 ///< view_id a full-transfer resume offset
   kSyncReply,    ///< server -> server: missed ranges (meta "off:len;..." +
-                 ///< concatenated payload); v carries the peer's epoch
+                 ///< concatenated payload); v carries the peer's — possibly
+                 ///< partial — epoch, w a mode code (delta/full x
+                 ///< complete/partial), view_id the next resume offset when
+                 ///< a full transfer was chunk-limited
   kPing,         ///< detector -> server: liveness probe; v carries a probe
                  ///< sequence number the pong echoes
   kPong,         ///< server -> detector: liveness answer

@@ -86,7 +86,35 @@ void ClusterfileClient::maybe_refresh_placement() {
   // Plans cache each target's serving node; drop them so the next access
   // re-materializes against the new primaries.
   invalidate_plans();
+  // A rebalance may have migrated a subfile slot off a node entirely. A
+  // pending straggler aimed at the old holder would complete a write on a
+  // copy the placement retired, and scrub debt against it would point scrub
+  // at a replica that no longer exists — purge both. No divergence is lost:
+  // the migration's catch-up sync carried everything the new holder missed.
+  std::erase_if(scrub_debt_, [&](const std::pair<int, int>& debt) {
+    const std::vector<int>& reps = snap[static_cast<std::size_t>(debt.first)];
+    return std::find(reps.begin(), reps.end(), debt.second) == reps.end();
+  });
+  std::vector<std::uint64_t> stale;
+  for (const auto& [id, s] : stragglers_) {
+    const std::vector<int>& reps = snap[static_cast<std::size_t>(s.subfile)];
+    if (std::find(reps.begin(), reps.end(), s.io_node) == reps.end())
+      stale.push_back(id);
+  }
+  for (const std::uint64_t id : stale) {
+    stragglers_.erase(id);
+    ++stragglers_purged_;
+  }
   placement_seen_ = epoch;
+}
+
+std::vector<int> ClusterfileClient::take_scrub_debt() {
+  std::vector<int> out;
+  for (const auto& [subfile, node] : scrub_debt_)
+    if (std::find(out.begin(), out.end(), subfile) == out.end())
+      out.push_back(subfile);
+  scrub_debt_.clear();
+  return out;
 }
 
 std::int64_t ClusterfileClient::set_view(FallsSet falls,
@@ -792,12 +820,13 @@ void ClusterfileClient::straggler_abandon(std::uint64_t req_id) {
     *s.group_short = true;
     ++rel_.quorum_short;
   }
-  // Deduplicated: the same subfile abandoned across many retries (or many
-  // groups) owes exactly one scrub, and the debt set stays bounded by the
-  // subfile count instead of growing with the failure rate.
-  if (std::find(scrub_debt_.begin(), scrub_debt_.end(), s.subfile) ==
+  // Deduplicated: the same (subfile, node) abandoned across many retries
+  // (or many groups) owes exactly one scrub, and the debt set stays bounded
+  // by subfiles × replicas instead of growing with the failure rate.
+  const std::pair<int, int> owed{s.subfile, s.io_node};
+  if (std::find(scrub_debt_.begin(), scrub_debt_.end(), owed) ==
       scrub_debt_.end())
-    scrub_debt_.push_back(s.subfile);
+    scrub_debt_.push_back(owed);
   stragglers_.erase(it);
 }
 

@@ -217,10 +217,16 @@ class ClusterfileClient {
   /// the divergence scrub/re-sync must repair. Deduplicated — a subfile
   /// abandoned many times across retries appears once — so the set is
   /// bounded by the subfile count. Returns the accumulated list
-  /// (insertion order) and clears it.
-  std::vector<int> take_scrub_debt() {
-    return std::exchange(scrub_debt_, {});
-  }
+  /// (insertion order) and clears it. Debt against a node the subfile was
+  /// since migrated away from is dropped at placement refresh: the
+  /// migration's own catch-up sync carried the data, and scrub writing to
+  /// the stale holder would resurrect a retired copy.
+  std::vector<int> take_scrub_debt();
+
+  /// Stragglers dropped at a placement refresh because their target node no
+  /// longer holds the subfile (a rebalance migrated the slot away). Not a
+  /// failure: the replica they were completing no longer exists.
+  std::int64_t stragglers_purged() const { return stragglers_purged_; }
 
   void set_retry_policy(RetryPolicy policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
@@ -419,7 +425,11 @@ class ClusterfileClient {
   std::unordered_map<std::uint64_t, Straggler> stragglers_;
   std::int64_t stragglers_completed_ = 0;
   std::int64_t stragglers_abandoned_ = 0;
-  std::vector<int> scrub_debt_;
+  std::int64_t stragglers_purged_ = 0;
+  /// (subfile, io_node) owed to scrub, deduplicated by pair: the node is
+  /// kept so a placement refresh can purge debt whose holder the subfile
+  /// migrated away from (take_scrub_debt surfaces only the subfiles).
+  std::vector<std::pair<int, int>> scrub_debt_;
   /// The client is single-threaded per instance (header contract above);
   /// the canary makes a concurrent set_view/read/write a deterministic
   /// check failure in lockdep builds instead of a views_/cache race.

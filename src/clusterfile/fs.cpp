@@ -2,13 +2,31 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "util/arith.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/timer.h"
 
 namespace pfm {
+
+namespace {
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  try {
+    const std::int64_t n = parse_i64(v);
+    if (n < 1 || n > 1'000'000'000) return fallback;
+    return n;
+  } catch (const std::invalid_argument&) {
+    return fallback;
+  }
+}
+
+}  // namespace
 
 Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
     : config_(config) {
@@ -27,6 +45,28 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
   if (config_.max_concurrent_repairs < 1)
     throw std::invalid_argument(
         "Clusterfile: max_concurrent_repairs must be >= 1");
+  if (config_.max_concurrent_migrations < 1)
+    throw std::invalid_argument(
+        "Clusterfile: max_concurrent_migrations must be >= 1");
+  // Elastic-membership knobs: environment defaults resolved once so every
+  // later decision sees one consistent value.
+  if (config_.max_io_nodes == 0) config_.max_io_nodes = config_.io_nodes;
+  if (config_.max_io_nodes < config_.io_nodes)
+    throw std::invalid_argument(
+        "Clusterfile: max_io_nodes must be >= io_nodes");
+  if (config_.ring_vnodes == 0)
+    config_.ring_vnodes = static_cast<int>(env_i64("PFM_RING_VNODES", 64));
+  if (config_.ring_vnodes < 1)
+    throw std::invalid_argument("Clusterfile: ring_vnodes must be >= 1");
+  if (config_.rebalance_chunk == 0)
+    config_.rebalance_chunk = env_i64("PFM_REBALANCE_CHUNK", 256 * 1024);
+  if (config_.rebalance_chunk < 1)
+    throw std::invalid_argument("Clusterfile: rebalance_chunk must be >= 1");
+  if (config_.drain_timeout_ms == 0)
+    config_.drain_timeout_ms =
+        static_cast<int>(env_i64("PFM_DRAIN_TIMEOUT_MS", 30'000));
+  if (config_.drain_timeout_ms < 1)
+    throw std::invalid_argument("Clusterfile: drain_timeout_ms must be >= 1");
   if (!config_.storage_faults) config_.storage_faults = storage_fault_plan_from_env();
   // Integrity checking turns on automatically exactly when something can
   // damage stored bytes (replication implies scrub, faults imply damage);
@@ -41,50 +81,90 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
       std::make_shared<const PartitioningPattern>(std::move(physical));
   const std::size_t subfiles = meta_.physical->element_count();
 
-  // One extra endpoint past the node ids: the failure detector's dedicated
-  // inbox (allocated unconditionally so node ids are config-independent).
+  // Endpoints for every *provisioned* I/O slot (spares included, so
+  // add_io_node never has to grow the fixed-size Network) plus one extra
+  // past the node ids: the failure detector's dedicated inbox (allocated
+  // unconditionally so node ids are config-independent).
   net_ = std::make_unique<Network>(
-      config_.compute_nodes + config_.io_nodes + 1, config_.net);
+      config_.compute_nodes + config_.max_io_nodes + 1, config_.net);
   if (config_.overlap) {
     if (config_.io_nodes > config_.compute_nodes)
       throw std::invalid_argument(
           "Clusterfile: overlapping node sets need io_nodes <= compute_nodes");
-    // Compute endpoint c is machine c; I/O endpoint i shares machine i.
-    // The detector endpoint gets a machine of its own — probes cross the
-    // wire like any monitoring host's would.
+    // Compute endpoint c is machine c; initial I/O endpoint i shares
+    // machine i. Spare slots and the detector endpoint get machines of
+    // their own — a spare is a new rack member, and probes cross the wire
+    // like any monitoring host's would.
     std::vector<int> machines;
     for (int c = 0; c < config_.compute_nodes; ++c) machines.push_back(c);
     for (int i = 0; i < config_.io_nodes; ++i) machines.push_back(i);
-    machines.push_back(config_.compute_nodes);
+    for (int i = config_.io_nodes; i < config_.max_io_nodes; ++i)
+      machines.push_back(config_.compute_nodes + (i - config_.io_nodes));
+    machines.push_back(config_.compute_nodes +
+                       (config_.max_io_nodes - config_.io_nodes));
     net_->set_machines(std::move(machines));
   }
-  // Subfile i is served by I/O node (compute_nodes + i % io_nodes); replica
-  // r follows at (i + r) % io_nodes, so consecutive subfiles spread their
-  // backups across distinct nodes (k-way declustering).
+  {
+    MutexLock lock(member_mu_);
+    node_state_.assign(static_cast<std::size_t>(config_.max_io_nodes),
+                       IoNodeState::kSpare);
+    for (int i = 0; i < config_.io_nodes; ++i)
+      node_state_[static_cast<std::size_t>(i)] = IoNodeState::kActive;
+    PlacementRing::Options ropts;
+    ropts.vnodes = config_.ring_vnodes;
+    if (config_.ring_seed != 0) ropts.seed = config_.ring_seed;
+    ring_ = PlacementRing(ropts);
+    for (int i = 0; i < config_.io_nodes; ++i)
+      ring_.add_node(config_.compute_nodes + i);
+  }
   meta_.write_quorum = config_.write_quorum;
   meta_.io_nodes.resize(subfiles);
   meta_.replicas.resize(subfiles);
-  for (std::size_t i = 0; i < subfiles; ++i) {
-    for (int r = 0; r < config_.replication; ++r)
-      meta_.replicas[i].push_back(
-          config_.compute_nodes +
-          static_cast<int>(i + static_cast<std::size_t>(r)) % config_.io_nodes);
-    meta_.io_nodes[i] = meta_.replicas[i][0];
+  if (config_.ring_placement) {
+    // Ring placement: replicas of subfile i are the first `replication`
+    // distinct members clockwise from hash(i) — a pure function of the
+    // membership, which is what lets add/decommission plan minimal moves.
+    MutexLock lock(member_mu_);
+    for (std::size_t i = 0; i < subfiles; ++i) {
+      meta_.replicas[i] =
+          ring_.replicas_for(static_cast<std::uint64_t>(i), config_.replication);
+      meta_.io_nodes[i] = meta_.replicas[i][0];
+    }
+  } else {
+    // Static placement: subfile i is served by I/O node (compute_nodes +
+    // i % io_nodes); replica r follows at (i + r) % io_nodes, so
+    // consecutive subfiles spread their backups across distinct nodes
+    // (k-way declustering).
+    for (std::size_t i = 0; i < subfiles; ++i) {
+      for (int r = 0; r < config_.replication; ++r)
+        meta_.replicas[i].push_back(
+            config_.compute_nodes +
+            static_cast<int>(i + static_cast<std::size_t>(r)) % config_.io_nodes);
+      meta_.io_nodes[i] = meta_.replicas[i][0];
+    }
   }
   if constexpr (kDcheckEnabled) {
     for (std::size_t i = 0; i < subfiles; ++i)
       for (const int node : meta_.replicas[i])
-        PFM_DCHECK(node >= config_.compute_nodes && node < net_->node_count(),
+        PFM_DCHECK(node >= config_.compute_nodes &&
+                       node < config_.compute_nodes + config_.io_nodes,
                    "subfile ", i, " assigned to non-I/O node ", node);
   }
   {
     MutexLock lock(crash_mu_);
-    crashed_.assign(static_cast<std::size_t>(config_.io_nodes), 0);
+    crashed_.assign(static_cast<std::size_t>(config_.max_io_nodes), 0);
   }
   placement_ = std::make_shared<PlacementDirectory>(meta_.replicas);
 
   start_servers(nullptr);
   start_clients();
+
+  if (config_.ring_placement)
+    rebalancer_ = std::make_unique<Rebalancer>(
+        [this](const MigrationEntry& e, Rebalancer::ExecStats* stats) {
+          return execute_migration(e, stats);
+        },
+        config_.max_concurrent_migrations);
 
   if (config_.self_heal) {
     // Scheduler before detector: the detector's on_dead callback enqueues
@@ -98,7 +178,8 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
     for (int i = 0; i < config_.io_nodes; ++i)
       monitored.push_back(config_.compute_nodes + i);
     detector_ = std::make_unique<FailureDetector>(
-        *net_, config_.compute_nodes + config_.io_nodes, std::move(monitored),
+        *net_, config_.compute_nodes + config_.max_io_nodes,
+        std::move(monitored),
         FailureDetector::Options::from_env(config_.heartbeat),
         /*on_dead=*/[this](int node) { on_node_dead(node); },
         /*on_alive=*/FailureDetector::Callback{});
@@ -118,9 +199,18 @@ void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
   const std::size_t subfiles = meta_.io_nodes.size();
   const StorageFaultPlan* faults =
       config_.storage_faults ? &*config_.storage_faults : nullptr;
+  std::vector<IoNodeState> states;
+  {
+    MutexLock lock(member_mu_);
+    states = node_state_;
+  }
   servers_.clear();
-  servers_.reserve(static_cast<std::size_t>(config_.io_nodes));
-  for (int node = 0; node < config_.io_nodes; ++node) {
+  servers_.resize(static_cast<std::size_t>(config_.max_io_nodes));
+  for (int node = 0; node < config_.max_io_nodes; ++node) {
+    // Spare slots have an endpoint but no server until add_io_node
+    // activates them; retired slots stay empty after a relayout.
+    const IoNodeState st = states[static_cast<std::size_t>(node)];
+    if (st == IoNodeState::kSpare || st == IoNodeState::kRetired) continue;
     IoServer::SubfileStorages storages;
     for (std::size_t i = 0; i < subfiles; ++i) {
       for (std::size_t r = 0; r < meta_.replicas[i].size(); ++r) {
@@ -137,9 +227,9 @@ void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
         storages.emplace_back(static_cast<int>(i), std::move(storage));
       }
     }
-    servers_.push_back(std::make_unique<IoServer>(
+    servers_[static_cast<std::size_t>(node)] = std::make_unique<IoServer>(
         *net_, config_.compute_nodes + node, std::move(storages),
-        /*track_epochs=*/config_.replication > 1));
+        /*track_epochs=*/config_.replication > 1);
   }
 }
 
@@ -152,13 +242,15 @@ Clusterfile::~Clusterfile() {
   // RetryPolicy schedule, and whatever it abandons is surfaced.
   if (detector_) detector_->stop();
   if (repairer_) repairer_->stop();
+  if (rebalancer_) rebalancer_->stop();
   for (auto& c : clients_) c->drain_stragglers();
   const std::int64_t abandoned = stragglers_abandoned();
   if (abandoned > 0)
     PFM_WARN("clusterfile: shutdown abandoned ", abandoned,
              " quorum straggler(s); epoch re-sync or scrub must repair the "
              "replicas they missed");
-  for (auto& s : servers_) s->stop();
+  for (auto& s : servers_)
+    if (s) s->stop();
   net_->close_all();
 }
 
@@ -186,8 +278,9 @@ std::vector<int> Clusterfile::replica_nodes(std::size_t subfile) const {
 
 IoServer& Clusterfile::server_at_node(int node_id) {
   const int idx = node_id - config_.compute_nodes;
-  if (idx < 0 || idx >= static_cast<int>(servers_.size()))
-    throw std::out_of_range("Clusterfile: node is not an I/O node");
+  if (idx < 0 || idx >= static_cast<int>(servers_.size()) ||
+      !servers_[static_cast<std::size_t>(idx)])
+    throw std::out_of_range("Clusterfile: node is not a serving I/O node");
   return *servers_[static_cast<std::size_t>(idx)];
 }
 
@@ -210,7 +303,7 @@ void Clusterfile::install_faults(FaultPlan plan) {
 }
 
 void Clusterfile::crash_server(std::size_t io_index) {
-  if (io_index >= servers_.size())
+  if (io_index >= servers_.size() || !servers_[io_index])
     throw std::out_of_range("Clusterfile::crash_server: bad I/O node");
   const int node = config_.compute_nodes + static_cast<int>(io_index);
   // Isolate before stopping: in-flight and future requests vanish on the
@@ -227,17 +320,36 @@ bool Clusterfile::is_crashed(std::size_t io_index) const {
 }
 
 bool Clusterfile::node_unusable(int node) const {
-  if (is_crashed(static_cast<std::size_t>(node - config_.compute_nodes)))
-    return true;
+  const std::size_t idx = static_cast<std::size_t>(node - config_.compute_nodes);
+  {
+    MutexLock lock(member_mu_);
+    if (idx < node_state_.size()) {
+      const IoNodeState st = node_state_[idx];
+      if (st == IoNodeState::kSpare || st == IoNodeState::kRetired) return true;
+    }
+  }
+  if (is_crashed(idx)) return true;
   return detector_ && detector_->is_dead(node);
 }
 
+bool Clusterfile::node_unplaceable(int node) const {
+  const std::size_t idx = static_cast<std::size_t>(node - config_.compute_nodes);
+  {
+    MutexLock lock(member_mu_);
+    if (idx < node_state_.size() &&
+        node_state_[idx] == IoNodeState::kDraining)
+      return true;
+  }
+  return node_unusable(node);
+}
+
 ResyncStats Clusterfile::restart_server(std::size_t io_index) {
-  if (io_index >= servers_.size())
+  if (io_index >= servers_.size() || !servers_[io_index])
     throw std::out_of_range("Clusterfile::restart_server: bad I/O node");
-  // A repair worker may hold a reference to the IoServer object this
-  // replaces — wait it out before destroying anything.
+  // A repair or migration worker may hold a reference to the IoServer
+  // object this replaces — wait them out before destroying anything.
   if (repairer_) repairer_->await_idle();
+  if (rebalancer_) rebalancer_->await_idle();
   const int node = config_.compute_nodes + static_cast<int>(io_index);
   IoServer::SubfileStorages storages = servers_[io_index]->take_storages();
   servers_[io_index] = std::make_unique<IoServer>(
@@ -313,7 +425,7 @@ ScrubReport Clusterfile::scrub() {
     for (const int node : placement_->replicas_of(i)) {
       const std::size_t idx =
           static_cast<std::size_t>(node - config_.compute_nodes);
-      if (is_crashed(idx)) continue;
+      if (is_crashed(idx) || !servers_[idx]) continue;
       IoServer& srv = *servers_[idx];
       reps.push_back(
           {&srv.storage_mut(static_cast<int>(i)), srv.subfile_epoch(static_cast<int>(i))});
@@ -382,9 +494,11 @@ ScrubReport Clusterfile::scrub() {
 }
 
 void Clusterfile::disarm_storage_faults() {
-  for (auto& s : servers_)
+  for (auto& s : servers_) {
+    if (!s) continue;
     for (const int subfile : s->subfile_ids())
       s->storage_mut(subfile).disarm_faults();
+  }
 }
 
 ReliabilityCounters Clusterfile::client_reliability() const {
@@ -411,7 +525,8 @@ std::int64_t Clusterfile::stragglers_abandoned() const {
 
 ReliabilityCounters Clusterfile::server_reliability() const {
   ReliabilityCounters total;
-  for (const auto& s : servers_) total += s->reliability();
+  for (const auto& s : servers_)
+    if (s) total += s->reliability();
   return total;
 }
 
@@ -433,7 +548,7 @@ void Clusterfile::await_repairs() {
     for (const int dead : detector_->dead_nodes()) {
       std::vector<RepairPlanEntry> plan = plan_repairs(
           placement_->snapshot(), dead, config_.compute_nodes,
-          config_.io_nodes, [this](int n) { return node_unusable(n); });
+          config_.max_io_nodes, [this](int n) { return node_unplaceable(n); });
       if (plan.empty()) continue;
       planned = true;
       repairer_->enqueue(std::move(plan));
@@ -462,8 +577,8 @@ std::vector<int> Clusterfile::under_replicated_subfiles() const {
 void Clusterfile::on_node_dead(int node) {
   if (!repairer_) return;
   std::vector<RepairPlanEntry> plan = plan_repairs(
-      placement_->snapshot(), node, config_.compute_nodes, config_.io_nodes,
-      [this](int n) { return node_unusable(n); });
+      placement_->snapshot(), node, config_.compute_nodes,
+      config_.max_io_nodes, [this](int n) { return node_unplaceable(n); });
   PFM_INFO("clusterfile: node ", node, " declared dead; ", plan.size(),
            " subfile repair(s) planned");
   if (!plan.empty()) repairer_->enqueue(std::move(plan));
@@ -574,14 +689,368 @@ bool Clusterfile::execute_repair(const RepairPlanEntry& entry,
   return false;
 }
 
+int Clusterfile::add_io_node(int weight) {
+  if (!config_.ring_placement)
+    throw std::logic_error(
+        "Clusterfile::add_io_node: requires ring_placement (static "
+        "round-robin placement cannot absorb membership changes)");
+  if (weight < 1)
+    throw std::invalid_argument("Clusterfile::add_io_node: weight must be >= 1");
+  int idx = -1;
+  {
+    MutexLock lock(member_mu_);
+    for (std::size_t i = 0; i < node_state_.size(); ++i)
+      if (node_state_[i] == IoNodeState::kSpare) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    if (idx < 0)
+      throw std::runtime_error(
+          "Clusterfile::add_io_node: no provisioned spare slot remains "
+          "(raise max_io_nodes)");
+    node_state_[static_cast<std::size_t>(idx)] = IoNodeState::kActive;
+    ring_.add_node(config_.compute_nodes + idx, weight);
+  }
+  const int node = config_.compute_nodes + idx;
+  {
+    MutexLock lock(crash_mu_);
+    crashed_[static_cast<std::size_t>(idx)] = 0;
+  }
+  // The slot was a spare (nullptr), so no worker can hold a reference to
+  // it; the server starts empty and adopts storage as migrations arrive.
+  servers_[static_cast<std::size_t>(idx)] = std::make_unique<IoServer>(
+      *net_, node, IoServer::SubfileStorages{},
+      /*track_epochs=*/config_.replication > 1);
+  if (detector_) detector_->add_monitored(node);
+  ring_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  enqueue_rebalance();
+  return idx;
+}
+
+void Clusterfile::decommission_node(std::size_t io_index) {
+  if (!config_.ring_placement)
+    throw std::logic_error(
+        "Clusterfile::decommission_node: requires ring_placement");
+  const int node = config_.compute_nodes + static_cast<int>(io_index);
+  {
+    MutexLock lock(member_mu_);
+    if (io_index >= node_state_.size() ||
+        node_state_[io_index] != IoNodeState::kActive)
+      throw std::invalid_argument(
+          "Clusterfile::decommission_node: node is not active");
+    if (ring_.size() <= static_cast<std::size_t>(config_.replication))
+      throw std::runtime_error(
+          "Clusterfile::decommission_node: remaining members could not hold "
+          "the configured replica count");
+    // Drain state machine: the node leaves the ring (nothing new lands on
+    // it) but keeps serving the copies it holds, as migration sources and
+    // to foreground traffic, until the last one is off.
+    node_state_[io_index] = IoNodeState::kDraining;
+    ring_.remove_node(node);
+  }
+  ring_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.drain_timeout_ms);
+  while (true) {
+    // Each round re-plans from *current* placement, so a migration that
+    // failed last round (crashed source, exhausted budget) is retried with
+    // only what is still missing. Rounds are time-bounded by the migration
+    // delivery budgets, not by sleeps.
+    enqueue_rebalance();
+    rebalancer_->await_idle();
+    bool remaining = false;
+    for (const std::vector<int>& reps : placement_->snapshot())
+      if (std::find(reps.begin(), reps.end(), node) != reps.end()) {
+        remaining = true;
+        break;
+      }
+    if (!remaining) break;
+    if (is_crashed(io_index) || (detector_ && detector_->is_dead(node))) {
+      // The node died mid-drain: its copies cannot be read off it anymore.
+      // Fall back to self-heal re-replication from the surviving replicas
+      // (mark_dead is idempotent and fires the repair planner).
+      if (detector_) detector_->mark_dead(node);
+      await_repairs();
+    }
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw std::runtime_error(
+          "Clusterfile::decommission_node: drain missed its deadline; node "
+          "left draining (retry, or remove_node to delegate to repair)");
+  }
+  {
+    MutexLock lock(member_mu_);
+    node_state_[io_index] = IoNodeState::kRetired;
+    rebalance_target_.clear();
+  }
+  if (detector_) detector_->remove_monitored(node);
+  if (servers_[io_index]) servers_[io_index]->stop();
+  PFM_INFO("clusterfile: node ", node, " decommissioned (ring epoch ",
+           ring_epoch(), ")");
+}
+
+void Clusterfile::remove_node(std::size_t io_index) {
+  if (!config_.ring_placement)
+    throw std::logic_error("Clusterfile::remove_node: requires ring_placement");
+  const int node = config_.compute_nodes + static_cast<int>(io_index);
+  {
+    MutexLock lock(member_mu_);
+    if (io_index >= node_state_.size() ||
+        (node_state_[io_index] != IoNodeState::kActive &&
+         node_state_[io_index] != IoNodeState::kDraining))
+      throw std::invalid_argument(
+          "Clusterfile::remove_node: node is not active or draining");
+    node_state_[io_index] = IoNodeState::kRetired;
+    if (ring_.contains(node)) ring_.remove_node(node);
+    // Repair owns the recovery from here; a pending rebalance toward a
+    // target that still counted this node would fight it.
+    rebalance_target_.clear();
+  }
+  ring_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (!is_crashed(io_index)) crash_server(io_index);
+  // mark_dead (not remove_monitored): the pinned-dead peer keeps showing in
+  // dead_nodes(), so await_repairs keeps re-planning until every subfile
+  // the node held is re-replicated.
+  if (detector_) detector_->mark_dead(node);
+}
+
+void Clusterfile::await_rebalance() {
+  if (!rebalancer_) return;
+  rebalancer_->await_idle();
+  // Converge: a migration that lost its source, destination, or
+  // coordinator mid-copy is terminal in the scheduler but re-plannable
+  // from current placement — re-planning against the recorded target
+  // emits only what is still missing (completed moves diff to nothing).
+  // Bounded rounds so persistently failing migrations cannot livelock.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::vector<int>> target;
+    {
+      MutexLock lock(member_mu_);
+      target = rebalance_target_;
+    }
+    if (target.empty()) return;
+    RebalancePlan plan = plan_rebalance(placement_->snapshot(), target,
+                                        *meta_.physical, file_size_estimate());
+    if (plan.entries.empty()) {
+      MutexLock lock(member_mu_);
+      if (rebalance_target_ == target) rebalance_target_.clear();
+      return;
+    }
+    rebalancer_->enqueue(std::move(plan.entries));
+    rebalancer_->await_idle();
+  }
+}
+
+RebalanceCounters Clusterfile::rebalance_counters() const {
+  return rebalancer_ ? rebalancer_->counters() : RebalanceCounters{};
+}
+
+std::vector<int> Clusterfile::serving_io_indices() const {
+  MutexLock lock(member_mu_);
+  std::vector<int> out;
+  for (std::size_t i = 0; i < node_state_.size(); ++i)
+    if (node_state_[i] == IoNodeState::kActive ||
+        node_state_[i] == IoNodeState::kDraining)
+      out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<std::vector<int>> Clusterfile::ring_target() const {
+  const int copies = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(config_.replication), ring_.size()));
+  std::vector<std::vector<int>> target(subfile_count());
+  for (std::size_t i = 0; i < target.size(); ++i)
+    target[i] = ring_.replicas_for(static_cast<std::uint64_t>(i), copies);
+  return target;
+}
+
+std::int64_t Clusterfile::file_size_estimate() const {
+  // Dense-prefix inversion: sum over subfiles of the first live replica's
+  // stored bytes, plus the displacement no subfile stores. Under
+  // replication the storage stack tops with IntegrityStorage, whose size()
+  // is lock-protected, so the estimate is safe against concurrent
+  // foreground writes (and deliberately approximate — it only bounds the
+  // live prefix the plan's minima cover).
+  std::int64_t total = meta_.physical->displacement();
+  const std::vector<std::vector<int>> snap = placement_->snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    for (const int node : snap[i]) {
+      const std::size_t idx =
+          static_cast<std::size_t>(node - config_.compute_nodes);
+      if (idx >= servers_.size() || !servers_[idx] || is_crashed(idx)) continue;
+      if (!servers_[idx]->has_subfile(static_cast<int>(i))) continue;
+      total += servers_[idx]->storage(static_cast<int>(i)).size();
+      break;
+    }
+  }
+  return total;
+}
+
+void Clusterfile::enqueue_rebalance() {
+  std::vector<std::vector<int>> target;
+  {
+    MutexLock lock(member_mu_);
+    target = ring_target();
+    rebalance_target_ = target;
+  }
+  RebalancePlan plan = plan_rebalance(placement_->snapshot(), target,
+                                      *meta_.physical, file_size_estimate());
+  PFM_INFO("clusterfile: rebalance planned — ", plan.entries.size(),
+           " migration(s), ", plan.min_bytes_total, " minimal byte(s)");
+  if (!plan.entries.empty()) rebalancer_->enqueue(std::move(plan.entries));
+}
+
+bool Clusterfile::execute_migration(const MigrationEntry& entry,
+                                    Rebalancer::ExecStats* stats) {
+  const std::size_t sub = static_cast<std::size_t>(entry.subfile);
+  {
+    // Idempotent no-op: crash-resume re-plans from current placement, and
+    // a duplicate entry whose publish already landed must not copy again
+    // (that is what keeps re-planning convergent, the kSync discipline).
+    const std::vector<int> current = placement_->replicas_of(sub);
+    if (std::find(current.begin(), current.end(), entry.target_node) !=
+        current.end())
+      return true;
+  }
+  const int dst = entry.target_node;
+  const std::size_t dst_idx =
+      static_cast<std::size_t>(dst - config_.compute_nodes);
+  if (dst_idx >= servers_.size() || !servers_[dst_idx] ||
+      node_unusable(dst)) {
+    PFM_WARN("rebalance: target node ", dst, " unusable for subfile ",
+             entry.subfile);
+    return false;
+  }
+  // Safe to hold across the copy: servers_ entries are only replaced by
+  // restart_server/relayout/add_io_node, and the first two await_idle() on
+  // the rebalancer first while the last only touches spare (null) slots.
+  IoServer& dstsrv = *servers_[dst_idx];
+
+  if (!dstsrv.has_subfile(entry.subfile)) {
+    // Fresh replica at epoch 0: the first pull below is forcibly a full
+    // transfer. Same distinct-slot rule as repair, so the new copy never
+    // collides on disk with the retiring node's surviving file.
+    const int slot = config_.replication +
+                     repair_slot_.fetch_add(1, std::memory_order_relaxed);
+    const StorageFaultPlan* faults =
+        config_.storage_faults ? &*config_.storage_faults : nullptr;
+    auto storage =
+        make_storage(config_.storage_dir, entry.subfile, slot, faults);
+    if (integrity_block_ > 0)
+      storage = std::make_unique<IntegrityStorage>(std::move(storage),
+                                                   integrity_block_);
+    dstsrv.adopt_subfile(entry.subfile, std::move(storage));
+  }
+
+  // Copy sources: the *current* placement's replicas — a draining holder is
+  // explicitly usable here, reading its copies off it is what the drain is.
+  // Preferred by write epoch (the scrub authority rule), rotated on failure.
+  struct Source {
+    int node = 0;
+    std::int64_t epoch = 0;
+  };
+  std::vector<Source> sources;
+  for (const int src : placement_->replicas_of(sub)) {
+    if (src == dst || node_unusable(src)) continue;
+    sources.push_back({src, server_at_node(src).subfile_epoch(entry.subfile)});
+  }
+  if (sources.empty()) {
+    PFM_WARN("rebalance: no live source for subfile ", entry.subfile);
+    return false;
+  }
+  std::stable_sort(sources.begin(), sources.end(),
+                   [](const Source& a, const Source& b) {
+                     return a.epoch > b.epoch;
+                   });
+
+  // One shared delivery budget across every source tried (the repair/PR-6
+  // discipline): per-attempt timeouts follow the backoff schedule and their
+  // sum is the migration's hard deadline.
+  const RetryPolicy& rp = config_.repair_retry;
+  std::chrono::milliseconds per = rp.base_timeout;
+  std::chrono::milliseconds budget{0};
+  {
+    std::chrono::milliseconds t = rp.base_timeout;
+    for (int a = 0; a < rp.max_attempts; ++a) {
+      budget += t;
+      t = std::min(std::chrono::milliseconds(static_cast<std::int64_t>(
+                       static_cast<double>(t.count()) * rp.backoff)),
+                   rp.max_timeout);
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  for (int attempt = 0; attempt < rp.max_attempts; ++attempt) {
+    const Source& src =
+        sources[static_cast<std::size_t>(attempt) % sources.size()];
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto slice = std::min(
+        per,
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    // Chunked bulk stream: each pull is bounded by rebalance_chunk, so
+    // foreground requests interleave at the source between chunks. A
+    // chunked delta adopts the partial epoch per pull (resume = pull
+    // again); a chunked full transfer resumes by offset with the epoch
+    // pinned to the stream start via adopt_epoch_cap (see sync_subfile).
+    std::int64_t off = 0;
+    std::int64_t cap = -1;
+    bool streamed = false;
+    while (true) {
+      const IoServer::SyncOutcome out =
+          dstsrv.sync_subfile(entry.subfile, src.node, /*attempts=*/1, slice,
+                              config_.rebalance_chunk, off, cap);
+      if (!out.ok) break;
+      stats->bulk_bytes += out.bytes;
+      if (!out.more) {
+        streamed = true;
+        break;
+      }
+      if (out.full) {
+        if (cap < 0) cap = out.peer_epoch;
+        off = out.next_offset;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    per = std::min(std::chrono::milliseconds(static_cast<std::int64_t>(
+                       static_cast<double>(per.count()) * rp.backoff)),
+                   rp.max_timeout);
+    if (!streamed) continue;  // rotate source; offset/cap reset with it
+    // Publish first, then close the gap: after the epoch bump every new
+    // write fans out to the target too, so catch-up syncs only shrink it.
+    // The retiring node's stale copy is left inert — the published
+    // placement no longer aims anyone at it (same as post-repair).
+    placement_->update(sub, entry.new_replicas);
+    for (int c = 0; c < 5; ++c) {
+      const IoServer::SyncOutcome catchup = dstsrv.sync_subfile(
+          entry.subfile, src.node, /*attempts=*/1, slice);
+      if (!catchup.ok) break;
+      stats->catchup_bytes += catchup.bytes;
+      if (catchup.bytes == 0) break;
+    }
+    PFM_INFO("rebalance: subfile ", entry.subfile, " migrated to node ", dst,
+             " from node ", src.node, " (", stats->bulk_bytes, " bulk + ",
+             stats->catchup_bytes, " catch-up bytes)");
+    return true;
+  }
+  PFM_WARN("rebalance: delivery budget exhausted for subfile ", entry.subfile,
+           " -> node ", dst);
+  return false;
+}
+
 double Clusterfile::mean_server_scatter_us() const {
   double total = 0;
-  for (const auto& s : servers_) total += s->scatter_us();
-  return servers_.empty() ? 0.0 : total / static_cast<double>(servers_.size());
+  int serving = 0;
+  for (const auto& s : servers_) {
+    if (!s) continue;
+    total += s->scatter_us();
+    ++serving;
+  }
+  return serving == 0 ? 0.0 : total / static_cast<double>(serving);
 }
 
 void Clusterfile::reset_server_phases() {
-  for (auto& s : servers_) s->reset_phases();
+  for (auto& s : servers_)
+    if (s) s->reset_phases();
 }
 
 RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
@@ -593,12 +1062,14 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
     throw std::invalid_argument("Clusterfile::relayout: displacement changed");
   PFM_CHECK(file_size >= 0, "relayout: negative file size ", file_size);
 
-  // Let in-flight repairs land, then adopt the repaired placement as the
-  // new baseline: the relayouted copies go wherever repair moved them. The
-  // PlacementDirectory itself is never replaced (the detector callback and
-  // repair workers read the pointer concurrently); its table already says
-  // exactly what meta_ is being synced to.
+  // Let in-flight repairs and migrations land, then adopt the published
+  // placement as the new baseline: the relayouted copies go wherever
+  // repair/rebalance moved them. The PlacementDirectory itself is never
+  // replaced (the detector callback and repair workers read the pointer
+  // concurrently); its table already says exactly what meta_ is being
+  // synced to.
   if (repairer_) repairer_->await_idle();
+  if (rebalancer_) rebalancer_->await_idle();
   {
     const std::vector<std::vector<int>> snap = placement_->snapshot();
     for (std::size_t i = 0; i < snap.size(); ++i) {
@@ -629,7 +1100,8 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
 
   // Swap in the new layout: fresh storage, restarted servers, new clients
   // (the old pattern pointer stays alive for any stale references).
-  for (auto& s : servers_) s->stop();
+  for (auto& s : servers_)
+    if (s) s->stop();
   meta_.physical =
       std::make_shared<const PartitioningPattern>(std::move(new_physical));
   start_servers(&dst);

@@ -17,9 +17,11 @@
 #include "clusterfile/client.h"
 #include "clusterfile/io_server.h"
 #include "clusterfile/placement.h"
+#include "clusterfile/rebalance.h"
 #include "clusterfile/repair.h"
 #include "clusterfile/storage_fault.h"
 #include "redist/execute.h"
+#include "ring/ring.h"
 
 namespace pfm {
 
@@ -72,6 +74,34 @@ struct ClusterConfig {
   /// hard deadline across every source it tries (the shared per-access
   /// budget discipline of client accesses).
   RetryPolicy repair_retry{};
+  /// Elastic membership (DESIGN.md "Elastic membership & rebalancing"):
+  /// place subfile replicas with the weighted consistent-hash ring instead
+  /// of the static round-robin rule. Required by add_io_node /
+  /// decommission_node — elastic moves need a placement that is a pure
+  /// function of the membership.
+  bool ring_placement = false;
+  /// Virtual ring points per unit of node weight. 0 = the PFM_RING_VNODES
+  /// environment knob, or the PlacementRing default (64).
+  int ring_vnodes = 0;
+  /// Ring hash seed; 0 keeps the PlacementRing default. Placements are a
+  /// pure function of (seed, membership, weights), so a pinned seed makes
+  /// every rebalance plan reproducible.
+  std::uint64_t ring_seed = 0;
+  /// Provisioned I/O-node capacity: network endpoints exist for this many
+  /// I/O slots so add_io_node can activate spares at runtime (the
+  /// in-process Network is fixed-size at construction, as a rack is).
+  /// 0 = io_nodes (no headroom). Must be >= io_nodes.
+  int max_io_nodes = 0;
+  /// Byte limit per bulk-migration sync pull. 0 = the PFM_REBALANCE_CHUNK
+  /// environment knob, or 256 KiB. Chunking bounds how long one migration
+  /// pull occupies the source's loop thread, keeping foreground latency
+  /// flat while a rebalance runs, and makes migrations resumable.
+  std::int64_t rebalance_chunk = 0;
+  /// Deadline for decommission_node's drain, in milliseconds. 0 = the
+  /// PFM_DRAIN_TIMEOUT_MS environment knob, or 30000.
+  int drain_timeout_ms = 0;
+  /// Worker bound on concurrent subfile migrations.
+  int max_concurrent_migrations = 2;
 };
 
 /// What restart_server's re-sync pulled from the surviving replicas.
@@ -190,6 +220,52 @@ class Clusterfile {
   /// crashed nor detector-dead) is below the configured replication.
   std::vector<int> under_replicated_subfiles() const;
 
+  // --- Elastic membership (requires ring_placement; DESIGN.md "Elastic
+  // membership & rebalancing") ---
+
+  /// Activates the next provisioned spare I/O slot with the given ring
+  /// weight: starts a server on it, adds it to the heartbeat set, bumps the
+  /// ring epoch, and enqueues the minimal-movement rebalance toward the new
+  /// ring placement (await_rebalance() blocks on it). Returns the new I/O
+  /// index. Throws std::runtime_error when no spare slot remains.
+  int add_io_node(int weight = 1);
+
+  /// Graceful removal (drain state machine, DESIGN.md): the node leaves
+  /// the ring and enters kDraining — it keeps serving its copies but gains
+  /// nothing new (repair and rebalance both skip draining targets) — then
+  /// every subfile copy it holds migrates to its ring successor, each
+  /// published atomically via the placement epoch bump. When the last copy
+  /// is off, the node retires: unmonitored, server stopped. A node that
+  /// dies mid-drain is handed to the self-heal repair path instead
+  /// (re-replication from the surviving replicas). Bounded by
+  /// drain_timeout_ms; throws std::runtime_error when the drain misses the
+  /// deadline, leaving the node draining (call again or remove_node).
+  void decommission_node(std::size_t io_index);
+
+  /// Crash-style removal: the node leaves the ring, is crashed, and is
+  /// declared dead to the detector in one step — data recovery is
+  /// delegated entirely to the self-heal repair path.
+  void remove_node(std::size_t io_index);
+
+  /// Blocks until the queued migrations finish, then re-plans against the
+  /// recorded target placement for a bounded number of rounds: a migration
+  /// that lost its source, destination, or coordinator mid-copy is
+  /// terminal in the scheduler but re-plannable from current placement, so
+  /// this is also the crash-resume entry point.
+  void await_rebalance();
+
+  /// Membership epoch: bumped by every add / decommission / remove.
+  std::int64_t ring_epoch() const {
+    return ring_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Migration counters (kept apart from repair_reliability so fault-free
+  /// counter-clean checks on the repair path stay meaningful).
+  RebalanceCounters rebalance_counters() const;
+
+  /// I/O indices currently serving traffic (active or draining), ascending.
+  std::vector<int> serving_io_indices() const;
+
   /// Blocks until no client holds a background quorum straggler: each one
   /// either acks or exhausts its retry schedule (bounded by RetryPolicy).
   void drain_stragglers();
@@ -217,6 +293,11 @@ class Clusterfile {
   RedistStats relayout(PartitioningPattern new_physical, std::int64_t file_size);
 
  private:
+  /// Drain state machine (DESIGN.md "Elastic membership & rebalancing"):
+  /// kSpare -> kActive (add_io_node), kActive -> kDraining -> kRetired
+  /// (decommission_node), kActive/kDraining -> kRetired (remove_node).
+  enum class IoNodeState : char { kSpare, kActive, kDraining, kRetired };
+
   void start_servers(const std::vector<Buffer>* initial);
   void start_clients();
   IoServer& server_at_node(int node_id);
@@ -228,26 +309,60 @@ class Clusterfile {
   /// budget, publishes the new placement, then closes the foreground-write
   /// gap with catch-up syncs. Runs on a repair worker thread.
   bool execute_repair(const RepairPlanEntry& entry, std::int64_t* bytes);
+  /// Rebalancer execute hook: same discipline as execute_repair, but the
+  /// bulk copy is chunked (rebalance_chunk per pull) so foreground traffic
+  /// interleaves, and the entry is an idempotent no-op when the published
+  /// placement already includes the target (crash-resume re-plans).
+  bool execute_migration(const MigrationEntry& entry,
+                         Rebalancer::ExecStats* stats);
   bool is_crashed(std::size_t io_index) const PFM_EXCLUDES(crash_mu_);
-  /// Node is unusable as a repair source or target: crashed, or declared
-  /// dead by the detector.
-  bool node_unusable(int node) const;
+  /// Node is unusable as a data source or fan-out target: crashed,
+  /// declared dead by the detector, or not serving (spare/retired). A
+  /// *draining* node is still usable here — it holds live copies the drain
+  /// is busy reading.
+  bool node_unusable(int node) const PFM_EXCLUDES(member_mu_);
+  /// Node must not *gain* replicas: unusable, or draining (repair and
+  /// rebalance placing copies on a draining node would fight the drain).
+  bool node_unplaceable(int node) const PFM_EXCLUDES(member_mu_);
+  /// Ring-derived replica table over the current members (one row per
+  /// subfile, primary first, replication-many nodes per row).
+  std::vector<std::vector<int>> ring_target() const PFM_REQUIRES(member_mu_);
+  /// Dense-prefix estimate of the logical file size (displacement plus the
+  /// live replicas' stored bytes), feeding plan_rebalance's minima.
+  std::int64_t file_size_estimate() const;
+  /// Records the current ring placement as the rebalance target and
+  /// enqueues the minimal transfer plan toward it.
+  void enqueue_rebalance() PFM_EXCLUDES(member_mu_);
 
   ClusterConfig config_;
   std::int64_t integrity_block_ = 0;  ///< resolved from config (0 = off)
   std::unique_ptr<Network> net_;
   FileMeta meta_;
   std::shared_ptr<PlacementDirectory> placement_;
-  std::vector<std::unique_ptr<IoServer>> servers_;  ///< one per I/O node
+  /// One slot per *provisioned* I/O node (max_io_nodes); spare and retired
+  /// slots hold nullptr. Slots are only replaced by restart_server /
+  /// relayout / add_io_node, all of which first drain the workers that
+  /// could hold a reference.
+  std::vector<std::unique_ptr<IoServer>> servers_;
   mutable Mutex crash_mu_{"Clusterfile::crash_mu"};
-  /// Per I/O node; read by repair workers, written by crash/restart.
+  /// Per provisioned I/O node; read by repair workers, written by
+  /// crash/restart.
   std::vector<char> crashed_ PFM_GUARDED_BY(crash_mu_);
   std::vector<std::unique_ptr<ClusterfileClient>> clients_;
-  /// Distinct storage slot per repaired copy, so a replacement's file never
-  /// collides with the dead node's surviving one.
+  /// Distinct storage slot per repaired or migrated copy, so a new copy's
+  /// file never collides with a prior node's surviving one.
   std::atomic<int> repair_slot_{0};
   std::unique_ptr<RepairScheduler> repairer_;  ///< before detector_: the
                                                ///< detector enqueues into it
+  /// Membership state. Leaf lock: nothing else is acquired under it.
+  mutable Mutex member_mu_{"Clusterfile::member_mu"};
+  std::vector<IoNodeState> node_state_ PFM_GUARDED_BY(member_mu_);
+  PlacementRing ring_ PFM_GUARDED_BY(member_mu_);
+  /// Placement every queued migration is moving toward; empty when no
+  /// rebalance is pending (await_rebalance re-plans against it).
+  std::vector<std::vector<int>> rebalance_target_ PFM_GUARDED_BY(member_mu_);
+  std::atomic<std::int64_t> ring_epoch_{0};
+  std::unique_ptr<Rebalancer> rebalancer_;  ///< only with ring_placement
   std::unique_ptr<FailureDetector> detector_;
 };
 

@@ -25,6 +25,16 @@ std::uint64_t next_sync_req_id() {
 
 using Ranges = std::vector<std::pair<std::int64_t, std::int64_t>>;
 
+/// kSyncReply mode codes, carried in the reply's w field. The *Done modes
+/// are the pre-chunking protocol (0 = delta, 1 = full) so an unchunked pull
+/// is wire-identical to the old one; the *Part modes chunk a transfer.
+constexpr int kSyncDeltaDone = 0;  ///< delta, complete: adopt reply epoch
+constexpr int kSyncFullDone = 1;   ///< full, complete: adopt (capped) epoch
+constexpr int kSyncDeltaPart = 2;  ///< delta, chunk-limited: adopt the
+                                   ///< partial epoch, pull again to continue
+constexpr int kSyncFullPart = 3;   ///< full, chunk-limited: apply bytes but
+                                   ///< do NOT adopt; resume at view_id
+
 /// Sorts and coalesces overlapping or adjacent (offset, length) ranges.
 Ranges merge_ranges(Ranges ranges) {
   std::sort(ranges.begin(), ranges.end());
@@ -368,25 +378,72 @@ void IoServer::handle_read(Message&& msg) {
 }
 
 void IoServer::handle_sync_request(Message&& msg) {
+  // Wire format: v = requester epoch, w = chunk byte limit (0: unlimited),
+  // view_id = full-transfer resume offset. The reply's w is a mode code —
+  // kSyncDeltaDone / kSyncFullDone complete the pull, kSyncDeltaPart /
+  // kSyncFullPart mean "pull again" (the *Part modes exist so a migration
+  // can be chunked against foreground traffic and resumed after a crash).
   Subfile& sub = subfile_for(msg);
   const std::int64_t their_epoch = msg.v;
+  const std::int64_t chunk = msg.w;
+  const std::int64_t resume = msg.view_id;
+  if (chunk < 0 || resume < 0)
+    throw ProtocolError(ErrCode::kMalformed,
+                        "IoServer: negative sync chunk or resume offset");
   std::int64_t my_epoch = 0;
+  std::int64_t reply_epoch = 0;
+  std::int64_t next_offset = 0;
   Ranges ranges;
-  bool full = false;
+  int mode = kSyncDeltaDone;
   {
     MutexLock lock(mu_);
     my_epoch = sub.storage->epoch();
+    reply_epoch = my_epoch;
     if (my_epoch > their_epoch) {
       // Incremental only when the log still reaches back to the epoch right
-      // after theirs; trimmed history forces a full transfer.
-      const bool covered = !sub.write_log.empty() &&
-                           sub.write_log.front().epoch <= their_epoch + 1;
+      // after theirs; trimmed history forces a full transfer. A non-zero
+      // resume offset is a full stream already in flight — it must stay
+      // full even if the log meanwhile regained coverage, or the offsets
+      // would address two different byte streams. And incremental only when
+      // it is actually cheaper: a far-behind requester (a migration
+      // destination starts at epoch 0) would replay every historical
+      // rewrite of the same bytes, so when the log bytes owed exceed the
+      // live size the full copy is the minimal transfer.
+      std::int64_t owed = 0;
+      for (const LogEntry& le : sub.write_log)
+        if (le.epoch > their_epoch)
+          for (const auto& [off, len] : le.ranges) owed += len;
+      const bool covered = resume == 0 && !sub.write_log.empty() &&
+                           sub.write_log.front().epoch <= their_epoch + 1 &&
+                           owed <= sub.storage->size();
       if (covered) {
-        for (const LogEntry& le : sub.write_log)
-          if (le.epoch > their_epoch)
-            ranges.insert(ranges.end(), le.ranges.begin(), le.ranges.end());
+        // Whole log entries only, so the epoch of the last included entry
+        // is an exact description of what the requester will hold. At
+        // least one entry always ships — a chunk smaller than one write
+        // must still make progress.
+        std::int64_t body = 0;
+        for (const LogEntry& le : sub.write_log) {
+          if (le.epoch <= their_epoch) continue;
+          if (chunk > 0 && body > 0 && body >= chunk) {
+            mode = kSyncDeltaPart;
+            break;
+          }
+          for (const auto& [off, len] : le.ranges) body += len;
+          ranges.insert(ranges.end(), le.ranges.begin(), le.ranges.end());
+          reply_epoch = le.epoch;
+        }
       } else {
-        full = true;
+        const std::int64_t size = sub.storage->size();
+        const std::int64_t lo = std::min(resume, size);
+        const std::int64_t hi =
+            chunk > 0 ? std::min(size, lo + chunk) : size;
+        if (hi > lo) ranges.emplace_back(lo, hi - lo);
+        if (hi < size) {
+          mode = kSyncFullPart;
+          next_offset = hi;
+        } else {
+          mode = kSyncFullDone;
+        }
       }
     }
   }
@@ -394,16 +451,12 @@ void IoServer::handle_sync_request(Message&& msg) {
   reply.kind = MsgKind::kSyncReply;
   reply.dst_node = msg.src_node;
   reply.subfile = msg.subfile;
-  reply.v = my_epoch;
-  reply.w = full ? 1 : 0;
-  if (my_epoch > their_epoch) {
-    if (full) {
-      const std::int64_t size = sub.storage->size();
-      ranges.clear();
-      if (size > 0) ranges.emplace_back(0, size);
-    } else {
+  reply.v = reply_epoch;
+  reply.w = mode;
+  reply.view_id = next_offset;
+  if (!ranges.empty()) {
+    if (mode == kSyncDeltaDone || mode == kSyncDeltaPart)
       ranges = merge_ranges(std::move(ranges));
-    }
     // Reads go through the full storage stack: corruption on this peer
     // surfaces as kCorruptData (via handle's catch) instead of spreading.
     for (const auto& [off, len] : ranges) {
@@ -425,6 +478,7 @@ void IoServer::handle_sync_reply(Message&& msg) {
   try {
     Subfile* subp = nullptr;
     std::int64_t my_epoch = 0;
+    std::int64_t adopt_cap = -1;
     {
       MutexLock lock(mu_);
       const auto it = subfiles_.find(msg.subfile);
@@ -432,9 +486,22 @@ void IoServer::handle_sync_reply(Message&& msg) {
         throw std::runtime_error("sync reply for a subfile not served here");
       subp = &it->second;
       my_epoch = subp->storage->epoch();
+      const auto wit = sync_waits_.find(msg.req_id);
+      if (wit != sync_waits_.end()) adopt_cap = wit->second.adopt_cap;
     }
     Subfile& sub = *subp;
-    if (msg.v > my_epoch) {
+    const int mode =
+        msg.w >= kSyncDeltaDone && msg.w <= kSyncFullPart
+            ? static_cast<int>(msg.w)
+            : throw std::runtime_error("sync reply with an unknown mode");
+    out.full = mode == kSyncFullDone || mode == kSyncFullPart;
+    out.more = mode == kSyncDeltaPart || mode == kSyncFullPart;
+    out.next_offset = mode == kSyncFullPart ? msg.view_id : 0;
+    out.peer_epoch = msg.v;
+    // Apply only when the peer is strictly ahead of our *current* epoch:
+    // a stale duplicate reply (an abandoned earlier attempt arriving late)
+    // must not overwrite newer content.
+    if (!msg.meta.empty() && msg.v > my_epoch) {
       const Ranges ranges = parse_ranges(msg.meta);
       std::int64_t off = 0;
       for (const auto& [lo, len] : ranges) {
@@ -449,12 +516,19 @@ void IoServer::handle_sync_reply(Message&& msg) {
       }
       sub.storage->flush();
       MutexLock lock(mu_);
-      sub.storage->set_epoch(msg.v);
+      if (mode != kSyncFullPart) {
+        // The cap (set by chunked full streams) pins the adopted epoch to
+        // the stream's *start*, so a follow-up delta pull re-fetches every
+        // write that raced the stream; without it the epoch would claim
+        // bytes the early chunks delivered stale.
+        std::int64_t adopt = msg.v;
+        if (adopt_cap >= 0) adopt = std::min(adopt, adopt_cap);
+        if (adopt > sub.storage->epoch()) sub.storage->set_epoch(adopt);
+      }
       // Pre-crash log entries no longer describe what peers are missing
       // relative to the adopted epoch; drop them so this replica answers
       // later sync requests with a full transfer instead of a wrong delta.
       sub.write_log.clear();
-      out.full = msg.w != 0;
     }
     out.ok = true;
   } catch (const std::exception& e) {
@@ -496,7 +570,8 @@ void IoServer::handle_error_reply(const Message& msg) {
 
 IoServer::SyncOutcome IoServer::sync_subfile(
     int subfile_id, int peer_node, int attempts,
-    std::chrono::milliseconds per_attempt) {
+    std::chrono::milliseconds per_attempt, std::int64_t chunk_bytes,
+    std::int64_t resume_offset, std::int64_t adopt_epoch_cap) {
   std::map<int, Subfile>::iterator it;
   {
     MutexLock lock(mu_);
@@ -507,6 +582,11 @@ IoServer::SyncOutcome IoServer::sync_subfile(
       return out;
     }
   }
+  if (chunk_bytes < 0 || resume_offset < 0) {
+    SyncOutcome out;
+    out.error = "negative sync chunk or resume offset";
+    return out;
+  }
   for (int attempt = 0; attempt < attempts; ++attempt) {
     const std::uint64_t id = next_sync_req_id();
     Message req;
@@ -514,10 +594,13 @@ IoServer::SyncOutcome IoServer::sync_subfile(
     req.dst_node = peer_node;
     req.subfile = subfile_id;
     req.req_id = id;
+    req.w = chunk_bytes;
+    req.view_id = resume_offset;
     {
       MutexLock lock(mu_);
       req.v = it->second.storage->epoch();
-      sync_waits_[id];  // register before sending: the reply may race us
+      // Register before sending: the reply may race us.
+      sync_waits_[id].adopt_cap = adopt_epoch_cap;
     }
     if (net_.checksums_enabled()) stamp_checksum(req);
     if (!net_.send(node_id_, std::move(req))) {

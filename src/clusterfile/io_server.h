@@ -111,7 +111,11 @@ class IoServer {
     std::int64_t bytes = 0;   ///< payload bytes applied
     std::int64_t ranges = 0;  ///< distinct ranges applied
     bool full = false;        ///< peer fell back to a full transfer
-    std::string error;        ///< why not, when !ok
+    bool more = false;        ///< chunk limit hit: pull again to continue
+    std::int64_t next_offset = 0;  ///< resume offset for the next full-
+                                   ///< transfer chunk (valid when more)
+    std::int64_t peer_epoch = 0;   ///< peer epoch observed on this pull
+    std::string error;             ///< why not, when !ok
   };
 
   /// Pulls the write ranges this replica missed from `peer_node`: sends a
@@ -120,8 +124,27 @@ class IoServer {
   /// request up to `attempts` times on timeout (the peer side is
   /// read-only, so retries are harmless). Called from the restart path —
   /// the caller must not race client writes against the same ranges.
+  ///
+  /// Chunking (the rebalancer's bulk-copy path): with `chunk_bytes` > 0 the
+  /// peer bounds each reply. A bounded *delta* includes whole write-log
+  /// entries (at least one, so progress is guaranteed) and the pull adopts
+  /// the epoch of the last included entry — resuming is just pulling again
+  /// with the advanced epoch, idempotent across requester crashes. A
+  /// bounded *full* transfer streams [resume_offset, resume_offset + chunk)
+  /// and reports the next offset; the requester's epoch is untouched until
+  /// the final chunk, so a crash mid-stream re-pulls from wherever the
+  /// caller restarts (offset 0 is always safe). Because a full stream is
+  /// read live against concurrent writes, the caller must pass the first
+  /// chunk's `peer_epoch` back as `adopt_epoch_cap` on later chunks: the
+  /// final chunk then adopts the epoch the stream *started* at, and a
+  /// follow-up delta pull re-fetches everything written during the stream —
+  /// without the cap, bytes delivered early and overwritten late would be
+  /// silently stale under an up-to-date epoch.
   SyncOutcome sync_subfile(int subfile_id, int peer_node, int attempts,
-                           std::chrono::milliseconds per_attempt);
+                           std::chrono::milliseconds per_attempt,
+                           std::int64_t chunk_bytes = 0,
+                           std::int64_t resume_offset = 0,
+                           std::int64_t adopt_epoch_cap = -1);
 
  private:
   struct LogEntry {
@@ -169,6 +192,9 @@ class IoServer {
   struct SyncWait {
     SyncOutcome out;
     bool done = false;
+    /// Epoch ceiling the reply may adopt (-1: none); carries the caller's
+    /// adopt_epoch_cap to handle_sync_reply.
+    std::int64_t adopt_cap = -1;
   };
   std::map<std::uint64_t, SyncWait> sync_waits_ PFM_GUARDED_BY(mu_);
   CondVar sync_cv_;

@@ -11,6 +11,36 @@
 
 namespace pfm {
 
+namespace {
+
+/// Shared retired-set checks: no duplicates, and no placement row (or
+/// primary list) referencing a retired node. Used by create(),
+/// update_membership() and the manifest loader so the invariant cannot
+/// drift between entry points.
+void check_retired(const std::vector<int>& retired,
+                   const std::vector<int>& io_nodes,
+                   const std::vector<std::vector<int>>& replica_nodes) {
+  for (std::size_t a = 0; a < retired.size(); ++a)
+    for (std::size_t b = a + 1; b < retired.size(); ++b)
+      if (retired[a] == retired[b])
+        throw std::invalid_argument(
+            "MetadataManager: duplicate retired node");
+  const auto is_retired = [&](int node) {
+    return std::find(retired.begin(), retired.end(), node) != retired.end();
+  };
+  for (const int node : io_nodes)
+    if (is_retired(node))
+      throw std::invalid_argument(
+          "MetadataManager: placement references a retired node");
+  for (const auto& reps : replica_nodes)
+    for (const int node : reps)
+      if (is_retired(node))
+        throw std::invalid_argument(
+            "MetadataManager: placement references a retired node");
+}
+
+}  // namespace
+
 PartitioningPattern FileRecord::pattern() const {
   return PartitioningPattern(subfile_falls, displacement);
 }
@@ -50,8 +80,26 @@ void MetadataManager::create(FileRecord record) {
         "MetadataManager: write quorum outside [0, replica count]");
   if (record.placement_epoch < 0)
     throw std::invalid_argument("MetadataManager: negative placement epoch");
+  if (record.ring_epoch < 0)
+    throw std::invalid_argument("MetadataManager: negative ring epoch");
+  check_retired(record.retired_nodes, record.io_nodes, record.replica_nodes);
   record.pattern();  // validates the partitioning pattern
   files_.emplace(record.name, std::move(record));
+}
+
+void MetadataManager::update_membership(const std::string& name,
+                                        std::int64_t ring_epoch,
+                                        std::vector<int> retired_nodes) {
+  AccessCanary::Scope guard(canary_);
+  const auto it = files_.find(name);
+  if (it == files_.end())
+    throw std::out_of_range("MetadataManager: no such file: " + name);
+  FileRecord& rec = it->second;
+  if (ring_epoch <= rec.ring_epoch)
+    throw std::invalid_argument("MetadataManager: ring epoch must advance");
+  check_retired(retired_nodes, rec.io_nodes, rec.replica_nodes);
+  rec.ring_epoch = ring_epoch;
+  rec.retired_nodes = std::move(retired_nodes);
 }
 
 void MetadataManager::update_placement(
@@ -82,6 +130,7 @@ void MetadataManager::update_placement(
   if (rec.write_quorum > static_cast<int>(widest))
     throw std::invalid_argument(
         "MetadataManager: placement leaves the write quorum unsatisfiable");
+  check_retired(rec.retired_nodes, {}, replica_nodes);
   // The primary is the list head by definition; io_nodes follows it.
   for (std::size_t i = 0; i < replica_nodes.size(); ++i)
     rec.io_nodes[i] = replica_nodes[i][0];
@@ -141,6 +190,8 @@ std::vector<std::string> MetadataManager::list() const {
 //   file <name>
 //   disp <displacement>
 //   size <size>
+//   ring <epoch>                         (version 5, only when epoch > 0)
+//   retired <a,b,c>                      (version 5, only when non-empty)
 //   placement <epoch>                    (version 4, only when epoch > 0)
 //   quorum <w>                           (version 3, only when w > 0)
 //   subfiles <count>
@@ -151,28 +202,41 @@ std::vector<std::string> MetadataManager::list() const {
 // emitted whenever any record carries a write quorum — additionally allows
 // the optional `quorum` line between size and subfiles; version 4 —
 // emitted whenever any record carries a repair-advanced placement epoch —
-// additionally allows the optional `placement` line before `quorum`.
-// load() accepts all four versions and rejects each optional line in the
-// versions that predate it.
+// additionally allows the optional `placement` line before `quorum`;
+// version 5 — emitted whenever any record carries elastic-membership state
+// — additionally allows the optional `ring` and `retired` lines before
+// `placement`. load() accepts all five versions and rejects each optional
+// line in the versions that predate it; a placement referencing a retired
+// node is malformed in any version.
 void MetadataManager::save(const std::filesystem::path& manifest) const {
   bool replicated = false;
   bool quorum = false;
   bool placed = false;
+  bool membered = false;
   for (const auto& [name, rec] : files_) {
     if (!rec.replica_nodes.empty()) replicated = true;
     if (rec.write_quorum > 0) quorum = true;
     if (rec.placement_epoch > 0) placed = true;
+    if (rec.ring_epoch > 0 || !rec.retired_nodes.empty()) membered = true;
   }
   const std::filesystem::path tmp = manifest.string() + ".tmp";
   {
     std::ofstream os(tmp);
     if (!os) throw std::runtime_error("MetadataManager: cannot write " + tmp.string());
     os << "pfm-manifest "
-       << (placed ? 4 : quorum ? 3 : replicated ? 2 : 1) << "\n";
+       << (membered ? 5 : placed ? 4 : quorum ? 3 : replicated ? 2 : 1)
+       << "\n";
     for (const auto& [name, rec] : files_) {
       os << "file " << name << "\n";
       os << "disp " << rec.displacement << "\n";
       os << "size " << rec.size << "\n";
+      if (rec.ring_epoch > 0) os << "ring " << rec.ring_epoch << "\n";
+      if (!rec.retired_nodes.empty()) {
+        os << "retired ";
+        for (std::size_t r = 0; r < rec.retired_nodes.size(); ++r)
+          os << (r ? "," : "") << rec.retired_nodes[r];
+        os << "\n";
+      }
       if (rec.placement_epoch > 0)
         os << "placement " << rec.placement_epoch << "\n";
       if (rec.write_quorum > 0) os << "quorum " << rec.write_quorum << "\n";
@@ -231,7 +295,7 @@ void MetadataManager::load(std::istream& is) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != "pfm-manifest" ||
-      version < 1 || version > 4)
+      version < 1 || version > 5)
     bad_manifest("bad header");
 
   std::map<std::string, FileRecord> loaded;
@@ -244,6 +308,30 @@ void MetadataManager::load(std::istream& is) {
     rec.size = manifest_i64(expect_keyword(is, "size"), "size");
     std::string word;
     if (!(is >> word)) bad_manifest("expected subfiles");
+    if (word == "ring") {
+      if (version < 5) bad_manifest("ring line in a pre-5 manifest");
+      std::string value;
+      if (!(is >> value)) bad_manifest("missing value after ring");
+      const std::int64_t e = manifest_i64(value, "ring");
+      if (e < 1) bad_manifest("bad ring epoch '" + value + "'");
+      rec.ring_epoch = e;
+      if (!(is >> word)) bad_manifest("expected subfiles");
+    }
+    if (word == "retired") {
+      if (version < 5) bad_manifest("retired line in a pre-5 manifest");
+      std::string value;
+      if (!(is >> value)) bad_manifest("missing value after retired");
+      std::stringstream ss(value);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        const std::int64_t node = manifest_i64(tok, "retired node");
+        if (node < INT32_MIN || node > INT32_MAX)
+          bad_manifest("bad retired node '" + tok + "'");
+        rec.retired_nodes.push_back(static_cast<int>(node));
+      }
+      if (rec.retired_nodes.empty()) bad_manifest("empty retired list");
+      if (!(is >> word)) bad_manifest("expected subfiles");
+    }
     if (word == "placement") {
       if (version < 4) bad_manifest("placement line in a pre-4 manifest");
       std::string value;
@@ -295,6 +383,11 @@ void MetadataManager::load(std::istream& is) {
     if (rec.write_quorum > static_cast<int>(widest))
       bad_manifest("write quorum exceeds the replica count");
     if (version == 1 || !replicated) rec.replica_nodes.clear();
+    try {
+      check_retired(rec.retired_nodes, rec.io_nodes, rec.replica_nodes);
+    } catch (const std::invalid_argument& e) {
+      bad_manifest(e.what());
+    }
     try {
       rec.pattern();  // validate
     } catch (const std::invalid_argument& e) {

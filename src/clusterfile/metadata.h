@@ -40,6 +40,15 @@ struct FileRecord {
   /// epoch at publish time). Persisted by manifest version 4; clients
   /// compare it to detect stale replica lists.
   std::int64_t placement_epoch = 0;
+  /// Membership epoch of the placement ring (Clusterfile::ring_epoch): 0
+  /// until the first add/decommission/remove, strictly advancing after.
+  /// Persisted by manifest version 5.
+  std::int64_t ring_epoch = 0;
+  /// I/O nodes decommissioned or removed from the membership (no
+  /// duplicates). A placement referencing a retired node is malformed —
+  /// retirement means no copy may live (or be looked for) there again.
+  /// Persisted by manifest version 5.
+  std::vector<int> retired_nodes;
 
   /// The validated partitioning pattern (constructed on demand).
   PartitioningPattern pattern() const;
@@ -68,6 +77,12 @@ class MetadataManager {
   void update_placement(const std::string& name,
                         std::vector<std::vector<int>> replica_nodes,
                         std::int64_t placement_epoch);
+  /// Records a membership change (add/decommission/remove): the ring epoch
+  /// must strictly advance, the retired set must hold no duplicates, and
+  /// the file's current placement must not reference a retired node (the
+  /// caller migrates or repairs copies off a node *before* retiring it).
+  void update_membership(const std::string& name, std::int64_t ring_epoch,
+                         std::vector<int> retired_nodes);
 
   std::vector<std::string> list() const;
   std::size_t count() const { return files_.size(); }

@@ -1,0 +1,134 @@
+// Rebalance planner and scheduler (DESIGN.md "Elastic membership &
+// rebalancing").
+//
+// A membership change (add_io_node / decommission_node) produces a *target*
+// placement from the ring; the planner diffs it against the current
+// placement and emits one MigrationEntry per subfile copy that must move.
+// The minimal bytes of each move come from the paper's redistribution
+// algebra: old and new placements are two partitions of the same file, so
+// the data a migrating subfile must carry is INTERSECT of the subfile's
+// FALLS with itself — the diagonal transfer of build_plan(physical,
+// physical) — and PROJ of that intersection is the identity map over the
+// subfile's linear space. plan_rebalance evaluates those diagonal transfers
+// over the live file prefix, which is both the per-entry minimum the bench
+// hard-gates against (bytes moved <= 1.05x) and a checked cross-validation
+// of PartitioningPattern::element_bytes.
+//
+// The scheduler mirrors RepairScheduler: a bounded worker pool, injected
+// execution (Clusterfile owns the chunked copy / publish / catch-up
+// protocol), and counters. A failed entry is terminal here — resumption is
+// a *re-plan* against current placement (Clusterfile::await_rebalance), so
+// a crash of source, destination or coordinator mid-migration converges by
+// planning only what is still missing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "file_model/pattern.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace pfm {
+
+/// One subfile copy that must move to reach the target placement.
+struct MigrationEntry {
+  int subfile = 0;
+  int target_node = -1;   ///< node gaining the copy
+  int retired_node = -1;  ///< node whose copy it replaces (-1: pure add)
+  std::vector<int> new_replicas;  ///< placement after this migration,
+                                  ///< primary first (published atomically
+                                  ///< via the PlacementDirectory epoch bump)
+  std::int64_t min_bytes = 0;  ///< INTERSECT/PROJ minimal live bytes
+};
+
+struct RebalancePlan {
+  std::vector<MigrationEntry> entries;
+  /// Sum of the entries' minimal bytes: the theoretical floor the soak
+  /// bench compares actual bulk-copy bytes against.
+  std::int64_t min_bytes_total = 0;
+};
+
+/// Diffs `current` against `target` (both full replica tables, primary
+/// first) and plans the minimal set of copies. Subfiles whose replica *set*
+/// is unchanged produce no entry even when the order differs — reordering
+/// primaries would churn clients for zero data-safety gain. `file_size`
+/// bounds the live prefix the minimal-byte evaluation covers (0 = empty
+/// file: entries still planned, minima all zero). Throws
+/// std::invalid_argument on malformed tables.
+RebalancePlan plan_rebalance(const std::vector<std::vector<int>>& current,
+                             const std::vector<std::vector<int>>& target,
+                             const PartitioningPattern& physical,
+                             std::int64_t file_size);
+
+/// Migration counters, kept separate from ReliabilityCounters so the
+/// fault-free counter-clean contract of the existing soaks is untouched.
+struct RebalanceCounters {
+  std::int64_t migrations_started = 0;
+  std::int64_t migrations_completed = 0;
+  std::int64_t migrations_failed = 0;
+  /// Applied payload bytes of the bulk copies (the number gated against
+  /// the plan minimum).
+  std::int64_t bytes_migrated = 0;
+  /// Applied bytes of post-publish catch-up syncs: foreground writes that
+  /// landed on the survivors while the bulk copy ran. Accounted apart from
+  /// the bulk bytes — they are traffic-dependent, not placement-dependent.
+  std::int64_t bytes_caught_up = 0;
+
+  RebalanceCounters& operator+=(const RebalanceCounters& o);
+  bool all_zero() const;
+};
+
+/// Executes migration entries on a bounded worker pool. Identical
+/// discipline to RepairScheduler: injected execution, terminal failures
+/// (re-planning is the caller's loop), stop() abandons queued entries.
+class Rebalancer {
+ public:
+  struct ExecStats {
+    std::int64_t bulk_bytes = 0;
+    std::int64_t catchup_bytes = 0;
+  };
+  /// Copies one subfile to entry.target_node and publishes the placement;
+  /// runs on a worker thread, bounded by `max_concurrent` workers.
+  using Execute = std::function<bool(const MigrationEntry&, ExecStats*)>;
+
+  Rebalancer(Execute execute, int max_concurrent);
+  ~Rebalancer();
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  /// Enqueues migration work; callable from any thread.
+  void enqueue(std::vector<MigrationEntry> entries) PFM_EXCLUDES(mu_);
+
+  /// Blocks until the queue is empty and every worker is idle. Bounded:
+  /// each entry's execution is bounded by its delivery budget.
+  void await_idle() PFM_EXCLUDES(mu_);
+
+  /// Entries queued or executing right now.
+  std::size_t pending() const PFM_EXCLUDES(mu_);
+
+  RebalanceCounters counters() const PFM_EXCLUDES(mu_);
+
+  /// Stops the workers after the current entries finish; idempotent.
+  /// Queued-but-unstarted entries are abandoned (counted as failed).
+  void stop() PFM_EXCLUDES(mu_);
+
+ private:
+  void worker();
+
+  Execute execute_;
+  mutable Mutex mu_{"Rebalancer::mu"};
+  CondVar work_cv_;  ///< signaled on enqueue and stop
+  CondVar idle_cv_;  ///< signaled when a worker finishes an entry
+  std::deque<MigrationEntry> queue_ PFM_GUARDED_BY(mu_);
+  int executing_ PFM_GUARDED_BY(mu_) = 0;
+  bool stopping_ PFM_GUARDED_BY(mu_) = false;
+  RebalanceCounters counters_ PFM_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< immutable after construction
+};
+
+}  // namespace pfm

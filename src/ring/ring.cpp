@@ -1,0 +1,95 @@
+#include "ring/ring.h"
+
+#include <algorithm>
+#include <climits>
+#include <stdexcept>
+
+namespace pfm {
+
+PlacementRing::PlacementRing() : PlacementRing(Options{}) {}
+
+PlacementRing::PlacementRing(Options opts) : opts_(opts) {
+  if (opts_.vnodes < 1)
+    throw std::invalid_argument("PlacementRing: vnodes must be >= 1");
+}
+
+std::uint64_t PlacementRing::mix(std::uint64_t seed, std::uint64_t x) {
+  // splitmix64 finalizer over seed ^ input: full-avalanche, platform-
+  // independent, and cheap enough to hash every (node, vnode) pair and
+  // every key lookup without caching.
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL + seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void PlacementRing::add_node(int node, int weight) {
+  if (weight < 1)
+    throw std::invalid_argument("PlacementRing: weight must be >= 1");
+  if (!weights_.emplace(node, weight).second)
+    throw std::invalid_argument("PlacementRing: node already a member");
+  rebuild();
+}
+
+void PlacementRing::remove_node(int node) {
+  if (weights_.erase(node) == 0)
+    throw std::invalid_argument("PlacementRing: node is not a member");
+  rebuild();
+}
+
+void PlacementRing::rebuild() {
+  // A node's points depend only on (seed, node, vnode index), never on the
+  // other members: rebuilding after add/remove reproduces every surviving
+  // point bit-for-bit, which is what bounds movement to the stolen arcs.
+  points_.clear();
+  for (const auto& [node, weight] : weights_) {
+    const std::size_t n =
+        static_cast<std::size_t>(opts_.vnodes) * static_cast<std::size_t>(weight);
+    for (std::size_t v = 0; v < n; ++v) {
+      Point p;
+      p.pos = mix(opts_.seed, (static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(node))
+                               << 32) |
+                                  static_cast<std::uint64_t>(v));
+      p.node = node;
+      points_.push_back(p);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<int> PlacementRing::nodes() const {
+  std::vector<int> out;
+  out.reserve(weights_.size());
+  for (const auto& [node, weight] : weights_) out.push_back(node);
+  return out;
+}
+
+std::vector<int> PlacementRing::replicas_for(std::uint64_t key,
+                                             int count) const {
+  if (count < 1 || static_cast<std::size_t>(count) > weights_.size())
+    throw std::invalid_argument(
+        "PlacementRing: replica count outside [1, members]");
+  const std::uint64_t pos = mix(opts_.seed, key);
+  // First point at or after the key position, wrapping at the top.
+  std::size_t at = static_cast<std::size_t>(
+      std::lower_bound(points_.begin(), points_.end(), Point{pos, INT_MIN}) -
+      points_.begin());
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::size_t walked = 0;
+       walked < points_.size() && out.size() < static_cast<std::size_t>(count);
+       ++walked, ++at) {
+    if (at == points_.size()) at = 0;
+    const int node = points_[at].node;
+    if (std::find(out.begin(), out.end(), node) == out.end())
+      out.push_back(node);
+  }
+  return out;
+}
+
+int PlacementRing::node_for(std::uint64_t key) const {
+  return replicas_for(key, 1)[0];
+}
+
+}  // namespace pfm

@@ -1174,6 +1174,231 @@ TEST(SelfHeal, CrashedNodeIsAutoDetectedAndRepaired) {
   EXPECT_EQ(back, data);
 }
 
+// ---------------------------------------------------------------------------
+// Elastic membership: placement ring, live rebalance, decommission
+// ---------------------------------------------------------------------------
+
+ClusterConfig rebalance_config(int spares = 1) {
+  ClusterConfig cfg;
+  cfg.replication = 2;
+  cfg.self_heal = true;
+  cfg.heartbeat.interval_ms = 30;
+  cfg.heartbeat.timeout_ms = 20;
+  cfg.heartbeat.suspect_n = 3;
+  cfg.ring_placement = true;
+  cfg.max_io_nodes = cfg.io_nodes + spares;
+  // Small chunks: every subfile migration takes several pulls, so crash and
+  // drop windows genuinely interleave with the bulk copy.
+  cfg.rebalance_chunk = 16;
+  cfg.drain_timeout_ms = 30000;
+  cfg.repair_retry = soak_policy();
+  return cfg;
+}
+
+/// Writes one pattern per client over the column-block views and returns
+/// (vid, data) pairs for later byte-identical read-backs.
+struct RebalanceWorkload {
+  std::vector<std::int64_t> vids;
+  std::vector<Buffer> data;
+};
+
+RebalanceWorkload write_workload(Clusterfile& fs) {
+  const auto views = partition2d_all(Partition2D::kColumnBlocks, 16, 16, 4);
+  RebalanceWorkload w;
+  for (int c = 0; c < 4; ++c) {
+    auto& client = fs.client(c);
+    client.set_retry_policy(soak_policy());
+    w.vids.push_back(client.set_view(views[static_cast<std::size_t>(c)], 256));
+    w.data.push_back(make_pattern_buffer(64, 120 + static_cast<unsigned>(c)));
+    client.write(w.vids.back(), 0, 63, w.data.back());
+  }
+  return w;
+}
+
+void expect_byte_identical(Clusterfile& fs, const RebalanceWorkload& w,
+                           const char* where) {
+  for (int c = 0; c < 4; ++c) {
+    Buffer back(64);
+    const auto t = fs.client(c).read(w.vids[static_cast<std::size_t>(c)], 0,
+                                     63, back);
+    EXPECT_TRUE(t.ok()) << where << ": client " << c;
+    EXPECT_EQ(back, w.data[static_cast<std::size_t>(c)])
+        << where << ": client " << c;
+  }
+}
+
+// Growing the cluster under a lossy wire: the new member absorbs its ring
+// share through chunked, idempotent migrations while reads stay
+// byte-identical, and the placement ends up referencing the new node.
+TEST(Rebalance, AddNodeUnderDropStaysByteIdentical) {
+  Clusterfile fs(rebalance_config(),
+                 pattern2d(Partition2D::kRowBlocks, 16, 8));
+  const RebalanceWorkload w = write_workload(fs);
+
+  FaultPlan plan;
+  plan.seed = 20260808;
+  plan.rules.push_back(make_rule(0.01));
+  fs.install_faults(plan);
+
+  const int idx = fs.add_io_node();
+  EXPECT_EQ(idx, 4);
+  EXPECT_EQ(fs.ring_epoch(), 1);
+  fs.await_rebalance();
+
+  const RebalanceCounters rc = fs.rebalance_counters();
+  EXPECT_GE(rc.migrations_completed, 1);
+  EXPECT_EQ(rc.migrations_completed, rc.migrations_started);
+  EXPECT_GT(rc.bytes_migrated, 0);
+
+  // The new node actually owns part of the placement now.
+  int on_new = 0;
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const std::vector<int> nodes = fs.replica_nodes(i);
+    on_new += static_cast<int>(
+        std::count(nodes.begin(), nodes.end(), fs.compute_nodes() + idx));
+  }
+  EXPECT_GE(on_new, 1);
+
+  expect_byte_identical(fs, w, "post-add");
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+  // No repair ran: growth is a rebalance, not a failure.
+  EXPECT_TRUE(fs.repair_reliability().all_zero());
+  fs.install_faults(FaultPlan{});
+  EXPECT_TRUE(fs.scrub().clean());
+}
+
+// Graceful shrink under the same lossy wire: every copy drains off the
+// node, the node retires, and reads never see a wrong byte.
+TEST(Rebalance, DecommissionUnderDropStaysByteIdentical) {
+  Clusterfile fs(rebalance_config(/*spares=*/0),
+                 pattern2d(Partition2D::kRowBlocks, 16, 8));
+  const RebalanceWorkload w = write_workload(fs);
+
+  FaultPlan plan;
+  plan.seed = 20260809;
+  plan.rules.push_back(make_rule(0.01));
+  fs.install_faults(plan);
+
+  const int victim = fs.compute_nodes() + 1;
+  fs.decommission_node(1);
+  EXPECT_EQ(fs.ring_epoch(), 1);
+
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const std::vector<int> nodes = fs.replica_nodes(i);
+    EXPECT_EQ(std::count(nodes.begin(), nodes.end(), victim), 0)
+        << "subfile " << i << " still placed on the decommissioned node";
+    EXPECT_EQ(nodes.size(), 2u) << "subfile " << i;
+  }
+  const std::vector<int> serving = fs.serving_io_indices();
+  EXPECT_EQ(std::count(serving.begin(), serving.end(), 1), 0);
+
+  expect_byte_identical(fs, w, "post-decommission");
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+  fs.install_faults(FaultPlan{});
+  EXPECT_TRUE(fs.scrub().clean());
+}
+
+// Destination lost mid-migration: the new member is unreachable while the
+// first migration wave runs (the dead-machine experience — pulls time
+// out), and the add converges anyway once the node comes back, through
+// await_rebalance's re-plan. Idempotence keeps completed moves from
+// repeating.
+TEST(Rebalance, DestinationCrashMidMigrationResumesToConvergence) {
+  Clusterfile fs(rebalance_config(),
+                 pattern2d(Partition2D::kRowBlocks, 16, 8));
+  const RebalanceWorkload w = write_workload(fs);
+
+  const int new_node = fs.compute_nodes() + 4;
+  fs.faults().isolate(new_node);  // the destination is dark from the start
+  const int idx = fs.add_io_node();
+  ASSERT_EQ(idx, 4);
+  fs.await_rebalance();
+  // At least one migration died against the dark destination (counted,
+  // terminal in the scheduler), and the placement kept serving without it.
+  EXPECT_GE(fs.rebalance_counters().migrations_failed, 1);
+  expect_byte_identical(fs, w, "destination dark");
+
+  // The node restarts: re-plan from current placement and converge. The
+  // detector revives the node on its next successful probe round, so poll —
+  // a single await_rebalance can race the revival and fail all its rounds.
+  fs.crash_server(static_cast<std::size_t>(idx));
+  fs.restart_server(static_cast<std::size_t>(idx));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  int on_new = 0;
+  for (;;) {
+    fs.await_rebalance();
+    on_new = 0;
+    for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+      const std::vector<int> nodes = fs.replica_nodes(i);
+      on_new += static_cast<int>(
+          std::count(nodes.begin(), nodes.end(), new_node));
+    }
+    if (on_new >= 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "rebalance never placed anything on the restarted node";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(on_new, 1);
+  expect_byte_identical(fs, w, "post-resume");
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+  EXPECT_TRUE(fs.scrub().clean());
+}
+
+// Source lost mid-drain: the draining node crashes before its copies are
+// off. Migration falls over to the surviving replica as source (and the
+// dead declaration hands anything left to the self-heal repair path), so
+// the decommission still converges and retires the node.
+TEST(Rebalance, SourceCrashMidDrainFallsBackAndConverges) {
+  Clusterfile fs(rebalance_config(/*spares=*/0),
+                 pattern2d(Partition2D::kRowBlocks, 16, 8));
+  const RebalanceWorkload w = write_workload(fs);
+
+  const int victim = fs.compute_nodes() + 2;
+  fs.crash_server(2);  // the future decommission target dies first
+  fs.decommission_node(2);
+
+  for (std::size_t i = 0; i < fs.subfile_count(); ++i) {
+    const std::vector<int> nodes = fs.replica_nodes(i);
+    EXPECT_EQ(std::count(nodes.begin(), nodes.end(), victim), 0)
+        << "subfile " << i;
+  }
+  const std::vector<int> serving = fs.serving_io_indices();
+  EXPECT_EQ(std::count(serving.begin(), serving.end(), 2), 0);
+  fs.await_repairs();
+  expect_byte_identical(fs, w, "post-drain");
+  EXPECT_TRUE(fs.under_replicated_subfiles().empty());
+  EXPECT_TRUE(fs.scrub().clean());
+}
+
+// The fault-free control cell: a grow plus a shrink with a clean wire must
+// leave every failure counter at zero — no repairs, no quorum shortfalls,
+// no timeouts. Rebalancing is not allowed to look like a failure.
+TEST(Rebalance, FaultFreeCellsStayCounterClean) {
+  Clusterfile fs(rebalance_config(),
+                 pattern2d(Partition2D::kRowBlocks, 16, 8));
+  const RebalanceWorkload w = write_workload(fs);
+
+  fs.add_io_node();
+  fs.await_rebalance();
+  fs.decommission_node(0);
+  EXPECT_EQ(fs.ring_epoch(), 2);
+  expect_byte_identical(fs, w, "fault-free");
+
+  EXPECT_TRUE(fs.repair_reliability().all_zero());
+  const ReliabilityCounters cli = fs.client_reliability();
+  EXPECT_EQ(cli.failures, 0);
+  EXPECT_EQ(cli.quorum_short, 0);
+  EXPECT_EQ(cli.timeouts, 0);
+  EXPECT_EQ(cli.corruptions_detected, 0);
+  const ReliabilityCounters srv = fs.server_reliability();
+  EXPECT_EQ(srv.corruptions_detected, 0);
+  const RebalanceCounters rc = fs.rebalance_counters();
+  EXPECT_EQ(rc.migrations_failed, 0);
+  EXPECT_EQ(rc.migrations_started, rc.migrations_completed);
+  EXPECT_TRUE(fs.scrub().clean());
+}
+
 // Clusterfile shutdown used to close the network with quorum stragglers
 // still pending, silently dropping them. The destructor now drains them
 // (bounded by each straggler's remaining retry schedule): a backup that was

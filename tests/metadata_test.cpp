@@ -124,7 +124,7 @@ TEST(Metadata, LoadRejectsMalformedManifests) {
   MetadataManager mm;
   EXPECT_THROW(mm.load(dir / "missing.txt"), std::runtime_error);
   EXPECT_THROW(mm.load(write("not-a-manifest 1\n")), std::invalid_argument);
-  EXPECT_THROW(mm.load(write("pfm-manifest 5\n")), std::invalid_argument);
+  EXPECT_THROW(mm.load(write("pfm-manifest 6\n")), std::invalid_argument);
   EXPECT_NO_THROW(mm.load(write("pfm-manifest 2\n")));  // empty v2 is valid
   EXPECT_THROW(mm.load(write("pfm-manifest 1\nfile x\ndisp 0\n")),
                std::invalid_argument);
@@ -422,6 +422,133 @@ TEST(Metadata, LoadRejectsMalformedPlacements) {
   // The same record with a positive epoch loads.
   EXPECT_NO_THROW(mm.load(with_placement("pfm-manifest 4", "7")));
   EXPECT_EQ(mm.lookup("x").placement_epoch, 7);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metadata, MembershipUpdateValidates) {
+  MetadataManager mm;
+  FileRecord rec = sample_record("elastic", Partition2D::kRowBlocks);
+  rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  mm.create(rec);
+  // Epoch must strictly advance.
+  EXPECT_THROW(mm.update_membership("elastic", 0, {}), std::invalid_argument);
+  mm.update_membership("elastic", 2, {});
+  EXPECT_EQ(mm.lookup("elastic").ring_epoch, 2);
+  EXPECT_THROW(mm.update_membership("elastic", 2, {}), std::invalid_argument);
+  // Retiring a node still referenced by the placement is malformed — copies
+  // migrate off a node before it retires.
+  EXPECT_THROW(mm.update_membership("elastic", 3, {5}),
+               std::invalid_argument);
+  EXPECT_THROW(mm.update_membership("elastic", 3, {9, 9}),
+               std::invalid_argument);  // duplicate retired node
+  mm.update_membership("elastic", 3, {9});
+  EXPECT_EQ(mm.lookup("elastic").retired_nodes, (std::vector<int>{9}));
+  // A later re-placement must not resurrect the retired node either.
+  EXPECT_THROW(
+      mm.update_placement("elastic", {{4, 9}, {5, 6}, {6, 7}, {7, 4}}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(mm.update_membership("missing", 1, {}), std::out_of_range);
+}
+
+TEST(Metadata, MembershipManifestRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_ring";
+  std::filesystem::create_directories(dir);
+  const auto manifest = dir / "manifest.txt";
+
+  MetadataManager mm;
+  FileRecord rec = sample_record("elastic", Partition2D::kRowBlocks);
+  rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  rec.write_quorum = 1;
+  mm.create(rec);
+  mm.create(sample_record("plain", Partition2D::kColumnBlocks));
+  mm.update_placement("elastic", {{5, 6}, {5, 6}, {6, 7}, {7, 5}}, 2);
+  mm.update_membership("elastic", 4, {8, 9});
+  mm.save(manifest);
+
+  // The header advertises version 5 exactly because a record carries
+  // elastic-membership state.
+  {
+    std::ifstream is(manifest);
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    EXPECT_EQ(version, 5);
+  }
+
+  MetadataManager back;
+  back.load(manifest);
+  const FileRecord& e = back.lookup("elastic");
+  EXPECT_EQ(e.ring_epoch, 4);
+  EXPECT_EQ(e.retired_nodes, (std::vector<int>{8, 9}));
+  EXPECT_EQ(e.placement_epoch, 2);
+  EXPECT_EQ(e.write_quorum, 1);
+  EXPECT_EQ(e.replica_nodes,
+            (std::vector<std::vector<int>>{{5, 6}, {5, 6}, {6, 7}, {7, 5}}));
+  EXPECT_EQ(back.lookup("plain").ring_epoch, 0);
+  EXPECT_TRUE(back.lookup("plain").retired_nodes.empty());
+
+  // Records without membership state never advance the format: the same
+  // placement-epoch record alone still saves 4.
+  MetadataManager v4;
+  FileRecord placed = sample_record("healed", Partition2D::kRowBlocks);
+  placed.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  v4.create(placed);
+  v4.update_placement("healed", {{5, 6}, {5, 6}, {6, 7}, {7, 5}}, 3);
+  v4.save(manifest);
+  {
+    std::ifstream is(manifest);
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    EXPECT_EQ(version, 4);
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metadata, LoadRejectsMalformedMembership) {
+  const auto dir = std::filesystem::temp_directory_path() / "pfm_meta_badr";
+  std::filesystem::create_directories(dir);
+  const auto write = [&](const std::string& text) {
+    const auto path = dir / "m.txt";
+    std::ofstream os(path);
+    os << text;
+    os.close();
+    return path;
+  };
+  MetadataManager mm;
+  const auto manifest = [&](const std::string& header,
+                            const std::string& lines,
+                            const std::string& nodes = "4,5") {
+    return write(header + "\nfile x\ndisp 0\nsize 12\n" + lines +
+                 "subfiles 1\n" + nodes + " {(0,11,12,1)}\n");
+  };
+  // ring / retired lines need a version-5 header: every pre-5 reader
+  // rejects them rather than silently dropping the membership state.
+  for (const char* old : {"pfm-manifest 1", "pfm-manifest 2",
+                          "pfm-manifest 3", "pfm-manifest 4"}) {
+    EXPECT_THROW(mm.load(manifest(old, "ring 1\n")), std::invalid_argument);
+    EXPECT_THROW(mm.load(manifest(old, "retired 9\n")),
+                 std::invalid_argument);
+  }
+  // Epoch 0 is expressed by omitting the line; zero/negative/garbage are
+  // malformed, as are duplicate or placement-referenced retired nodes.
+  EXPECT_THROW(mm.load(manifest("pfm-manifest 5", "ring 0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(manifest("pfm-manifest 5", "ring -1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(manifest("pfm-manifest 5", "ring soon\n")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(manifest("pfm-manifest 5", "retired 9,9\n")),
+               std::invalid_argument);
+  EXPECT_THROW(mm.load(manifest("pfm-manifest 5", "ring 2\nretired 5\n")),
+               std::invalid_argument);  // 5 still holds a replica of x
+  EXPECT_THROW(mm.load(manifest("pfm-manifest 6", "ring 1\n")),
+               std::invalid_argument);  // future version
+  // The well-formed equivalent loads.
+  EXPECT_NO_THROW(mm.load(manifest("pfm-manifest 5", "ring 2\nretired 9\n")));
+  EXPECT_EQ(mm.lookup("x").ring_epoch, 2);
+  EXPECT_EQ(mm.lookup("x").retired_nodes, (std::vector<int>{9}));
   std::filesystem::remove_all(dir);
 }
 

@@ -24,8 +24,8 @@ not know about:
                    production code waits on condition variables or channel
                    deadlines. Sleeping hides ordering bugs the lockdep /
                    TSan jobs exist to catch (tests may sleep).
-  bare-receive     src/clusterfile/ and the failure detector / repair
-                   path block on the wire only through Channel::receive_for
+  bare-receive     src/clusterfile/, src/ring/ and the failure detector /
+                   repair path block on the wire only through Channel::receive_for
                    with a deadline. A bare receive() in the client's
                    windowed engine, the heartbeat loop, or a repair worker
                    hangs forever on a dead node — the retry/failover/
@@ -99,6 +99,7 @@ RULES = [
         "bare-receive",
         re.compile(r"\breceive\s*\(\s*\)"),
         lambda p: p.startswith("src/clusterfile/")
+        or p.startswith("src/ring/")
         or p.startswith("src/cluster/failure_detector"),
         "block on the wire with Channel::receive_for and a deadline: a bare "
         "receive() hangs forever on a dead node and starves the "
@@ -170,6 +171,10 @@ def self_test() -> int:
          "bare-receive"),
         ("src/cluster/failure_detector.cpp",
          "auto pong = ch.receive_for(window);", None),  # deadline: fine
+        ("src/ring/ring.cpp", "auto msg = ch.receive();",
+         "bare-receive"),
+        ("src/ring/ring.cpp",
+         "auto msg = ch.receive_for(deadline);", None),  # deadline: fine
         ("src/cluster/node.cpp", "auto msg = inbox.receive();",
          None),  # the server loop blocks by design
         ("src/clusterfile/io_server.cpp",
