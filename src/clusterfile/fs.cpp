@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "clusterfile/journal.h"
+#include "clusterfile/recover.h"
 #include "util/arith.h"
 #include "util/check.h"
 #include "util/log.h"
@@ -154,10 +156,160 @@ Clusterfile::Clusterfile(ClusterConfig config, PartitioningPattern physical)
     MutexLock lock(crash_mu_);
     crashed_.assign(static_cast<std::size_t>(config_.max_io_nodes), 0);
   }
-  placement_ = std::make_shared<PlacementDirectory>(meta_.replicas);
 
-  start_servers(nullptr);
+  // Durable mount (DESIGN.md "Durability & recovery"): recover the file
+  // record from checkpoint+journal, let it override the as-created layout,
+  // placement, and membership computed above, and reconcile it against
+  // whatever subfile copies actually survived on disk.
+  bool preserve = false;
+  std::int64_t placement_seed = 0;
+  ReconcilePlan mount_plan;
+  Timer mount_timer;
+  if (!config_.metadata_dir.empty()) {
+    mount_report_.durable = true;
+    FileRecord rec;
+    {
+      MutexLock lock(meta_mu_);
+      const RecoveryInfo info = meta_store_.open_durable(
+          config_.metadata_dir, config_.checkpoint_interval);
+      mount_report_.manifest_loaded = info.manifest_loaded;
+      mount_report_.journal_records = info.journal_records;
+      mount_report_.journal_torn_tail = info.journal_torn_tail;
+      if (meta_store_.exists(kMetaFile)) {
+        rec = meta_store_.lookup(kMetaFile);
+        mount_report_.mounted = true;
+      }
+    }
+    if (mount_report_.mounted) {
+      if (rec.subfile_falls.size() != subfiles)
+        throw std::invalid_argument(
+            "Clusterfile: recovered metadata holds " +
+            std::to_string(rec.subfile_falls.size()) +
+            " subfile(s) but the mount pattern has " +
+            std::to_string(subfiles) +
+            " — remount with the recorded element count");
+      // The record is the authority for everything a crash must not lose.
+      meta_.physical =
+          std::make_shared<const PartitioningPattern>(rec.pattern());
+      meta_.write_quorum = rec.write_quorum;
+      config_.write_quorum = rec.write_quorum;
+      ring_epoch_.store(rec.ring_epoch, std::memory_order_release);
+      {
+        MutexLock lock(member_mu_);
+        for (const int node : rec.retired_nodes) {
+          const int idx = node - config_.compute_nodes;
+          if (idx < 0 || idx >= static_cast<int>(node_state_.size()))
+            throw std::invalid_argument(
+                "Clusterfile: recovered retired node out of the provisioned "
+                "range (remount with the original compute/max_io_nodes)");
+          if (ring_.contains(node)) ring_.remove_node(node);
+          node_state_[static_cast<std::size_t>(idx)] = IoNodeState::kRetired;
+        }
+        // A recovered placement may live on slots that were spares at this
+        // config's io_nodes (added by add_io_node before the crash) —
+        // activate them so their servers start.
+        const auto activate = [&](int node) {
+          const int idx = node - config_.compute_nodes;
+          if (idx < 0 || idx >= static_cast<int>(node_state_.size()))
+            throw std::invalid_argument(
+                "Clusterfile: recovered placement references a node outside "
+                "the provisioned range");
+          if (node_state_[static_cast<std::size_t>(idx)] ==
+              IoNodeState::kSpare) {
+            node_state_[static_cast<std::size_t>(idx)] = IoNodeState::kActive;
+            ring_.add_node(node);
+          }
+        };
+        if (rec.replica_nodes.empty()) {
+          for (const int n : rec.io_nodes) activate(n);
+        } else {
+          for (const auto& row : rec.replica_nodes)
+            for (const int n : row) activate(n);
+        }
+      }
+      // Reconcile against the on-disk copies: the highest-epoch copy on a
+      // serving node is the authority, even when the metadata never heard
+      // of it (a repair/migration that crashed after moving the data but
+      // before its journal record landed).
+      std::vector<IoNodeState> states;
+      {
+        MutexLock lock(member_mu_);
+        states = node_state_;
+      }
+      mount_plan = plan_reconcile(
+          rec, scan_storage(config_.storage_dir), [&](int node) {
+            const int idx = node - config_.compute_nodes;
+            if (idx < 0 || idx >= static_cast<int>(states.size())) return false;
+            const IoNodeState st = states[static_cast<std::size_t>(idx)];
+            return st == IoNodeState::kActive || st == IoNodeState::kDraining;
+          });
+      for (std::size_t i = 0; i < subfiles; ++i) {
+        meta_.replicas[i] = mount_plan.rows[i].replicas;
+        meta_.io_nodes[i] = meta_.replicas[i][0];
+        if (mount_plan.rows[i].orphan_adopted) ++mount_report_.orphans_adopted;
+        mount_report_.copies_missing +=
+            static_cast<int>(mount_plan.rows[i].missing.size());
+      }
+      // Seed the placement epoch from the record so clients and the
+      // manifest agree across the remount; an adopted divergence advances
+      // it (persist_meta below records the new rows under that epoch).
+      placement_seed = rec.placement_epoch + (mount_plan.changed ? 1 : 0);
+      preserve = true;
+    } else {
+      // Fresh durable create: journal the as-created record so even a
+      // crash before the first checkpoint can rebuild it.
+      FileRecord fresh;
+      fresh.name = kMetaFile;
+      fresh.displacement = meta_.physical->displacement();
+      fresh.subfile_falls = meta_.physical->elements();
+      fresh.io_nodes = meta_.io_nodes;
+      if (config_.replication > 1) fresh.replica_nodes = meta_.replicas;
+      fresh.write_quorum = config_.write_quorum;
+      MutexLock lock(meta_mu_);
+      meta_store_.create(std::move(fresh));
+    }
+  }
+  placement_ =
+      std::make_shared<PlacementDirectory>(meta_.replicas, placement_seed);
+
+  start_servers(nullptr, preserve);
   start_clients();
+
+  // Close the data gap the reconciliation found: every lagging (or
+  // missing) recorded copy pulls from the authority before the mount
+  // returns, so divergence surfaces as re-sync work, not as a failure.
+  if (mount_report_.mounted) {
+    for (const ReconcileRow& row : mount_plan.rows) {
+      if (row.authority < 0) continue;
+      for (const int node : row.lagging) {
+        bool ok = false;
+        try {
+          const IoServer::SyncOutcome out = server_at_node(node).sync_subfile(
+              row.subfile, row.authority, /*attempts=*/5,
+              std::chrono::milliseconds(400));
+          ok = out.ok;
+        } catch (const std::exception&) {
+        }
+        if (ok)
+          ++mount_report_.subfiles_synced;
+        else
+          ++mount_report_.sync_failures;
+      }
+    }
+  }
+  if (mount_report_.durable) {
+    // Record what the mount decided (reconciled placement under the
+    // advanced epoch) and fold everything into a fresh checkpoint, so the
+    // next recovery starts from here. A SimulatedCrash propagates: the
+    // harness is killing the mount itself.
+    persist_meta();
+    {
+      MutexLock lock(meta_mu_);
+      meta_store_.checkpoint();
+    }
+    mount_report_.recovery_us =
+        static_cast<std::int64_t>(mount_timer.elapsed_us());
+  }
 
   if (config_.ring_placement)
     rebalancer_ = std::make_unique<Rebalancer>(
@@ -195,7 +347,8 @@ void Clusterfile::start_clients() {
         std::shared_ptr<const PlacementDirectory>(placement_)));
 }
 
-void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
+void Clusterfile::start_servers(const std::vector<Buffer>* initial,
+                                bool preserve) {
   const std::size_t subfiles = meta_.io_nodes.size();
   const StorageFaultPlan* faults =
       config_.storage_faults ? &*config_.storage_faults : nullptr;
@@ -217,8 +370,12 @@ void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
         if (meta_.replicas[i][r] != config_.compute_nodes + node) continue;
         // Faults live directly over the backend; integrity sits above them
         // so injected torn writes and bit rot are what the CRC layer sees.
+        // Files are named by the absolute node id so a cold mount (and
+        // pfm_fsck) can map every copy back to its placement row.
         auto storage = make_storage(config_.storage_dir, static_cast<int>(i),
-                                    static_cast<int>(r), faults);
+                                    static_cast<int>(r), faults,
+                                    /*node=*/config_.compute_nodes + node,
+                                    preserve);
         if (integrity_block_ > 0)
           storage = std::make_unique<IntegrityStorage>(std::move(storage),
                                                        integrity_block_);
@@ -229,7 +386,7 @@ void Clusterfile::start_servers(const std::vector<Buffer>* initial) {
     }
     servers_[static_cast<std::size_t>(node)] = std::make_unique<IoServer>(
         *net_, config_.compute_nodes + node, std::move(storages),
-        /*track_epochs=*/config_.replication > 1);
+        /*track_epochs=*/track_epochs());
   }
 }
 
@@ -249,6 +406,22 @@ Clusterfile::~Clusterfile() {
     PFM_WARN("clusterfile: shutdown abandoned ", abandoned,
              " quorum straggler(s); epoch re-sync or scrub must repair the "
              "replicas they missed");
+  // Clean shutdown leaves a fresh checkpoint behind (while the servers are
+  // still up — the size estimate reads their storages). A crash point that
+  // fires here is swallowed: the dtor simulates the kill by simply not
+  // persisting anything further.
+  try {
+    persist_meta();
+    MutexLock lock(meta_mu_);
+    meta_store_.checkpoint();
+  } catch (const SimulatedCrash&) {
+  } catch (const std::exception& e) {
+    // Real I/O failure (metadata directory vanished, disk full): the flush
+    // is best-effort — the journal already holds every acked mutation, so
+    // losing the final checkpoint costs replay time, never data. A dtor
+    // must not unwind.
+    PFM_WARN("clusterfile: shutdown checkpoint failed: ", e.what());
+  }
   for (auto& s : servers_)
     if (s) s->stop();
   net_->close_all();
@@ -353,7 +526,7 @@ ResyncStats Clusterfile::restart_server(std::size_t io_index) {
   const int node = config_.compute_nodes + static_cast<int>(io_index);
   IoServer::SubfileStorages storages = servers_[io_index]->take_storages();
   servers_[io_index] = std::make_unique<IoServer>(
-      *net_, node, std::move(storages), /*track_epochs=*/config_.replication > 1);
+      *net_, node, std::move(storages), /*track_epochs=*/track_epochs());
   faults().restore(node);
   {
     MutexLock lock(crash_mu_);
@@ -608,8 +781,8 @@ bool Clusterfile::execute_repair(const RepairPlanEntry& entry,
         config_.replication + repair_slot_.fetch_add(1, std::memory_order_relaxed);
     const StorageFaultPlan* faults =
         config_.storage_faults ? &*config_.storage_faults : nullptr;
-    auto storage =
-        make_storage(config_.storage_dir, entry.subfile, slot, faults);
+    auto storage = make_storage(config_.storage_dir, entry.subfile, slot,
+                                faults, /*node=*/dst);
     if (integrity_block_ > 0)
       storage = std::make_unique<IntegrityStorage>(std::move(storage),
                                                    integrity_block_);
@@ -680,6 +853,13 @@ bool Clusterfile::execute_repair(const RepairPlanEntry& entry,
       if (catchup.bytes == 0) break;
     }
     if (bytes != nullptr) *bytes = copied;
+    // Journal the published placement. A crash point firing on this worker
+    // thread must not kill the scheduler — the frozen layer already
+    // guarantees nothing later persists, which *is* the simulated kill.
+    try {
+      persist_meta();
+    } catch (const SimulatedCrash&) {
+    }
     PFM_INFO("repair: subfile ", entry.subfile, " re-replicated to node ",
              dst, " from node ", src.node, " (", copied, " bytes)");
     return true;
@@ -720,9 +900,10 @@ int Clusterfile::add_io_node(int weight) {
   // it; the server starts empty and adopts storage as migrations arrive.
   servers_[static_cast<std::size_t>(idx)] = std::make_unique<IoServer>(
       *net_, node, IoServer::SubfileStorages{},
-      /*track_epochs=*/config_.replication > 1);
+      /*track_epochs=*/track_epochs());
   if (detector_) detector_->add_monitored(node);
   ring_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  persist_meta();
   enqueue_rebalance();
   return idx;
 }
@@ -785,6 +966,7 @@ void Clusterfile::decommission_node(std::size_t io_index) {
   }
   if (detector_) detector_->remove_monitored(node);
   if (servers_[io_index]) servers_[io_index]->stop();
+  persist_meta();
   PFM_INFO("clusterfile: node ", node, " decommissioned (ring epoch ",
            ring_epoch(), ")");
 }
@@ -807,6 +989,11 @@ void Clusterfile::remove_node(std::size_t io_index) {
     rebalance_target_.clear();
   }
   ring_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Deferred retirement on the durable path: this records only the epoch
+  // bump — the node still holds recorded copies until the async repairs
+  // drain it, and the worker's own persist_meta adds it to the retired set
+  // (same epoch, grown set) once the placement stops referencing it.
+  persist_meta();
   if (!is_crashed(io_index)) crash_server(io_index);
   // mark_dead (not remove_monitored): the pinned-dead peer keeps showing in
   // dead_nodes(), so await_repairs keeps re-planning until every subfile
@@ -934,8 +1121,8 @@ bool Clusterfile::execute_migration(const MigrationEntry& entry,
                      repair_slot_.fetch_add(1, std::memory_order_relaxed);
     const StorageFaultPlan* faults =
         config_.storage_faults ? &*config_.storage_faults : nullptr;
-    auto storage =
-        make_storage(config_.storage_dir, entry.subfile, slot, faults);
+    auto storage = make_storage(config_.storage_dir, entry.subfile, slot,
+                                faults, /*node=*/dst);
     if (integrity_block_ > 0)
       storage = std::make_unique<IntegrityStorage>(std::move(storage),
                                                    integrity_block_);
@@ -1027,6 +1214,12 @@ bool Clusterfile::execute_migration(const MigrationEntry& entry,
       stats->catchup_bytes += catchup.bytes;
       if (catchup.bytes == 0) break;
     }
+    // Journal the published placement (same worker-thread crash discipline
+    // as execute_repair: freezing is the kill, the scheduler survives).
+    try {
+      persist_meta();
+    } catch (const SimulatedCrash&) {
+    }
     PFM_INFO("rebalance: subfile ", entry.subfile, " migrated to node ", dst,
              " from node ", src.node, " (", stats->bulk_bytes, " bulk + ",
              stats->catchup_bytes, " catch-up bytes)");
@@ -1055,6 +1248,13 @@ void Clusterfile::reset_server_phases() {
 
 RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
                                   std::int64_t file_size) {
+  // A tripped crash point froze the metadata layer: rebuilding the data
+  // files now would let them diverge from metadata that can no longer
+  // follow. Refuse up front — the harness treats this as the kill landing
+  // before the relayout instead of mid-flight.
+  if (crash_tripped())
+    throw SimulatedCrash(
+        "relayout: metadata layer frozen by a tripped crash point");
   const PartitioningPattern& old = *meta_.physical;
   if (new_physical.element_count() != old.element_count())
     throw std::invalid_argument("Clusterfile::relayout: element count changed");
@@ -1099,14 +1299,86 @@ RedistStats Clusterfile::relayout(PartitioningPattern new_physical,
              file_size - old.displacement(), " bytes");
 
   // Swap in the new layout: fresh storage, restarted servers, new clients
-  // (the old pattern pointer stays alive for any stale references).
+  // (the old pattern pointer stays alive for any stale references). On the
+  // durable path, first note the highest write epoch any copy reached: the
+  // rebuilt storages restart at epoch 0, and a cold mount judges authority
+  // by epoch, so the fresh copies must be seeded *above* every stale
+  // pre-relayout file left in the directory.
+  const bool durable = !config_.metadata_dir.empty();
+  std::int64_t relayout_epoch = 0;
+  if (durable)
+    for (const auto& s : servers_) {
+      if (!s) continue;
+      for (const int sub : s->subfile_ids())
+        relayout_epoch = std::max(relayout_epoch, s->subfile_epoch(sub));
+    }
   for (auto& s : servers_)
     if (s) s->stop();
   meta_.physical =
       std::make_shared<const PartitioningPattern>(std::move(new_physical));
   start_servers(&dst);
   start_clients();
+  if (durable) {
+    for (auto& s : servers_) {
+      if (!s) continue;
+      for (const int sub : s->subfile_ids())
+        s->storage_mut(sub).set_epoch(relayout_epoch + 1);
+    }
+    // Commit point: the data rebuild above crossed no durability barrier,
+    // so the kill matrix lands either before the relayout started (old
+    // metadata + old data) or at/after this record (new metadata + new
+    // data, the record being durable before its barrier throws) — never on
+    // a torn mixture.
+    {
+      MutexLock lock(meta_mu_);
+      if (meta_store_.exists(kMetaFile)) {
+        meta_store_.update_layout(kMetaFile, meta_.physical->elements());
+        if (file_size > meta_store_.lookup(kMetaFile).size)
+          meta_store_.update_size(kMetaFile, file_size);
+      }
+    }
+    persist_meta();
+  }
   return stats;
+}
+
+void Clusterfile::sync_metadata() { persist_meta(); }
+
+void Clusterfile::persist_meta() {
+  MutexLock lock(meta_mu_);
+  if (!meta_store_.durable() || !meta_store_.exists(kMetaFile)) return;
+  const FileRecord& rec = meta_store_.lookup(kMetaFile);
+  std::int64_t pe = 0;
+  const std::vector<std::vector<int>> rows =
+      placement_->snapshot_with_epoch(&pe);
+  const std::int64_t ring = ring_epoch();
+  // Deferred retirement: a kRetired node the placement still references
+  // (remove_node racing its repairs) is not recorded retired yet — the
+  // repair worker's own persist_meta gets it once the last copy moved off.
+  std::vector<int> retired;
+  {
+    MutexLock mlock(member_mu_);
+    for (std::size_t i = 0; i < node_state_.size(); ++i) {
+      if (node_state_[i] != IoNodeState::kRetired) continue;
+      const int node = config_.compute_nodes + static_cast<int>(i);
+      bool referenced = false;
+      for (const auto& row : rows)
+        if (std::find(row.begin(), row.end(), node) != row.end()) {
+          referenced = true;
+          break;
+        }
+      if (!referenced) retired.push_back(node);
+    }
+  }
+  // Placement before membership, so the membership record never claims a
+  // node retired while the recorded placement still references it.
+  if (pe > rec.placement_epoch)
+    meta_store_.update_placement(kMetaFile, rows, pe);
+  const std::int64_t size = file_size_estimate();
+  if (size > rec.size) meta_store_.update_size(kMetaFile, size);
+  if (ring > rec.ring_epoch ||
+      (ring == rec.ring_epoch && retired.size() > rec.retired_nodes.size()))
+    meta_store_.update_membership(kMetaFile, ring, std::move(retired));
 }
 
 }  // namespace pfm

@@ -16,6 +16,7 @@
 #include "cluster/failure_detector.h"
 #include "clusterfile/client.h"
 #include "clusterfile/io_server.h"
+#include "clusterfile/metadata.h"
 #include "clusterfile/placement.h"
 #include "clusterfile/rebalance.h"
 #include "clusterfile/repair.h"
@@ -102,6 +103,17 @@ struct ClusterConfig {
   int drain_timeout_ms = 0;
   /// Worker bound on concurrent subfile migrations.
   int max_concurrent_migrations = 2;
+  /// Crash-consistent metadata (DESIGN.md "Durability & recovery"): a
+  /// directory holding the checkpoint manifest plus the mutation journal.
+  /// Non-empty = durable mount: construction replays checkpoint+journal,
+  /// reconciles against the on-disk subfiles in storage_dir (preserving
+  /// their contents instead of re-initialising), and every metadata
+  /// mutation thereafter is journaled with fsync-before-apply. Empty
+  /// (default) = ephemeral metadata, exactly as before.
+  std::filesystem::path metadata_dir{};
+  /// Journal records between automatic checkpoints on the durable path.
+  /// 0 = the PFM_CHECKPOINT_INTERVAL environment knob, or 32.
+  int checkpoint_interval = 0;
 };
 
 /// What restart_server's re-sync pulled from the surviving replicas.
@@ -132,11 +144,33 @@ struct ScrubReport {
   }
 };
 
+/// What a durable-mount construction recovered and reconciled.
+struct MountReport {
+  bool durable = false;   ///< metadata_dir was configured
+  bool mounted = false;   ///< an existing file record was recovered (vs
+                          ///< freshly created)
+  bool manifest_loaded = false;
+  std::int64_t journal_records = 0;  ///< replayed on top of the checkpoint
+  bool journal_torn_tail = false;    ///< crash cut the last record short
+  int subfiles_synced = 0;    ///< lagging copies brought up to the authority
+  int orphans_adopted = 0;    ///< unrecorded copies promoted to primary
+  int copies_missing = 0;     ///< recorded copies with no storage file
+  int sync_failures = 0;      ///< lagging copies the mount could not sync
+  std::int64_t recovery_us = 0;
+};
+
 class Clusterfile {
  public:
   /// Creates the cluster and a file physically partitioned by `physical`,
   /// one subfile per element, assigned round-robin to the I/O nodes.
   /// Compute nodes get node ids [0, compute_nodes); I/O nodes follow.
+  ///
+  /// With config.metadata_dir set this is also the mount path: an existing
+  /// file record is recovered (checkpoint + journal replay), its layout,
+  /// placement, and membership override the as-created defaults, on-disk
+  /// subfile contents are preserved, and lagging copies re-sync from the
+  /// highest-epoch authority (mount_report() says what happened). The
+  /// passed `physical` must then have the recovered element count.
   Clusterfile(ClusterConfig config, PartitioningPattern physical);
   ~Clusterfile();
 
@@ -273,6 +307,17 @@ class Clusterfile {
   std::int64_t stragglers_completed() const;
   std::int64_t stragglers_abandoned() const;
 
+  /// What the constructor recovered on the durable-mount path (all-default
+  /// when metadata_dir is empty).
+  const MountReport& mount_report() const { return mount_report_; }
+
+  /// Persists the current placement/size/membership state to the durable
+  /// metadata (journaled; no-op on ephemeral clusters). The background
+  /// repair and migration workers call this on completion; call it after a
+  /// write burst to tighten the recovered-size lower bound. Throws
+  /// SimulatedCrash when a crash point trips at one of its barriers.
+  void sync_metadata();
+
   /// Mean scatter time per server for the workload since the last reset
   /// (Table 2's t_s: total scatter work one I/O node performed, averaged
   /// over the I/O nodes — not per message, so fragmentation into many small
@@ -298,7 +343,10 @@ class Clusterfile {
   /// (decommission_node), kActive/kDraining -> kRetired (remove_node).
   enum class IoNodeState : char { kSpare, kActive, kDraining, kRetired };
 
-  void start_servers(const std::vector<Buffer>* initial);
+  /// `preserve` (durable mount): open existing subfile files without
+  /// truncation, restoring size and sidecar epoch.
+  void start_servers(const std::vector<Buffer>* initial,
+                     bool preserve = false);
   void start_clients();
   IoServer& server_at_node(int node_id);
   /// Detector on_dead hook: plans repairs for the lost node's subfiles and
@@ -333,6 +381,15 @@ class Clusterfile {
   /// Records the current ring placement as the rebalance target and
   /// enqueues the minimal transfer plan toward it.
   void enqueue_rebalance() PFM_EXCLUDES(member_mu_);
+  /// sync_metadata body; requires meta_mu_ because repair/migration
+  /// workers and the main thread converge concurrently.
+  void persist_meta() PFM_EXCLUDES(meta_mu_);
+  /// Write epochs feed both replica re-sync (replication) and the durable
+  /// mount's authority decision, so durable clusters track them even when
+  /// unreplicated.
+  bool track_epochs() const {
+    return config_.replication > 1 || !config_.metadata_dir.empty();
+  }
 
   ClusterConfig config_;
   std::int64_t integrity_block_ = 0;  ///< resolved from config (0 = off)
@@ -364,6 +421,14 @@ class Clusterfile {
   std::atomic<std::int64_t> ring_epoch_{0};
   std::unique_ptr<Rebalancer> rebalancer_;  ///< only with ring_placement
   std::unique_ptr<FailureDetector> detector_;
+  /// Durable metadata store (journal attached iff metadata_dir is set).
+  /// meta_mu_ serialises the persisting callers (repair/migration workers
+  /// vs the main thread); it is a leaf lock below member_mu_.
+  mutable Mutex meta_mu_{"Clusterfile::meta_mu"};
+  MetadataManager meta_store_ PFM_GUARDED_BY(meta_mu_);
+  MountReport mount_report_;
+  /// Name of the single file record a Clusterfile keeps in its metadata.
+  static constexpr const char* kMetaFile = "clusterfile";
 };
 
 }  // namespace pfm

@@ -4,10 +4,17 @@
 
 namespace pfm {
 
-PlacementDirectory::PlacementDirectory(std::vector<std::vector<int>> replicas) {
+PlacementDirectory::PlacementDirectory(std::vector<std::vector<int>> replicas)
+    : PlacementDirectory(std::move(replicas), 0) {}
+
+PlacementDirectory::PlacementDirectory(std::vector<std::vector<int>> replicas,
+                                       std::int64_t epoch) {
   for (const auto& reps : replicas)
     if (reps.empty())
       throw std::invalid_argument("PlacementDirectory: empty replica list");
+  if (epoch < 0)
+    throw std::invalid_argument("PlacementDirectory: negative epoch");
+  epoch_.store(epoch, std::memory_order_release);
   MutexLock lock(mu_);
   replicas_ = std::move(replicas);
 }
@@ -33,6 +40,17 @@ int PlacementDirectory::primary_of(std::size_t subfile) const {
 
 std::vector<std::vector<int>> PlacementDirectory::snapshot() const {
   MutexLock lock(mu_);
+  return replicas_;
+}
+
+std::vector<std::vector<int>> PlacementDirectory::snapshot_with_epoch(
+    std::int64_t* epoch) const {
+  MutexLock lock(mu_);
+  // Under mu_: update() bumps the epoch only after releasing the lock, so a
+  // table read here is never newer than the epoch reported with it — the
+  // persister may under-version a racing update (recorded next round), but
+  // never over-version.
+  *epoch = epoch_.load(std::memory_order_acquire);
   return replicas_;
 }
 

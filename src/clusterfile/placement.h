@@ -26,6 +26,13 @@ class PlacementDirectory {
   /// first. Starts at epoch 0 — the "as created" placement.
   explicit PlacementDirectory(std::vector<std::vector<int>> replicas);
 
+  /// Mount path: seeds the table *and* the epoch from recovered metadata,
+  /// so clients and the manifest agree on the placement version across a
+  /// remount instead of restarting from 0 (which would mask every repair
+  /// that happened before the crash).
+  PlacementDirectory(std::vector<std::vector<int>> replicas,
+                     std::int64_t epoch);
+
   std::size_t subfile_count() const PFM_EXCLUDES(mu_);
   /// Current placement of one subfile, primary first (by value: the list
   /// may be republished concurrently).
@@ -34,6 +41,11 @@ class PlacementDirectory {
   int primary_of(std::size_t subfile) const PFM_EXCLUDES(mu_);
   /// The whole table at once (one lock crossing for client refresh).
   std::vector<std::vector<int>> snapshot() const PFM_EXCLUDES(mu_);
+  /// Table plus the epoch observed *under the same lock* — the pair the
+  /// metadata persister records, where a torn (table, epoch) pairing would
+  /// journal a placement under the wrong version.
+  std::vector<std::vector<int>> snapshot_with_epoch(std::int64_t* epoch) const
+      PFM_EXCLUDES(mu_);
 
   /// Replaces one subfile's replica list (primary first, non-empty) and
   /// bumps the placement epoch. Called by the repair scheduler only.

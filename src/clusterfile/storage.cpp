@@ -83,12 +83,77 @@ std::int64_t MemoryStorage::size() const {
   return static_cast<std::int64_t>(data_.size());
 }
 
-FileStorage::FileStorage(std::filesystem::path path) : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+namespace {
+
+// Crash-safe epoch sidecar: two 16-byte slots, each
+// [u64 epoch][u32 crc32 of the epoch bytes][u32 magic]. An update writes
+// the slot selected by epoch parity in one pwrite, so a torn update can
+// only damage the slot it was writing — the other slot still carries the
+// previous epoch with a valid CRC.
+constexpr std::uint32_t kEpochMagic = 0x45504650u;  // "PFPE"
+constexpr std::size_t kEpochSlotBytes = 16;
+
+void encode_epoch_slot(std::int64_t epoch, unsigned char* out) {
+  std::memcpy(out, &epoch, 8);
+  const std::uint32_t crc = crc32(out, 8);
+  std::memcpy(out + 8, &crc, 4);
+  std::memcpy(out + 12, &kEpochMagic, 4);
+}
+
+/// Decodes one slot; returns the epoch or -1 when the slot is invalid.
+std::int64_t decode_epoch_slot(const unsigned char* in, std::size_t len) {
+  if (len < kEpochSlotBytes) return -1;
+  std::uint32_t crc = 0, magic = 0;
+  std::memcpy(&crc, in + 8, 4);
+  std::memcpy(&magic, in + 12, 4);
+  if (magic != kEpochMagic || crc32(in, 8) != crc) return -1;
+  std::int64_t epoch = 0;
+  std::memcpy(&epoch, in, 8);
+  return epoch >= 0 ? epoch : -1;
+}
+
+}  // namespace
+
+std::int64_t load_epoch_sidecar(const std::filesystem::path& sidecar) {
+  const int fd = ::open(sidecar.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return 0;
+  unsigned char slots[2 * kEpochSlotBytes] = {};
+  ssize_t got = ::pread(fd, slots, sizeof(slots), 0);
+  ::close(fd);
+  if (got < 0) got = 0;
+  std::int64_t best = 0;
+  for (int s = 0; s < 2; ++s) {
+    const std::size_t off = static_cast<std::size_t>(s) * kEpochSlotBytes;
+    const std::size_t len =
+        static_cast<std::size_t>(got) > off
+            ? static_cast<std::size_t>(got) - off
+            : 0;
+    const std::int64_t e = decode_epoch_slot(slots + off, len);
+    if (e > best) best = e;
+  }
+  return best;
+}
+
+FileStorage::FileStorage(std::filesystem::path path, bool preserve)
+    : path_(std::move(path)) {
+  const int flags =
+      preserve ? O_RDWR | O_CREAT | O_CLOEXEC
+               : O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) throw_errno("FileStorage: open " + path_.string());
-  // A fresh subfile starts at epoch 0; drop any sidecar a previous
-  // incarnation left behind.
-  ::unlink((path_.string() + ".epoch").c_str());
+  if (preserve) {
+    // Cold-start reopen: the file's bytes are the subfile, the validated
+    // sidecar is the epoch (0 when torn — re-sync then treats the copy as
+    // maximally behind, which is safe).
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) throw_errno("FileStorage: lseek " + path_.string());
+    size_ = static_cast<std::int64_t>(end);
+    epoch_ = load_epoch_sidecar(path_.string() + ".epoch");
+  } else {
+    // A fresh subfile starts at epoch 0; drop any sidecar a previous
+    // incarnation left behind.
+    ::unlink((path_.string() + ".epoch").c_str());
+  }
 }
 
 FileStorage::~FileStorage() {
@@ -141,8 +206,14 @@ void FileStorage::set_epoch(std::int64_t e) {
     epoch_fd_ = ::open(sidecar.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
     if (epoch_fd_ < 0) throw_errno("FileStorage: open " + sidecar);
   }
-  if (::pwrite(epoch_fd_, &epoch_, sizeof(epoch_), 0) !=
-      static_cast<ssize_t>(sizeof(epoch_)))
+  // One pwrite into the parity-selected slot: consecutive epochs alternate
+  // slots, so a crash mid-write tears at most the new slot and the reader
+  // falls back to the other slot's last-good epoch.
+  unsigned char slot[kEpochSlotBytes];
+  encode_epoch_slot(e, slot);
+  const off_t off = (e & 1) ? static_cast<off_t>(kEpochSlotBytes) : 0;
+  if (::pwrite(epoch_fd_, slot, sizeof(slot), off) !=
+      static_cast<ssize_t>(sizeof(slot)))
     throw_errno("FileStorage: pwrite epoch sidecar");
 }
 
@@ -313,15 +384,19 @@ std::int64_t IntegrityStorage::size() const {
 
 std::unique_ptr<SubfileStorage> make_storage(const std::filesystem::path& dir,
                                              int subfile_id, int replica,
-                                             const StorageFaultPlan* faults) {
+                                             const StorageFaultPlan* faults,
+                                             int node, bool preserve) {
   std::unique_ptr<SubfileStorage> storage;
   if (dir.empty()) {
     storage = std::make_unique<MemoryStorage>();
   } else {
     std::filesystem::create_directories(dir);
     std::string name = "subfile_" + std::to_string(subfile_id);
-    if (replica > 0) name += ".r" + std::to_string(replica);
-    storage = std::make_unique<FileStorage>(dir / name);
+    if (node >= 0)
+      name += ".n" + std::to_string(node);
+    else if (replica > 0)
+      name += ".r" + std::to_string(replica);
+    storage = std::make_unique<FileStorage>(dir / name, preserve);
   }
   std::optional<StorageFaultPlan> env_plan;
   if (!faults) {

@@ -108,10 +108,20 @@ class MemoryStorage final : public SubfileStorage {
 /// logical size is cached and maintained across writes so bounds-checked
 /// reads cost no extra syscall; the write epoch is persisted in a
 /// `<path>.epoch` sidecar so it survives the process that wrote it.
+///
+/// The sidecar is crash-safe: it holds two fixed slots, each
+/// `[u64 epoch][u32 crc32][u32 magic]`, and an update writes exactly one
+/// slot (chosen by epoch parity) in a single pwrite. A torn slot fails its
+/// CRC and the reader falls back to the other slot's last-good epoch —
+/// understating the epoch at worst, which re-sync treats as "more behind
+/// than it was", never as a garbage epoch to trust.
 class FileStorage final : public SubfileStorage {
  public:
   /// Creates (truncates) the backing file and removes a stale sidecar.
-  explicit FileStorage(std::filesystem::path path);
+  /// With `preserve` set, an existing file is opened as-is instead: the
+  /// logical size is taken from the file and the epoch from the validated
+  /// sidecar (0 when missing or corrupt) — the cold-start mount path.
+  explicit FileStorage(std::filesystem::path path, bool preserve = false);
   ~FileStorage() override;
 
   FileStorage(const FileStorage&) = delete;
@@ -210,14 +220,27 @@ class IntegrityStorage final : public SubfileStorage {
   std::unordered_map<std::int64_t, BlockSum> sums_ PFM_GUARDED_BY(mu_);
 };
 
+/// Reads a crash-safe `.epoch` sidecar written by FileStorage::set_epoch:
+/// validates both slots and returns the highest CRC-clean epoch. Missing,
+/// legacy-format, or fully torn sidecars read as 0 (a full re-sync — safe,
+/// never a garbage epoch). Shared with the cold-start inventory scan
+/// (recover.h), which must judge copies it does not open for serving.
+std::int64_t load_epoch_sidecar(const std::filesystem::path& sidecar);
+
 /// Factory covering both backends: `dir` empty -> memory; otherwise a file
-/// named subfile_<id> (replica 0) or subfile_<id>.r<replica> inside dir, so
-/// replicas of one subfile sharing a directory never collide. When `faults`
+/// inside dir named by the copy's identity — `subfile_<id>.n<node>` when
+/// the caller passes the absolute I/O node id (`node` >= 0, what Clusterfile
+/// does so a cold mount can map files back to nodes), else the legacy
+/// `subfile_<id>` (replica 0) / `subfile_<id>.r<replica>` scheme — so
+/// copies of one subfile sharing a directory never collide. `preserve`
+/// reopens existing bytes instead of truncating (mount path). When `faults`
 /// is non-null — or, failing that, when PFM_STORAGE_FAULT_* environment
 /// knobs request nonzero fault rates (storage_fault.h) — the backend is
-/// wrapped in a FaultyStorage driven by that plan.
+/// wrapped in a FaultyStorage driven by that plan; the fault stream's
+/// identity stays (subfile_id, replica) either way.
 std::unique_ptr<SubfileStorage> make_storage(
     const std::filesystem::path& dir, int subfile_id, int replica = 0,
-    const StorageFaultPlan* faults = nullptr);
+    const StorageFaultPlan* faults = nullptr, int node = -1,
+    bool preserve = false);
 
 }  // namespace pfm

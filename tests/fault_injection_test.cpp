@@ -17,6 +17,8 @@
 
 #include "cluster/fault.h"
 #include "clusterfile/fs.h"
+#include "clusterfile/journal.h"
+#include "clusterfile/storage.h"
 #include "layout/partitions2d.h"
 #include "util/buffer.h"
 
@@ -1431,8 +1433,8 @@ TEST(Quorum, ShutdownDrainsPendingStragglersToDisk) {
     return std::string(std::istreambuf_iterator<char>(is),
                        std::istreambuf_iterator<char>());
   };
-  const std::string primary = slurp(dir / "subfile_0");
-  const std::string backup = slurp(dir / "subfile_0.r1");
+  const std::string primary = slurp(dir / "subfile_0.n4");
+  const std::string backup = slurp(dir / "subfile_0.n5");
   EXPECT_FALSE(primary.empty());
   EXPECT_EQ(primary, backup);  // the drained straggler landed on disk
   std::filesystem::remove_all(dir);
@@ -1459,6 +1461,155 @@ TEST(Quorum, AbandonedStragglerScrubDebtIsDeduplicated) {
   EXPECT_EQ(debt, std::vector<int>{0});
   EXPECT_TRUE(client.take_scrub_debt().empty());  // take = transfer, once
   fs.faults().restore(5);
+}
+
+// ---------------------------------------------------------------------------
+// Durable mount: cold-start recovery + storage reconciliation (recover.h)
+// ---------------------------------------------------------------------------
+
+/// A durable two-replica config rooted at `base` (metadata and storage in
+/// sibling subdirectories).
+ClusterConfig durable_cfg(const std::filesystem::path& base) {
+  ClusterConfig cfg;
+  cfg.replication = 2;
+  cfg.storage_dir = base / "storage";
+  cfg.metadata_dir = base / "meta";
+  return cfg;
+}
+
+TEST(DurableMount, RemountServesBytesWrittenBeforeShutdown) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "pfm_mount_roundtrip";
+  std::filesystem::remove_all(base);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  const Buffer data = make_pattern_buffer(64, 21);
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    EXPECT_TRUE(fs.mount_report().durable);
+    EXPECT_FALSE(fs.mount_report().mounted);  // fresh create
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    client.write(vid, 0, 63, data);
+    fs.sync_metadata();
+  }
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    const MountReport& rep = fs.mount_report();
+    EXPECT_TRUE(rep.mounted);
+    EXPECT_EQ(rep.copies_missing, 0);
+    EXPECT_EQ(rep.sync_failures, 0);
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    Buffer back(64);
+    client.read(vid, 0, 63, back);
+    EXPECT_TRUE(equal_bytes(back, data));
+  }
+  std::filesystem::remove_all(base);
+}
+
+TEST(DurableMount, CrashPointBeforeShutdownStillRecovers) {
+  const auto base = std::filesystem::temp_directory_path() / "pfm_mount_crash";
+  std::filesystem::remove_all(base);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  const Buffer data = make_pattern_buffer(64, 22);
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    client.write(vid, 0, 63, data);
+    fs.sync_metadata();  // the write's size/placement reach the journal
+    // Freeze the metadata layer at the very next durability barrier: every
+    // later durable write (including the destructor's checkpoint) is
+    // dropped, exactly as a SIGKILL there would. The size-growing write
+    // below gives sync_metadata a mutation to journal, whose fsync is that
+    // barrier.
+    client.write(vid, 64, 127, make_pattern_buffer(64, 33));
+    arm_crash_after_syncs(1);
+    EXPECT_THROW(fs.sync_metadata(), SimulatedCrash);
+  }
+  arm_crash_after_syncs(0);  // "reboot"
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    EXPECT_TRUE(fs.mount_report().mounted);
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    Buffer back(64);
+    client.read(vid, 0, 63, back);
+    EXPECT_TRUE(equal_bytes(back, data));
+  }
+  std::filesystem::remove_all(base);
+}
+
+TEST(DurableMount, MissingBackupCopyIsReportedAndRowReaimed) {
+  const auto base =
+      std::filesystem::temp_directory_path() / "pfm_mount_missing";
+  std::filesystem::remove_all(base);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  const Buffer data = make_pattern_buffer(64, 23);
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    client.write(vid, 0, 63, data);
+    fs.sync_metadata();
+  }
+  // Subfile 0's backup (node 5) vanished with its disk.
+  std::filesystem::remove(base / "storage" / "subfile_0.n5");
+  std::filesystem::remove(base / "storage" / "subfile_0.n5.epoch");
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    EXPECT_GE(fs.mount_report().copies_missing, 1);
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    Buffer back(64);
+    client.read(vid, 0, 63, back);
+    EXPECT_TRUE(equal_bytes(back, data));  // the surviving primary serves
+  }
+  std::filesystem::remove_all(base);
+}
+
+TEST(DurableMount, OrphanedHigherEpochCopyBecomesTheAuthority) {
+  const auto base = std::filesystem::temp_directory_path() / "pfm_mount_orphan";
+  std::filesystem::remove_all(base);
+  const auto views = partition2d_all(Partition2D::kRowBlocks, 16, 16, 4);
+  const Buffer data = make_pattern_buffer(64, 24);
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    client.write(vid, 0, 63, data);
+    fs.sync_metadata();
+  }
+  // Simulate a placement the metadata never recorded: subfile 0's primary
+  // copy now lives on node 6 (unrecorded) with a *newer* epoch than the
+  // recorded backup on node 5 — the mount must adopt it as the authority
+  // rather than trust the stale recorded row.
+  const auto storage = base / "storage";
+  std::filesystem::rename(storage / "subfile_0.n4", storage / "subfile_0.n6");
+  std::filesystem::rename(storage / "subfile_0.n4.epoch",
+                          storage / "subfile_0.n6.epoch");
+  {
+    FileStorage bump(storage / "subfile_0.n6", /*preserve=*/true);
+    bump.set_epoch(bump.epoch() + 10);
+  }
+  {
+    Clusterfile fs(durable_cfg(base),
+                   pattern2d(Partition2D::kRowBlocks, 16, 4));
+    EXPECT_GE(fs.mount_report().orphans_adopted, 1);
+    auto& client = fs.client(0);
+    const std::int64_t vid = client.set_view(views[0], 256);
+    Buffer back(64);
+    client.read(vid, 0, 63, back);
+    EXPECT_TRUE(equal_bytes(back, data));
+  }
+  std::filesystem::remove_all(base);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
+#include "clusterfile/journal.h"
 #include "clusterfile/metadata.h"
 #include "layout/partitions2d.h"
 
@@ -443,6 +445,15 @@ TEST(Metadata, MembershipUpdateValidates) {
                std::invalid_argument);  // duplicate retired node
   mm.update_membership("elastic", 3, {9});
   EXPECT_EQ(mm.lookup("elastic").retired_nodes, (std::vector<int>{9}));
+  // Deferred retirement: the same epoch may record *strictly more* retired
+  // nodes (remove_node bumps the epoch first, records the node retired only
+  // after repairs drained it) — but never fewer, and never a no-op.
+  mm.update_membership("elastic", 3, {9, 10});
+  EXPECT_EQ(mm.lookup("elastic").retired_nodes, (std::vector<int>{9, 10}));
+  EXPECT_THROW(mm.update_membership("elastic", 3, {9, 10}),
+               std::invalid_argument);  // no growth
+  EXPECT_THROW(mm.update_membership("elastic", 3, {9, 11}),
+               std::invalid_argument);  // drops 10: not a superset
   // A later re-placement must not resurrect the retired node either.
   EXPECT_THROW(
       mm.update_placement("elastic", {{4, 9}, {5, 6}, {6, 7}, {7, 4}}, 1),
@@ -550,6 +561,229 @@ TEST(Metadata, LoadRejectsMalformedMembership) {
   EXPECT_EQ(mm.lookup("x").ring_epoch, 2);
   EXPECT_EQ(mm.lookup("x").retired_nodes, (std::vector<int>{9}));
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Durable mode: journal framing, recovery, checkpoints, crash points
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void dump(const fs::path& p, const std::string& bytes) {
+  std::ofstream os(p, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Journal, AppendReplayRoundTrip) {
+  const auto dir = fresh_dir("pfm_journal_roundtrip");
+  const auto path = dir / "metadata.journal";
+  {
+    Journal j(path);
+    EXPECT_TRUE(j.append("alpha"));
+    EXPECT_TRUE(j.append(""));  // empty payloads are legal frames
+    EXPECT_TRUE(j.append("gamma delta"));
+    EXPECT_EQ(j.records(), 3);
+  }
+  const Journal::Replay r = Journal::replay_file(path);
+  EXPECT_EQ(r.records,
+            (std::vector<std::string>{"alpha", "", "gamma delta"}));
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_EQ(r.bytes_discarded, 0);
+  fs::remove_all(dir);
+}
+
+TEST(Journal, TornTailIsDiscardedAndCutOnReopen) {
+  const auto dir = fresh_dir("pfm_journal_torn");
+  const auto path = dir / "metadata.journal";
+  {
+    Journal j(path);
+    j.append("one");
+    j.append("two");
+  }
+  // Tear the last frame: keep all but its final byte, as a kill mid-write
+  // would. Replay must keep "one" and drop the tail.
+  const std::string whole = slurp(path);
+  dump(path, whole.substr(0, whole.size() - 1));
+  Journal::Replay r = Journal::replay_file(path);
+  EXPECT_EQ(r.records, std::vector<std::string>{"one"});
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_GT(r.bytes_discarded, 0);
+  // Reopening cuts the torn tail so new appends continue the valid chain.
+  {
+    Journal j(path);
+    EXPECT_EQ(j.records(), 1);
+    EXPECT_TRUE(j.append("three"));
+  }
+  r = Journal::replay_file(path);
+  EXPECT_EQ(r.records, (std::vector<std::string>{"one", "three"}));
+  EXPECT_FALSE(r.torn_tail);
+  fs::remove_all(dir);
+}
+
+TEST(Journal, CorruptMiddleRecordEndsTheValidPrefix) {
+  const auto dir = fresh_dir("pfm_journal_corrupt");
+  const auto path = dir / "metadata.journal";
+  std::size_t first_frame = 0;
+  {
+    Journal j(path);
+    j.append("keep");
+    first_frame = static_cast<std::size_t>(fs::file_size(path));
+    j.append("doomed");
+    j.append("unreachable");
+  }
+  std::string bytes = slurp(path);
+  bytes[first_frame + 12] ^= 0x01;  // flip a payload bit of record 2
+  dump(path, bytes);
+  const Journal::Replay r = Journal::replay_file(path);
+  // The CRC chain stops the scan at the corrupt frame: the record after it
+  // is unreachable even though its own bytes are intact.
+  EXPECT_EQ(r.records, std::vector<std::string>{"keep"});
+  EXPECT_TRUE(r.torn_tail);
+  fs::remove_all(dir);
+}
+
+TEST(Journal, ReplayNeverThrowsOnGarbage) {
+  EXPECT_NO_THROW(Journal::replay({}));
+  const std::string garbage = "not a journal at all, definitely";
+  const Journal::Replay r = Journal::replay(std::as_bytes(std::span(
+      garbage.data(), garbage.size())));
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.bytes_discarded, static_cast<std::int64_t>(garbage.size()));
+}
+
+TEST(Metadata, DurableMutationsReplayOnColdStart) {
+  const auto dir = fresh_dir("pfm_meta_durable");
+  {
+    MetadataManager mm;
+    // A huge interval: everything below stays in the journal, so the cold
+    // start exercises pure journal replay (no checkpoint).
+    mm.open_durable(dir, 1 << 20);
+    FileRecord rec = sample_record("j", Partition2D::kRowBlocks);
+    rec.replica_nodes = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+    mm.create(rec);
+    mm.update_size("j", 4096);
+    mm.update_placement("j", {{4, 6}, {5, 6}, {6, 7}, {7, 4}}, 1);
+    mm.update_membership("j", 2, {9});
+    EXPECT_GE(mm.journal_pending(), 4);
+  }
+  MetadataManager back;
+  const RecoveryInfo info = back.recover_from(dir);
+  EXPECT_FALSE(info.manifest_loaded);  // journal only — never checkpointed
+  EXPECT_GE(info.journal_records, 4);
+  EXPECT_FALSE(info.journal_torn_tail);
+  const FileRecord& rec = back.lookup("j");
+  EXPECT_EQ(rec.size, 4096);
+  EXPECT_EQ(rec.replica_nodes[0], (std::vector<int>{4, 6}));
+  EXPECT_EQ(rec.placement_epoch, 1);
+  EXPECT_EQ(rec.ring_epoch, 2);
+  EXPECT_EQ(rec.retired_nodes, std::vector<int>{9});
+  fs::remove_all(dir);
+}
+
+TEST(Metadata, CheckpointFoldsJournalIntoManifest) {
+  const auto dir = fresh_dir("pfm_meta_ckpt");
+  {
+    MetadataManager mm;
+    mm.open_durable(dir, 1 << 20);
+    mm.create(sample_record("a", Partition2D::kRowBlocks));
+    mm.update_size("a", 1024);
+    mm.checkpoint();
+    EXPECT_EQ(mm.journal_pending(), 0);
+    mm.update_size("a", 2048);  // journaled on top of the checkpoint
+    EXPECT_EQ(mm.journal_pending(), 1);
+  }
+  EXPECT_TRUE(fs::exists(dir / MetadataManager::kManifestName));
+  MetadataManager back;
+  const RecoveryInfo info = back.recover_from(dir);
+  EXPECT_TRUE(info.manifest_loaded);
+  EXPECT_EQ(info.journal_records, 1);
+  EXPECT_EQ(back.lookup("a").size, 2048);
+  fs::remove_all(dir);
+}
+
+TEST(Metadata, PeriodicCheckpointTruncatesJournal) {
+  const auto dir = fresh_dir("pfm_meta_interval");
+  MetadataManager mm;
+  mm.open_durable(dir, 2);
+  mm.create(sample_record("a", Partition2D::kRowBlocks));
+  mm.update_size("a", 512);  // second record: interval reached, checkpoint
+  EXPECT_EQ(mm.journal_pending(), 0);
+  EXPECT_TRUE(fs::exists(dir / MetadataManager::kManifestName));
+  fs::remove_all(dir);
+}
+
+TEST(Metadata, CrashAtJournalBarrierIsDurable) {
+  const auto dir = fresh_dir("pfm_meta_crash");
+  {
+    MetadataManager mm;
+    mm.open_durable(dir, 1 << 20);
+    mm.create(sample_record("a", Partition2D::kRowBlocks));
+    // The very next durability barrier (this append's fdatasync) throws —
+    // but the record reached disk first, so recovery must see the update.
+    arm_crash_after_syncs(1);
+    EXPECT_THROW(mm.update_size("a", 900), SimulatedCrash);
+    EXPECT_TRUE(crash_tripped());
+    // The frozen layer drops later durable writes instead of lying.
+    mm.update_size("a", 1000);  // applied in memory only
+    EXPECT_EQ(mm.lookup("a").size, 1000);
+  }
+  arm_crash_after_syncs(0);  // disarm + unfreeze for the remount
+  MetadataManager back;
+  back.recover_from(dir);
+  EXPECT_EQ(back.lookup("a").size, 900);  // the armed barrier's record
+  fs::remove_all(dir);
+}
+
+TEST(Metadata, TornManifestWriteFallsBackToJournal) {
+  const auto dir = fresh_dir("pfm_meta_torn");
+  {
+    MetadataManager mm;
+    mm.open_durable(dir, 1 << 20);
+    mm.create(sample_record("a", Partition2D::kRowBlocks));
+    mm.update_size("a", 768);
+    // Every durable write from here on persists a strict prefix and
+    // freezes the layer — the checkpoint below never lands.
+    arm_metadata_faults({/*seed=*/7, /*torn_write=*/1.0});
+    mm.checkpoint();
+  }
+  disarm_metadata_faults();
+  arm_crash_after_syncs(0);  // unfreeze
+  MetadataManager back;
+  const RecoveryInfo info = back.recover_from(dir);
+  // The torn checkpoint tmp file never renamed over the manifest; the
+  // journal still holds the full history.
+  EXPECT_FALSE(info.manifest_loaded);
+  EXPECT_EQ(back.lookup("a").size, 768);
+  fs::remove_all(dir);
+}
+
+TEST(Metadata, ApplyJournalRecordRejectsMalformedPayloads) {
+  MetadataManager mm;
+  EXPECT_THROW(mm.apply_journal_record(""), std::invalid_argument);
+  EXPECT_THROW(mm.apply_journal_record("frobnicate x 1"),
+               std::invalid_argument);
+  EXPECT_THROW(mm.apply_journal_record("size onlyname"),
+               std::invalid_argument);
+  EXPECT_THROW(mm.apply_journal_record("size x notanumber"),
+               std::invalid_argument);
+  // Replay semantics: a record for an absent file is stale, not fatal.
+  EXPECT_NO_THROW(mm.apply_journal_record("remove ghost"));
+  EXPECT_NO_THROW(mm.apply_journal_record("size ghost 42"));
+  EXPECT_EQ(mm.count(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <system_error>
 #include <vector>
@@ -174,6 +175,80 @@ TEST(Storage, FileEpochSurvivesInSidecar) {
   // same path truncates (restart_server reuses the *object*, not the path),
   // so read the sidecar directly.
   EXPECT_TRUE(std::filesystem::exists(dir / "subfile_0.epoch"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Storage, PreserveReopensBytesAndSidecarEpoch) {
+  const auto dir = test_dir("pfm_storage_preserve");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const Buffer data = make_pattern_buffer(64, 11);
+  {
+    FileStorage st(dir / "subfile_0");
+    st.write(0, data);
+    st.set_epoch(6);
+    st.set_epoch(7);  // exercises both ping-pong slots
+  }
+  FileStorage back(dir / "subfile_0", /*preserve=*/true);
+  EXPECT_EQ(back.size(), 64);
+  EXPECT_EQ(back.epoch(), 7);
+  Buffer out(64);
+  back.read(0, out);
+  EXPECT_TRUE(equal_bytes(out, data));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Storage, TornSidecarSlotFallsBackToLastGoodEpoch) {
+  const auto dir = test_dir("pfm_storage_torn_sidecar");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto sidecar = dir / "subfile_0.epoch";
+  {
+    FileStorage st(dir / "subfile_0");
+    st.write(0, make_pattern_buffer(8, 1));
+    st.set_epoch(4);  // slot 0
+    st.set_epoch(5);  // slot 1
+  }
+  EXPECT_EQ(load_epoch_sidecar(sidecar), 5);
+  // Tear the newer slot (a kill mid-pwrite): its CRC fails and the reader
+  // falls back to the other slot's last-good epoch — understating, never
+  // inventing.
+  {
+    std::fstream f(sidecar, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(16);  // slot 1 = odd epochs
+    f.put('\xff');
+  }
+  EXPECT_EQ(load_epoch_sidecar(sidecar), 4);
+  // Both slots torn: 0, a full re-sync, never a garbage epoch.
+  {
+    std::fstream f(sidecar, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f.put('\xff');
+  }
+  EXPECT_EQ(load_epoch_sidecar(sidecar), 0);
+  EXPECT_EQ(load_epoch_sidecar(dir / "absent.epoch"), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Storage, NodeQualifiedNamesAndPreserveFactory) {
+  const auto dir = test_dir("pfm_storage_node_names");
+  std::filesystem::remove_all(dir);
+  const Buffer data = make_pattern_buffer(16, 5);
+  {
+    // node >= 0 selects the `subfile_<id>.n<node>` scheme a cold mount can
+    // map back to I/O nodes.
+    auto st = make_storage(dir, 3, /*replica=*/1, nullptr, /*node=*/7);
+    st->write(0, data);
+    st->set_epoch(2);
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir / "subfile_3.n7"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "subfile_3.n7.epoch"));
+  auto back = make_storage(dir, 3, /*replica=*/1, nullptr, /*node=*/7,
+                           /*preserve=*/true);
+  EXPECT_EQ(back->epoch(), 2);
+  Buffer out(16);
+  back->read(0, out);
+  EXPECT_TRUE(equal_bytes(out, data));
   std::filesystem::remove_all(dir);
 }
 

@@ -96,6 +96,21 @@ RULES = [
         "deadline (sleeps hide the ordering bugs lockdep/TSan catch)",
     ),
     (
+        "raw-metadata-write",
+        re.compile(r'"(manifest\.pfm|metadata\.journal)"|pfm-manifest'),
+        lambda p: p.startswith("src/")
+        and p
+        not in (
+            "src/clusterfile/metadata.cpp",
+            "src/clusterfile/metadata.h",
+            "src/clusterfile/journal.cpp",
+            "src/clusterfile/journal.h",
+        ),
+        "manifest/journal bytes are written only by metadata.cpp/journal.cpp "
+        "(fsync-before-apply and checkpoint ordering live there); everything "
+        "else goes through MetadataManager and its kManifestName/kJournalName",
+    ),
+    (
         "bare-receive",
         re.compile(r"\breceive\s*\(\s*\)"),
         lambda p: p.startswith("src/clusterfile/")
@@ -179,6 +194,18 @@ def self_test() -> int:
          None),  # the server loop blocks by design
         ("src/clusterfile/io_server.cpp",
          "auto m = ch.receive();  // pfm-lint: allow(bare-receive)", None),
+        ("src/clusterfile/fs.cpp", 'auto p = dir / "manifest.pfm";',
+         "raw-metadata-write"),
+        ("src/clusterfile/recover.cpp",
+         'std::ofstream os(dir / "metadata.journal");', "raw-metadata-write"),
+        ("src/clusterfile/metadata.cpp",
+         'os << "pfm-manifest " << version;', None),  # the one writer
+        ("src/clusterfile/metadata.h",
+         'static constexpr const char* kManifestName = "manifest.pfm";',
+         None),  # the shared constants themselves
+        ("src/clusterfile/journal.cpp",
+         'path_ = dir / "metadata.journal";', None),  # the WAL itself
+        ("tools/pfm_fsck.cpp", 'open(dir / "manifest.pfm");', None),  # not src/
     ]
     failures = 0
     root = pathlib.Path("/self-test")
